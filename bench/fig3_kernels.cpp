@@ -1,0 +1,78 @@
+/// Figure 3 — single-node performance of the LBM kernel optimization tiers.
+///
+/// Paper: MLUPS over cores on (a) one SuperMUC socket (SSE/AVX, 1-8 cores)
+/// and (b) one JUQUEEN node (QPX, 4-way SMT, 1-16 cores), for SRT and TRT
+/// in three variants: Generic, D3Q19-specialized, SIMD.
+///
+/// Reproduction: the kernels are *measured* on the local machine (all six
+/// variants, kernel time only); the per-machine core sweeps come from the
+/// calibrated ECM machine models (this host has one core — see DESIGN.md
+/// substitution 2). Shape to verify: Generic < D3Q19 < SIMD, only SIMD
+/// saturating the roofline, and TRT ~ SRT at the memory-bound full chip.
+
+#include <cstdio>
+
+#include "perf/Ecm.h"
+#include "perf/LocalBench.h"
+#include "simd/Simd.h"
+
+using namespace walb;
+using namespace walb::perf;
+
+namespace {
+
+const char* tierName(KernelTier tier) {
+    switch (tier) {
+        case KernelTier::Generic: return "Generic";
+        case KernelTier::D3Q19: return "D3Q19";
+        default: return "SIMD";
+    }
+}
+
+void printMachineSweep(const MachineSpec& machine) {
+    std::printf("\n[%s] modeled MLUPS vs cores (TRT ~ SRT when memory bound)\n",
+                machine.name.c_str());
+    std::printf("%6s %10s %10s %10s %10s\n", "cores", "Generic", "D3Q19", "SIMD",
+                "roofline");
+    const EcmModel generic(machine, KernelTier::Generic);
+    const EcmModel d3q19(machine, KernelTier::D3Q19);
+    const EcmModel simd(machine, KernelTier::Simd);
+    for (unsigned c = 1; c <= machine.coresPerChip; ++c) {
+        std::printf("%6u %10.1f %10.1f %10.1f %10.1f\n", c, generic.predictMLUPS(c),
+                    d3q19.predictMLUPS(c), simd.predictMLUPS(c),
+                    rooflineMLUPS(machine.usableBandwidthGiBs));
+    }
+    std::printf("  -> SIMD saturates the memory interface at %u cores; "
+                "the scalar tiers stay core-bound below the roofline.\n",
+                simd.saturationCores());
+}
+
+} // namespace
+
+int main() {
+    std::printf("=== Figure 3: LBM kernel comparison (Generic / D3Q19 / SIMD) ===\n");
+
+    std::printf("\nlocal single-core measurements (%s backend, 64^3 dense domain, "
+                "kernel time only):\n",
+                simd::backendName<simd::BestD>());
+    std::printf("%-10s %8s %8s\n", "kernel", "SRT", "TRT");
+    double genericTrt = 0, simdTrt = 0;
+    for (KernelTier tier : {KernelTier::Generic, KernelTier::D3Q19, KernelTier::Simd}) {
+        const auto srt = measureKernelMLUPS(tier, false);
+        const auto trt = measureKernelMLUPS(tier, true);
+        std::printf("%-10s %7.1f %8.1f  MLUPS\n", tierName(tier), srt.mlups, trt.mlups);
+        if (tier == KernelTier::Generic) genericTrt = trt.mlups;
+        if (tier == KernelTier::Simd) simdTrt = trt.mlups;
+    }
+    std::printf("SIMD/Generic speedup (TRT): %.2fx (paper: SIMD +20%% over scalar D3Q19 "
+                "on SNB; 2.5x over serial on BG/Q)\n",
+                simdTrt / genericTrt);
+
+    printMachineSweep(superMUCSocket());
+    printMachineSweep(juqueenNode());
+
+    std::printf("\npaper anchors: SuperMUC socket roofline 87.8 MLUPS, JUQUEEN node "
+                "76.2 MLUPS;\nTRT matches SRT at the full chip because both are "
+                "bandwidth bound.\n");
+    return 0;
+}

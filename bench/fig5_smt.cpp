@@ -1,0 +1,47 @@
+/// Figure 5 — simultaneous multithreading on a JUQUEEN node.
+///
+/// Paper: the optimized TRT kernel on one Blue Gene/Q node with 1-, 2- and
+/// 4-way SMT; the in-order A2 cores need all four hardware threads to
+/// saturate the memory interface (reaching the 76.2 MLUPS roofline),
+/// whereas SuperMUC gains nothing from SMT.
+///
+/// Reproduction: ECM model with SMT-scaled in-core cycles (this host has a
+/// single core; see DESIGN.md substitution 2).
+
+#include <cstdio>
+
+#include "perf/Ecm.h"
+
+using namespace walb::perf;
+
+int main() {
+    std::printf("=== Figure 5: SMT levels, JUQUEEN node, TRT SIMD kernel ===\n");
+
+    const MachineSpec machine = juqueenNode();
+    const EcmModel smt1(machine, KernelTier::Simd, 0, 1);
+    const EcmModel smt2(machine, KernelTier::Simd, 0, 2);
+    const EcmModel smt4(machine, KernelTier::Simd, 0, 4);
+
+    std::printf("\nMLUPS vs cores:\n");
+    std::printf("%6s %10s %10s %10s %10s\n", "cores", "1-waySMT", "2-waySMT", "4-waySMT",
+                "roofline");
+    for (unsigned c = 2; c <= machine.coresPerChip; c += 2) {
+        std::printf("%6u %10.1f %10.1f %10.1f %10.1f\n", c, smt1.predictMLUPS(c),
+                    smt2.predictMLUPS(c), smt4.predictMLUPS(c),
+                    rooflineMLUPS(machine.usableBandwidthGiBs));
+    }
+
+    const double full = rooflineMLUPS(machine.usableBandwidthGiBs);
+    std::printf("\nfull node (16 cores): 1-way %.0f%%, 2-way %.0f%%, 4-way %.0f%% of the "
+                "%.1f MLUPS roofline\n",
+                100.0 * smt1.predictMLUPS(16) / full, 100.0 * smt2.predictMLUPS(16) / full,
+                100.0 * smt4.predictMLUPS(16) / full, full);
+    std::printf("paper: utilizing the 4-way SMT capability is crucial on JUQUEEN; "
+                "on SuperMUC no SMT gain was measured.\n");
+
+    const EcmModel snb(superMUCSocket(), KernelTier::Simd, 0, 1);
+    std::printf("SuperMUC check: full socket without SMT already reaches %.1f MLUPS "
+                "(roofline %.1f).\n",
+                snb.predictMLUPS(8), rooflineMLUPS(superMUCSocket().usableBandwidthGiBs));
+    return 0;
+}

@@ -1,0 +1,189 @@
+/// Figure 7 — weak scaling with the complex vascular geometry.
+///
+/// Paper: MFLUPS per core (solid) and the fluid fraction of the allocated
+/// blocks (dashed) vs cores, on SuperMUC (up to 2^17, blocks 170^3) and
+/// JUQUEEN (up to 458,752, blocks 80^3). Key effect: with more processes
+/// the blocks become smaller, fit the vessel tree better, the fluid
+/// fraction rises — and with it the efficiency of kernels and
+/// communication; MFLUPS/core *increases* with scale, unlike the flat
+/// dense curves of Figure 6.
+///
+/// Reproduction: the partitionings are computed for real at every scale
+/// with the binary search of §2.3 (fluid fractions are exact, measured on
+/// the synthetic tree with scaled-down 16^3 blocks); the time axis uses
+/// the calibrated machine models; the smallest scales also run for real on
+/// virtual-MPI ranks.
+
+#include <cstdio>
+
+#include "blockforest/ScalingSetup.h"
+#include "geometry/CoronaryTree.h"
+#include "perf/Scaling.h"
+#include "sim/DistributedSimulation.h"
+#include "vmpi/ThreadComm.h"
+
+using namespace walb;
+using namespace walb::perf;
+
+namespace {
+
+constexpr std::uint32_t kCellsPerBlockEdge = 16;
+
+geometry::CoronaryTree makeTree() {
+    geometry::CoronaryTreeParams params;
+    params.seed = 2013;
+    params.bounds = AABB(0, 0, 0, 1, 1, 1);
+    params.rootRadius = 0.04;
+    params.minRadius = 0.006;
+    params.maxDepth = 11;
+    return geometry::CoronaryTree::generate(params);
+}
+
+struct VascularPoint {
+    uint_t processes;
+    uint_t blocks;
+    double fluidFraction;
+    double fluidPerProcess;
+    double imbalance;
+    real_t dx;
+};
+
+VascularPoint partitionAt(const geometry::DistanceFunction& phi, uint_t processes) {
+    // Like the paper: "we allocate up to four blocks on every process and
+    // enable load balancing".
+    auto search = bf::findWeakScalingPartition(phi, AABB(0, 0, 0, 1, 1, 1),
+                                               kCellsPerBlockEdge, 4 * processes);
+    search.forest.assignFluidCellWorkload(phi);
+    search.forest.balanceMorton(std::uint32_t(processes));
+    const auto stats = search.forest.balanceStats();
+    const double totalCells =
+        double(search.blocks) * double(search.forest.config().cellsPerBlock());
+    return {processes,
+            search.blocks,
+            double(search.forest.totalWorkload()) / totalCells,
+            double(search.forest.totalWorkload()) / double(processes),
+            stats.imbalance,
+            search.dx};
+}
+
+void modelCurves(const std::vector<VascularPoint>& points) {
+    struct MachineCase {
+        MachineSpec machine;
+        NetworkParams network;
+        unsigned threadsPerProcess;
+        double processesPerNode;
+        double paperBlockEdge; ///< the paper's block size on this machine
+    };
+    const MachineCase cases[] = {
+        {superMUCSocket(), prunedTreeNetwork(), 4, 4, 170},  // paper: 4P4T, 170^3 blocks
+        {juqueenNode(), torusNetwork(), 4, 16, 80},          // paper: 16P4T, 80^3 blocks
+    };
+    for (const auto& c : cases) {
+        const ScalingModel model(c.machine, c.network);
+        std::printf("\n[%s] modeled vascular weak scaling (%uP%uT, block statistics\n"
+                    "  measured at %u^3 and mapped onto the paper's %.0f^3 blocks):\n",
+                    c.machine.name.c_str(), unsigned(c.processesPerNode),
+                    c.threadsPerProcess, kCellsPerBlockEdge, c.paperBlockEdge);
+        std::printf("%10s %9s %10s %12s %7s\n", "cores", "blocks", "fluidfrac",
+                    "MFLUPS/core", "MPI%");
+        for (const auto& p : points) {
+            const unsigned cores = unsigned(p.processes) * c.threadsPerProcess;
+            // Map the measured per-block statistics (fluid fraction, blocks
+            // per process, imbalance) onto the paper's block size: volumes
+            // scale with edge^3, exchanged surfaces with edge^2.
+            const double cellsPerBlock =
+                c.paperBlockEdge * c.paperBlockEdge * c.paperBlockEdge;
+            DecompositionStats stats;
+            stats.blocksPerProcess = double(p.blocks) / double(p.processes);
+            stats.cellsPerProcess = stats.blocksPerProcess * cellsPerBlock;
+            stats.fluidCellsPerProcess = p.fluidFraction * stats.cellsPerProcess;
+            // Communication is unaware of fluid cells: full block surfaces
+            // are exchanged (paper §4.3).
+            stats.ghostBytesPerProcess =
+                cubeGhostBytes(c.paperBlockEdge) * stats.blocksPerProcess;
+            stats.messagesPerProcess = 18.0 * stats.blocksPerProcess;
+            stats.processesPerNode = c.processesPerNode;
+            stats.loadImbalance = p.imbalance;
+            const auto point = model.fromDecomposition(cores, c.threadsPerProcess, stats);
+            std::printf("%10u %9llu %9.1f%% %12.3f %6.1f%%\n", cores,
+                        (unsigned long long)p.blocks, 100.0 * p.fluidFraction,
+                        point.mlupsPerCore, 100.0 * point.mpiFraction);
+        }
+    }
+}
+
+void realRun(const geometry::DistanceFunction& phi, int ranks) {
+    auto search =
+        bf::findWeakScalingPartition(phi, AABB(0, 0, 0, 1, 1, 1), kCellsPerBlockEdge,
+                                     uint_t(ranks) * 16);
+    search.forest.assignFluidCellWorkload(phi);
+    search.forest.balanceGraph(std::uint32_t(ranks));
+
+    const auto* phiPtr = &phi;
+    auto flagInit = [phiPtr](field::FlagField& flags, const lbm::BoundaryFlags& masks,
+                             const bf::BlockForest::Block& block,
+                             const geometry::CellMapping& mapping) {
+        (void)block;
+        geometry::voxelize(*phiPtr, flags, mapping, masks.fluid);
+        const field::flag_t hull = flags.registerFlag("hull");
+        lbm::markBoundaryHull<lbm::D3Q19>(flags, masks.fluid, 0, hull);
+        // All-wall boundaries suffice for the performance measurement.
+        flags.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            if (flags.isFlagSet(x, y, z, hull)) {
+                flags.removeFlag(x, y, z, hull);
+                flags.addFlag(x, y, z, masks.noSlip);
+            }
+        });
+    };
+
+    vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
+        sim::DistributedSimulation simulation(comm, search.forest, flagInit);
+        const uint_t steps = 20;
+        simulation.run(steps, lbm::TRT::fromOmegaAndMagic(1.5));
+        // Collective: every rank must participate.
+        const double fluid = double(simulation.globalFluidCells());
+        if (comm.rank() == 0) {
+            std::printf("%6d %9llu %12.0f %11.2f %7.1f%%\n", ranks,
+                        (unsigned long long)search.blocks, fluid,
+                        fluid * double(steps) / simulation.timing().grandTotal() / 1e6 /
+                            double(ranks),
+                        100.0 * simulation.timing().fraction("communication"));
+        }
+    });
+}
+
+} // namespace
+
+int main() {
+    std::printf("=== Figure 7: weak scaling with the vascular geometry ===\n");
+    const auto tree = makeTree();
+    const auto phi = tree.implicitDistance();
+    std::printf("synthetic tree: %zu segments, bbox fluid fraction %.2f%%\n",
+                tree.segments().size(), 100.0 * tree.boundingBoxFluidFraction());
+
+    std::printf("\nreal virtual-rank runs (target 2 blocks/rank, %u^3 blocks, TRT):\n",
+                kCellsPerBlockEdge);
+    std::printf("%6s %9s %12s %11s %8s\n", "ranks", "blocks", "fluid cells",
+                "MFLUPS/rank", "comm%");
+    for (int ranks : {2, 4, 8}) realRun(*phi, ranks);
+
+    std::printf("\nexact partitionings across scales (fluid fraction rises with the "
+                "block fit):\n");
+    std::vector<VascularPoint> points;
+    for (uint_t procs : {64u, 256u, 1024u, 4096u, 16384u}) {
+        points.push_back(partitionAt(*phi, procs));
+        const auto& p = points.back();
+        std::printf("  %6llu processes: %6llu blocks, dx=%.5f, fluid fraction %5.1f%%, "
+                    "imbalance %.2f\n",
+                    (unsigned long long)p.processes, (unsigned long long)p.blocks, p.dx,
+                    100.0 * p.fluidFraction, p.imbalance);
+    }
+
+    modelCurves(points);
+
+    std::printf("\npaper anchors: fluid fraction and MFLUPS/core rise together with the "
+                "core count\n(Figure 7a/b); largest run 1,033,660,569,847 fluid cells at "
+                "dx = 1.276 um\n(one fifth of a red blood cell), 1.25 time steps/s on "
+                "458,752 cores.\n");
+    return 0;
+}

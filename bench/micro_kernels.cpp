@@ -1,0 +1,227 @@
+/// Micro-benchmarks (google-benchmark) for the design-choice ablations
+/// called out in DESIGN.md:
+///   * AoS vs SoA field layout under the generic kernel,
+///   * by-cell (tier 2) vs by-direction split-loop SIMD (tier 3) update,
+///   * SIMD backend width (scalar / SSE2 / AVX2),
+///   * sparse strategies: conditional vs cell-list vs line-interval,
+///   * full vs direction-sliced ghost-layer packing,
+///   * triangle octree vs brute-force closest-triangle queries,
+///   * graph partitioner throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/Random.h"
+#include "geometry/Primitives.h"
+#include "lbm/Boundary.h"
+#include "geometry/SignedDistance.h"
+#include "lbm/Communication.h"
+#include "lbm/KernelD3Q19Simd.h"
+#include "lbm/KernelGeneric.h"
+#include "lbm/Sparse.h"
+#include "partition/Partitioner.h"
+
+namespace {
+
+using namespace walb;
+using namespace walb::lbm;
+
+constexpr cell_idx_t kN = 48;
+
+PdfField makeField(field::Layout layout) {
+    PdfField f(kN, kN, kN, D3Q19::Q, layout, real_c(0), 1);
+    initEquilibrium<D3Q19>(f, 1.0, {0.01, 0.005, -0.01});
+    return f;
+}
+
+void BM_GenericKernel_SoA(benchmark::State& state) {
+    PdfField src = makeField(field::Layout::fzyx), dst = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    for (auto _ : state) {
+        streamCollideGeneric<D3Q19>(src, dst, op);
+        src.swapDataWith(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+}
+BENCHMARK(BM_GenericKernel_SoA)->Unit(benchmark::kMillisecond);
+
+void BM_GenericKernel_AoS(benchmark::State& state) {
+    PdfField src = makeField(field::Layout::zyxf), dst = makeField(field::Layout::zyxf);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    for (auto _ : state) {
+        streamCollideGeneric<D3Q19>(src, dst, op);
+        src.swapDataWith(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+}
+BENCHMARK(BM_GenericKernel_AoS)->Unit(benchmark::kMillisecond);
+
+void BM_D3Q19Kernel_ByCell(benchmark::State& state) {
+    PdfField src = makeField(field::Layout::fzyx), dst = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    for (auto _ : state) {
+        streamCollideD3Q19(src, dst, op);
+        src.swapDataWith(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+}
+BENCHMARK(BM_D3Q19Kernel_ByCell)->Unit(benchmark::kMillisecond);
+
+template <typename V>
+void BM_SimdKernel(benchmark::State& state) {
+    PdfField src = makeField(field::Layout::fzyx), dst = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    KernelD3Q19Simd<V> kernel;
+    for (auto _ : state) {
+        kernel.sweep(src, dst, op);
+        src.swapDataWith(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+}
+BENCHMARK(BM_SimdKernel<simd::ScalarD>)->Unit(benchmark::kMillisecond);
+#if defined(__SSE2__)
+BENCHMARK(BM_SimdKernel<simd::SseD>)->Unit(benchmark::kMillisecond);
+#endif
+#if defined(__AVX__)
+BENCHMARK(BM_SimdKernel<simd::AvxD>)->Unit(benchmark::kMillisecond);
+#endif
+
+// ---- sparse strategies (tube through the block, ~25% fluid) -----------------
+
+struct SparseFixture {
+    SparseFixture() : flags(kN, kN, kN, 1) {
+        fluid = flags.registerFlag(lbm::kFluidFlag);
+        flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            const real_t dy = real_c(y) - real_c(kN) / 2;
+            const real_t dz = real_c(z) - real_c(kN) / 2;
+            (void)x;
+            if (dy * dy + dz * dz < real_c(kN * kN) / 16) flags.addFlag(x, y, z, fluid);
+        });
+    }
+    field::FlagField flags;
+    field::flag_t fluid;
+};
+
+void BM_Sparse_Conditional(benchmark::State& state) {
+    SparseFixture fx;
+    PdfField src = makeField(field::Layout::fzyx), dst = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    for (auto _ : state) {
+        streamCollideD3Q19(src, dst, op, &fx.flags, fx.fluid);
+        src.swapDataWith(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * fx.flags.count(fx.fluid));
+}
+BENCHMARK(BM_Sparse_Conditional)->Unit(benchmark::kMillisecond);
+
+void BM_Sparse_CellList(benchmark::State& state) {
+    SparseFixture fx;
+    PdfField src = makeField(field::Layout::fzyx), dst = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    const auto cells = buildFluidCellList(fx.flags, fx.fluid);
+    for (auto _ : state) {
+        streamCollideCellList(src, dst, cells, op);
+        src.swapDataWith(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * cells.size());
+}
+BENCHMARK(BM_Sparse_CellList)->Unit(benchmark::kMillisecond);
+
+void BM_Sparse_LineIntervals(benchmark::State& state) {
+    SparseFixture fx;
+    PdfField src = makeField(field::Layout::fzyx), dst = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    const auto runs = buildFluidRuns(fx.flags, fx.fluid);
+    KernelD3Q19Simd<> kernel;
+    for (auto _ : state) {
+        streamCollideIntervals(src, dst, runs, op, kernel);
+        src.swapDataWith(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * runs.fluidCells);
+}
+BENCHMARK(BM_Sparse_LineIntervals)->Unit(benchmark::kMillisecond);
+
+// ---- ghost packing -----------------------------------------------------------
+
+void BM_Pack_DirectionSliced(benchmark::State& state) {
+    PdfField f = makeField(field::Layout::fzyx);
+    for (auto _ : state) {
+        std::size_t bytes = 0;
+        for (const auto& d : neighborhood26) {
+            SendBuffer buf;
+            packPdfs<D3Q19>(f, d, buf, false);
+            bytes += buf.size();
+        }
+        benchmark::DoNotOptimize(bytes);
+    }
+}
+BENCHMARK(BM_Pack_DirectionSliced)->Unit(benchmark::kMillisecond);
+
+void BM_Pack_FullPdfSet(benchmark::State& state) {
+    PdfField f = makeField(field::Layout::fzyx);
+    for (auto _ : state) {
+        std::size_t bytes = 0;
+        for (const auto& d : neighborhood26) {
+            SendBuffer buf;
+            packPdfs<D3Q19>(f, d, buf, true);
+            bytes += buf.size();
+        }
+        benchmark::DoNotOptimize(bytes);
+    }
+}
+BENCHMARK(BM_Pack_FullPdfSet)->Unit(benchmark::kMillisecond);
+
+// ---- geometry ----------------------------------------------------------------
+
+void BM_ClosestTriangle_Octree(benchmark::State& state) {
+    geometry::TriangleMesh mesh = geometry::makeSphereMesh({0, 0, 0}, 1.0, 64, 32);
+    geometry::TriangleOctree octree(mesh);
+    Random rng(5);
+    for (auto _ : state) {
+        const Vec3 p(rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2));
+        benchmark::DoNotOptimize(octree.closestTriangle(p).sqrDistance);
+    }
+}
+BENCHMARK(BM_ClosestTriangle_Octree);
+
+void BM_ClosestTriangle_BruteForce(benchmark::State& state) {
+    geometry::TriangleMesh mesh = geometry::makeSphereMesh({0, 0, 0}, 1.0, 64, 32);
+    Random rng(5);
+    for (auto _ : state) {
+        const Vec3 p(rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2));
+        real_t best = 1e300;
+        for (std::size_t t = 0; t < mesh.numTriangles(); ++t)
+            best = std::min(best, geometry::closestPointOnTriangle(
+                                      p, mesh.triangleVertex(t, 0), mesh.triangleVertex(t, 1),
+                                      mesh.triangleVertex(t, 2))
+                                      .sqrDistance);
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_ClosestTriangle_BruteForce);
+
+// ---- partitioner ---------------------------------------------------------------
+
+void BM_GraphPartition(benchmark::State& state) {
+    const auto n = std::uint32_t(state.range(0));
+    partition::Graph g(std::size_t(n) * n * n);
+    auto id = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+        return (z * n + y) * n + x;
+    };
+    for (std::uint32_t z = 0; z < n; ++z)
+        for (std::uint32_t y = 0; y < n; ++y)
+            for (std::uint32_t x = 0; x < n; ++x) {
+                if (x + 1 < n) g.addEdge(id(x, y, z), id(x + 1, y, z));
+                if (y + 1 < n) g.addEdge(id(x, y, z), id(x, y + 1, z));
+                if (z + 1 < n) g.addEdge(id(x, y, z), id(x, y, z + 1));
+            }
+    g.finalize();
+    partition::PartitionOptions opt;
+    opt.numParts = 16;
+    for (auto _ : state) benchmark::DoNotOptimize(partition::partitionGraph(g, opt).cutWeight);
+    state.SetItemsProcessed(state.iterations() * g.numVertices());
+}
+BENCHMARK(BM_GraphPartition)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/// cylinder2d — two-dimensional flow around a circular cylinder with the
+/// D2Q9 model, composed from the low-level building blocks (fields, flag
+/// fields, generic kernel, boundary handling, periodic slice copies)
+/// instead of a simulation driver. Demonstrates that every piece of the
+/// framework is stencil-generic: the same templates that run the paper's
+/// D3Q19 production kernels run D2Q9 here.
+///
+/// Reports the drag force on the cylinder via the momentum-exchange method
+/// and writes the flow field to cylinder2d.vti for ParaView.
+
+#include <cstdio>
+
+#include "io/VtkOutput.h"
+#include "lbm/Boundary.h"
+#include "lbm/Communication.h"
+#include "lbm/Force.h"
+#include "lbm/KernelGeneric.h"
+
+using namespace walb;
+using M = lbm::D2Q9;
+
+int main() {
+    // Channel of 160 x 64 cells (z is a single layer: D2Q9 never moves in z).
+    constexpr cell_idx_t NX = 160, NY = 64;
+    const Vec3 center(real_c(NX) / 4, real_c(NY) / 2, real_c(0.5));
+    const real_t radius = real_c(NY) / 10;
+
+    field::FlagField flags(NX, NY, 1, 1);
+    const auto masks = lbm::BoundaryFlags::registerOn(flags);
+    const auto outletFlag = flags.registerFlag("pressureOut");
+    flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        const Vec3 p(real_c(x) + real_c(0.5), real_c(y) + real_c(0.5), real_c(0.5));
+        if ((p - center).length() < radius) flags.addFlag(x, y, z, masks.noSlip);
+        else if (y == 0 || y == NY - 1) flags.addFlag(x, y, z, masks.noSlip);
+        else if (x == 0) flags.addFlag(x, y, z, masks.ubb);
+        else if (x == NX - 1) flags.addFlag(x, y, z, outletFlag);
+        else flags.addFlag(x, y, z, masks.fluid);
+    });
+
+    lbm::PdfField src = lbm::makePdfField<M>(NX, NY, 1);
+    lbm::PdfField dst = lbm::makePdfField<M>(NX, NY, 1);
+    const real_t uIn = 0.04;
+    lbm::initEquilibrium<M>(src, 1.0, {uIn, 0, 0});
+    lbm::initEquilibrium<M>(dst, 1.0, {uIn, 0, 0});
+
+    lbm::BoundaryHandling<M> boundary(flags, masks);
+    boundary.setWallVelocity({uIn, 0, 0});
+    lbm::BoundaryFlags outletMasks{masks.fluid, 0, 0, outletFlag};
+    lbm::BoundaryHandling<M> outlet(flags, outletMasks);
+    outlet.setPressureDensity(1.0);
+
+    // A cylinder-only handler for the drag measurement.
+    field::FlagField cylinderFlags(NX, NY, 1, 1);
+    auto cm = lbm::BoundaryFlags::registerOn(cylinderFlags);
+    flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        const Vec3 p(real_c(x) + real_c(0.5), real_c(y) + real_c(0.5), real_c(0.5));
+        if (flags.isFlagSet(x, y, z, masks.fluid)) cylinderFlags.addFlag(x, y, z, cm.fluid);
+        else if ((p - center).length() < radius) cylinderFlags.addFlag(x, y, z, cm.noSlip);
+    });
+    lbm::BoundaryHandling<M> cylinder(cylinderFlags, cm);
+
+    const auto op = lbm::TRT::fromOmegaAndMagic(1.75); // nu ~ 0.024, Re ~ 21
+    const real_t nu = op.viscosity();
+    std::printf("2-D cylinder: D=%.1f cells, u=%.3f, nu=%.4f, Re=%.1f (steady wake "
+                "regime)\n",
+                2 * radius, uIn, nu, uIn * 2 * radius / nu);
+
+    const uint_t steps = 8000;
+    for (uint_t step = 0; step < steps; ++step) {
+        boundary.apply(src);
+        outlet.apply(src);
+        lbm::streamCollideGeneric<M>(src, dst, op, &flags, masks.fluid);
+        src.swapDataWith(dst);
+    }
+
+    // Drag via momentum exchange on the cylinder links only.
+    cylinder.apply(src);
+    const Vec3 force = lbm::computeBoundaryForce<M>(cylinder, src);
+    // 2-D drag coefficient: Cd = Fx / (1/2 rho u^2 D), per unit depth.
+    const real_t cd = force[0] / (real_c(0.5) * uIn * uIn * 2 * radius);
+    std::printf("drag force Fx=%.5e, lift Fy=%.2e  ->  Cd=%.2f "
+                "(confined low-Re cylinders: Cd of a few is expected;\n  cf. Schaefer-Turek Cd=5.58 at Re=20, 20%% blockage)\n",
+                force[0], force[1], cd);
+
+    const Vec3 wake = lbm::cellVelocity<M>(src, cell_idx_t(center[0] + 2 * radius), NY / 2, 0);
+    const Vec3 freeStream = lbm::cellVelocity<M>(src, 3 * NX / 4, NY / 4, 0);
+    std::printf("wake u_x=%.4f vs free stream u_x=%.4f (%s)\n", wake[0], freeStream[0],
+                wake[0] < freeStream[0] ? "recirculation ok" : "UNEXPECTED");
+
+    io::VtkImageWriter writer(NX, NY, 1);
+    writer.addPdfField<M>(src);
+    writer.addFlagField(flags);
+    if (writer.write("cylinder2d.vti"))
+        std::printf("flow field written to cylinder2d.vti\n");
+    return 0;
+}

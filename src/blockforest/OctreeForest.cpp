@@ -1,0 +1,210 @@
+#include "blockforest/OctreeForest.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/Debug.h"
+
+namespace walb::bf {
+
+OctreeForest OctreeForest::create(const AABB& domain, std::uint32_t rootsX,
+                                  std::uint32_t rootsY, std::uint32_t rootsZ,
+                                  const RefinementCriterion& refine, unsigned maxLevel) {
+    WALB_ASSERT(rootsX >= 1 && rootsY >= 1 && rootsZ >= 1);
+    OctreeForest forest;
+    forest.domain_ = domain;
+    forest.rootsX_ = rootsX;
+    forest.rootsY_ = rootsY;
+    forest.rootsZ_ = rootsZ;
+
+    const Vec3 rootSize(domain.xSize() / real_c(rootsX), domain.ySize() / real_c(rootsY),
+                        domain.zSize() / real_c(rootsZ));
+    for (std::uint32_t z = 0; z < rootsZ; ++z)
+        for (std::uint32_t y = 0; y < rootsY; ++y)
+            for (std::uint32_t x = 0; x < rootsX; ++x) {
+                Node node;
+                node.id = BlockID::root((z * rootsY + y) * rootsX + x);
+                const Vec3 lo = domain.min() + Vec3(real_c(x) * rootSize[0],
+                                                    real_c(y) * rootSize[1],
+                                                    real_c(z) * rootSize[2]);
+                node.aabb = AABB(lo, lo + rootSize);
+                node.coord = {cell_idx_c(x), cell_idx_c(y), cell_idx_c(z)};
+                node.level = 0;
+                forest.nodes_.push_back(node);
+            }
+
+    // Breadth-first refinement driven by the criterion.
+    std::deque<std::uint32_t> queue;
+    for (std::uint32_t i = 0; i < forest.nodes_.size(); ++i) queue.push_back(i);
+    while (!queue.empty()) {
+        const std::uint32_t i = queue.front();
+        queue.pop_front();
+        const Node& node = forest.nodes_[i];
+        if (node.level >= maxLevel) continue;
+        if (!refine(node.aabb, node.level)) continue;
+        forest.split(i);
+        for (unsigned c = 0; c < 8; ++c)
+            queue.push_back(std::uint32_t(forest.nodes_[i].firstChild) + c);
+    }
+    forest.rebuildLeafList();
+    return forest;
+}
+
+void OctreeForest::split(std::uint32_t nodeIndex) {
+    WALB_ASSERT(nodes_[nodeIndex].isLeaf());
+    const auto firstChild = std::int32_t(nodes_.size());
+    nodes_[nodeIndex].firstChild = firstChild;
+    // Copy, since push_back may reallocate.
+    const Node parent = nodes_[nodeIndex];
+    for (unsigned c = 0; c < 8; ++c) {
+        Node child;
+        child.id = parent.id.child(c);
+        child.aabb = parent.aabb.octant(c);
+        child.coord = {2 * parent.coord.x + ((c >> 0) & 1), 2 * parent.coord.y + ((c >> 1) & 1),
+                       2 * parent.coord.z + ((c >> 2) & 1)};
+        child.level = parent.level + 1;
+        child.parent = std::int32_t(nodeIndex);
+        child.process = parent.process;
+        nodes_.push_back(child);
+    }
+}
+
+void OctreeForest::rebuildLeafList() {
+    leaves_.clear();
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].isLeaf()) leaves_.push_back(i);
+}
+
+unsigned OctreeForest::maxLevelPresent() const {
+    unsigned maxLevel = 0;
+    for (const auto li : leaves_) maxLevel = std::max(maxLevel, nodes_[li].level);
+    return maxLevel;
+}
+
+std::int32_t OctreeForest::descend(const Vec3& p) const {
+    if (!domain_.contains(p)) return -1;
+    // Root block from the regular grid.
+    const Vec3 rel = p - domain_.min();
+    const auto rx = std::min(rootsX_ - 1, std::uint32_t(rel[0] / domain_.xSize() *
+                                                        real_c(rootsX_)));
+    const auto ry = std::min(rootsY_ - 1, std::uint32_t(rel[1] / domain_.ySize() *
+                                                        real_c(rootsY_)));
+    const auto rz = std::min(rootsZ_ - 1, std::uint32_t(rel[2] / domain_.zSize() *
+                                                        real_c(rootsZ_)));
+    std::int32_t n = std::int32_t((rz * rootsY_ + ry) * rootsX_ + rx);
+    while (!nodes_[std::size_t(n)].isLeaf()) {
+        const Node& node = nodes_[std::size_t(n)];
+        const Vec3 c = node.aabb.center();
+        const unsigned octant = (p[0] >= c[0] ? 1u : 0u) | (p[1] >= c[1] ? 2u : 0u) |
+                                (p[2] >= c[2] ? 4u : 0u);
+        n = node.firstChild + std::int32_t(octant);
+    }
+    return n;
+}
+
+std::int32_t OctreeForest::leafAt(const Vec3& p) const { return descend(p); }
+
+std::vector<std::uint32_t> OctreeForest::neighborLeaves(std::uint32_t leafIndex) const {
+    const Node& leaf = nodes_[leafIndex];
+    WALB_ASSERT(leaf.isLeaf());
+    std::vector<std::uint32_t> result;
+    // Probe points just outside each face/edge/corner of the leaf, on a
+    // grid fine enough to see neighbors one level finer.
+    const Vec3 sz = leaf.aabb.sizes();
+    const real_t eps = real_c(0.25) * std::min({sz[0], sz[1], sz[2]});
+    std::vector<Vec3> probes;
+    // Sample a 5x5 grid per face plus edge/corner offsets: generate probe
+    // offsets in {-eps, fractions of the box, +size+eps}.
+    const real_t fractions[5] = {real_c(0.1), real_c(0.3), real_c(0.5), real_c(0.7),
+                                 real_c(0.9)};
+    auto axisCoords = [&](std::size_t axis) {
+        std::vector<real_t> coords;
+        coords.push_back(leaf.aabb.min()[axis] - eps);
+        for (real_t f : fractions)
+            coords.push_back(leaf.aabb.min()[axis] + f * sz[axis]);
+        coords.push_back(leaf.aabb.max()[axis] + eps);
+        return coords;
+    };
+    const auto xs = axisCoords(0), ys = axisCoords(1), zs = axisCoords(2);
+    for (real_t x : xs)
+        for (real_t y : ys)
+            for (real_t z : zs) {
+                const Vec3 p(x, y, z);
+                if (leaf.aabb.contains(p)) continue; // interior: not a neighbor probe
+                probes.push_back(p);
+            }
+
+    std::vector<char> seen(nodes_.size(), 0);
+    for (const Vec3& p : probes) {
+        const std::int32_t n = descend(p);
+        if (n < 0 || std::uint32_t(n) == leafIndex || seen[std::size_t(n)]) continue;
+        seen[std::size_t(n)] = 1;
+        result.push_back(std::uint32_t(n));
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+bool OctreeForest::is2to1Balanced() const {
+    for (const auto li : leaves_) {
+        for (const auto ni : neighborLeaves(li)) {
+            const int diff = int(nodes_[li].level) - int(nodes_[ni].level);
+            // Only face adjacency is constrained by the classic grading;
+            // we check all touching leaves conservatively via face overlap.
+            if (std::abs(diff) > 1 && facesTouch(nodes_[li].aabb, nodes_[ni].aabb))
+                return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+/// True if the boxes share a 2-D face patch (not merely an edge/corner).
+bool facesOverlap(const AABB& a, const AABB& b) {
+    int touching = 0, overlapping = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const bool touch = std::abs(a.max()[i] - b.min()[i]) < 1e-12 ||
+                           std::abs(b.max()[i] - a.min()[i]) < 1e-12;
+        const bool overlap = a.min()[i] < b.max()[i] - 1e-12 && b.min()[i] < a.max()[i] - 1e-12;
+        if (touch) ++touching;
+        else if (overlap) ++overlapping;
+    }
+    return touching == 1 && overlapping == 2;
+}
+} // namespace
+
+bool OctreeForest::facesTouch(const AABB& a, const AABB& b) { return facesOverlap(a, b); }
+
+std::size_t OctreeForest::enforce2to1Balance() {
+    std::size_t splits = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Snapshot: splitting invalidates the leaf list.
+        const std::vector<std::uint32_t> current = leaves_;
+        for (const auto li : current) {
+            if (!nodes_[li].isLeaf()) continue; // split in this pass already
+            for (const auto ni : neighborLeaves(li)) {
+                if (!nodes_[ni].isLeaf()) continue;
+                if (!facesOverlap(nodes_[li].aabb, nodes_[ni].aabb)) continue;
+                if (int(nodes_[ni].level) - int(nodes_[li].level) > 1) {
+                    split(li);
+                    ++splits;
+                    changed = true;
+                    break;
+                }
+            }
+            if (changed) rebuildLeafList();
+        }
+    }
+    rebuildLeafList();
+    return splits;
+}
+
+real_t OctreeForest::totalLeafVolume() const {
+    real_t v = 0;
+    for (const auto li : leaves_) v += nodes_[li].aabb.volume();
+    return v;
+}
+
+} // namespace walb::bf

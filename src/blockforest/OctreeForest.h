@@ -1,0 +1,89 @@
+#pragma once
+/// \file OctreeForest.h
+/// Mixed-level forest of octrees — the refinement capability the paper's
+/// data structures support ("Each initial block can be further subdivided
+/// into eight equally sized, smaller blocks. This process can be applied
+/// recursively... different blocks can possess different grid resolutions.
+/// Though this is supported in the data structures, our current algorithms
+/// and applications do not yet make use of this capability"). Exactly like
+/// the paper, walb's LBM algorithms run on uniform-level forests
+/// (SetupBlockForest); this class provides the general structure: adaptive
+/// per-block refinement driven by a callback, cross-level neighbor lookup,
+/// and the standard 2:1 level grading used by octree AMR codes
+/// (Burstedde et al., p4est).
+
+#include <functional>
+#include <vector>
+
+#include "blockforest/BlockID.h"
+#include "core/AABB.h"
+#include "core/Cell.h"
+
+namespace walb::bf {
+
+class OctreeForest {
+public:
+    struct Node {
+        BlockID id;
+        AABB aabb;
+        Cell coord;                ///< integer position at this node's level
+        unsigned level = 0;
+        std::int32_t parent = -1;  ///< node index, -1 for roots
+        std::int32_t firstChild = -1; ///< 8 consecutive children, -1 = leaf
+        std::uint32_t process = 0;
+        bool isLeaf() const { return firstChild < 0; }
+    };
+
+    /// Decides whether the block with the given bounds at the given level
+    /// should be subdivided further.
+    using RefinementCriterion = std::function<bool(const AABB&, unsigned level)>;
+
+    /// Builds the forest over a grid of (rootsX x rootsY x rootsZ) root
+    /// blocks spanning `domain`, refining every block the criterion selects
+    /// up to maxLevel.
+    static OctreeForest create(const AABB& domain, std::uint32_t rootsX, std::uint32_t rootsY,
+                               std::uint32_t rootsZ, const RefinementCriterion& refine,
+                               unsigned maxLevel);
+
+    const std::vector<Node>& nodes() const { return nodes_; }
+    const Node& node(std::size_t i) const { return nodes_[i]; }
+
+    /// Indices of all leaves (the actual blocks), in deterministic order.
+    const std::vector<std::uint32_t>& leaves() const { return leaves_; }
+    std::size_t numLeaves() const { return leaves_.size(); }
+
+    unsigned maxLevelPresent() const;
+
+    /// The leaf containing the given point, or -1 outside the domain.
+    std::int32_t leafAt(const Vec3& p) const;
+
+    /// All leaves adjacent to the given leaf (sharing a face, edge or
+    /// corner), possibly at coarser or finer levels.
+    std::vector<std::uint32_t> neighborLeaves(std::uint32_t leafIndex) const;
+
+    /// Refines leaves until no two face-adjacent leaves differ by more than
+    /// one level (2:1 grading). Returns the number of additional splits.
+    std::size_t enforce2to1Balance();
+
+    /// True if no two face-adjacent leaves differ by more than one level.
+    bool is2to1Balanced() const;
+
+    /// Sum of leaf volumes (must tile the domain).
+    real_t totalLeafVolume() const;
+
+    /// True if the two boxes share a 2-D face patch (not just an edge or a
+    /// corner) — the adjacency the 2:1 grading constrains.
+    static bool facesTouch(const AABB& a, const AABB& b);
+
+private:
+    void split(std::uint32_t nodeIndex);
+    void rebuildLeafList();
+    std::int32_t descend(const Vec3& p) const;
+
+    AABB domain_;
+    std::uint32_t rootsX_ = 1, rootsY_ = 1, rootsZ_ = 1;
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> leaves_;
+};
+
+} // namespace walb::bf

@@ -1,0 +1,106 @@
+#include "blockforest/ScalingSetup.h"
+
+#include <cmath>
+
+namespace walb::bf {
+
+SetupConfig configForBlockGrid(const AABB& bbox, std::uint32_t blocksAlongLongestAxis,
+                               std::uint32_t cellsPerBlock) {
+    WALB_ASSERT(blocksAlongLongestAxis >= 1 && cellsPerBlock >= 1);
+    const real_t longest = std::max({bbox.xSize(), bbox.ySize(), bbox.zSize()});
+    const real_t blockPhys = longest / real_c(blocksAlongLongestAxis);
+    SetupConfig cfg;
+    cfg.rootBlocksX = std::uint32_t(std::ceil(bbox.xSize() / blockPhys - 1e-9));
+    cfg.rootBlocksY = std::uint32_t(std::ceil(bbox.ySize() / blockPhys - 1e-9));
+    cfg.rootBlocksZ = std::uint32_t(std::ceil(bbox.zSize() / blockPhys - 1e-9));
+    cfg.cellsPerBlockX = cfg.cellsPerBlockY = cfg.cellsPerBlockZ = cellsPerBlock;
+    // Round the domain up to whole blocks, anchored at the bbox minimum.
+    const Vec3 size(real_c(cfg.rootBlocksX) * blockPhys, real_c(cfg.rootBlocksY) * blockPhys,
+                    real_c(cfg.rootBlocksZ) * blockPhys);
+    cfg.domain = AABB(bbox.min(), bbox.min() + size);
+    return cfg;
+}
+
+ScalingSearchResult findWeakScalingPartition(const geometry::DistanceFunction& phi,
+                                             const AABB& bbox, std::uint32_t cellsPerBlock,
+                                             uint_t targetBlocks) {
+    // Block count grows roughly with the grid density n (blocks along the
+    // longest axis); for a volume-filling geometry like the vessel tree it
+    // grows ~ n^2..n^3, but not strictly monotonically. Binary search on n,
+    // keeping the best candidate <= target.
+    std::uint32_t lo = 1, hi = 2;
+    auto countFor = [&](std::uint32_t n) {
+        return SetupBlockForest::create(configForBlockGrid(bbox, n, cellsPerBlock), &phi)
+            .numBlocks();
+    };
+    // Exponential search for an upper bound.
+    while (countFor(hi) <= targetBlocks && hi < (1u << 16)) hi *= 2;
+
+    ScalingSearchResult best;
+    while (lo <= hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        const SetupConfig cfg = configForBlockGrid(bbox, mid, cellsPerBlock);
+        auto forest = SetupBlockForest::create(cfg, &phi);
+        const uint_t count = forest.numBlocks();
+        if (count <= targetBlocks) {
+            if (count > best.blocks) {
+                best.blocks = count;
+                best.dx = cfg.dx();
+                best.blockEdgeCells = cellsPerBlock;
+                best.forest = std::move(forest);
+            }
+            lo = mid + 1;
+        } else {
+            if (mid == 0) break;
+            hi = mid - 1;
+        }
+    }
+    // best.blocks == 0 signals that no candidate met the target.
+    return best;
+}
+
+ScalingSearchResult findStrongScalingPartition(const geometry::DistanceFunction& phi,
+                                               const AABB& bbox, real_t dx,
+                                               uint_t targetBlocks, std::uint32_t minEdge,
+                                               std::uint32_t maxEdge) {
+    // Larger block edges -> fewer blocks. Binary search the edge length for
+    // the most blocks <= target.
+    auto makeConfig = [&](std::uint32_t edge) {
+        const real_t blockPhys = real_c(edge) * dx;
+        SetupConfig cfg;
+        cfg.rootBlocksX = std::uint32_t(std::ceil(bbox.xSize() / blockPhys - 1e-9));
+        cfg.rootBlocksY = std::uint32_t(std::ceil(bbox.ySize() / blockPhys - 1e-9));
+        cfg.rootBlocksZ = std::uint32_t(std::ceil(bbox.zSize() / blockPhys - 1e-9));
+        cfg.cellsPerBlockX = cfg.cellsPerBlockY = cfg.cellsPerBlockZ = edge;
+        cfg.domain = AABB(bbox.min(),
+                          bbox.min() + Vec3(real_c(cfg.rootBlocksX) * blockPhys,
+                                            real_c(cfg.rootBlocksY) * blockPhys,
+                                            real_c(cfg.rootBlocksZ) * blockPhys));
+        return cfg;
+    };
+
+    ScalingSearchResult best;
+    std::uint32_t lo = minEdge, hi = maxEdge;
+    while (lo <= hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        const SetupConfig cfg = makeConfig(mid);
+        auto forest = SetupBlockForest::create(cfg, &phi);
+        const uint_t count = forest.numBlocks();
+        if (count <= targetBlocks) {
+            if (count > best.blocks || best.blocks == 0) {
+                best.blocks = count;
+                best.dx = dx;
+                best.blockEdgeCells = mid;
+                best.forest = std::move(forest);
+            }
+            hi = mid - 1; // smaller blocks -> more blocks, still <= target?
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // best.blocks == 0 signals that no edge in [minEdge, maxEdge] meets the
+    // target (callers skip such configurations).
+    return best;
+}
+
+} // namespace walb::bf

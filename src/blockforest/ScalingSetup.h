@@ -1,0 +1,49 @@
+#pragma once
+/// \file ScalingSetup.h
+/// Domain-partitioning searches for scaling experiments (paper §2.3):
+///
+///  * weak scaling — fixed block size (cells), find the isotropic lattice
+///    spacing dx whose partitioning yields as many blocks as possible
+///    without exceeding the target (one block per process);
+///  * strong scaling — fixed dx, blocks constrained to cubes, find the
+///    block edge length the same way.
+///
+/// The number of intersecting blocks is not monotonic in either parameter,
+/// so like the paper we binary-search and keep the best candidate seen
+/// ("the domain partitioning that yields the most blocks but does not
+/// exceed the specified target").
+
+#include "blockforest/SetupBlockForest.h"
+
+namespace walb::bf {
+
+struct ScalingSearchResult {
+    SetupBlockForest forest;
+    real_t dx = 0;
+    std::uint32_t blockEdgeCells = 0; ///< cubic block edge (strong scaling)
+    uint_t blocks = 0;
+};
+
+/// Builds the SetupConfig for a geometry bounding box, block-grid density
+/// `blocksAlongLongestAxis` and cubic blocks of `cellsPerBlock` cells/axis.
+/// The domain is the bbox rounded up to whole blocks.
+SetupConfig configForBlockGrid(const AABB& bbox, std::uint32_t blocksAlongLongestAxis,
+                               std::uint32_t cellsPerBlock);
+
+/// Weak scaling: search the resolution so that the partitioning has as
+/// many intersecting blocks as possible while staying <= targetBlocks.
+/// result.blocks == 0 if no candidate met the target.
+ScalingSearchResult findWeakScalingPartition(const geometry::DistanceFunction& phi,
+                                             const AABB& bbox, std::uint32_t cellsPerBlock,
+                                             uint_t targetBlocks);
+
+/// Strong scaling: fixed dx; search the cubic block edge length (in cells)
+/// so that the partitioning has as many blocks as possible <= targetBlocks.
+/// result.blocks == 0 if no edge in [minEdge, maxEdge] meets the target.
+ScalingSearchResult findStrongScalingPartition(const geometry::DistanceFunction& phi,
+                                               const AABB& bbox, real_t dx,
+                                               uint_t targetBlocks,
+                                               std::uint32_t minEdge = 4,
+                                               std::uint32_t maxEdge = 256);
+
+} // namespace walb::bf

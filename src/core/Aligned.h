@@ -1,0 +1,32 @@
+#pragma once
+/// \file Aligned.h
+/// Cache-line/SIMD aligned heap allocation. Field data is always allocated
+/// with 64-byte alignment so that SoA direction slabs start on cache-line
+/// boundaries — a prerequisite for the aligned SIMD loads/stores in the
+/// vectorized LBM kernels.
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace walb {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+struct AlignedDeleter {
+    void operator()(T* p) const { ::operator delete[](p, std::align_val_t(kCacheLineBytes)); }
+};
+
+template <typename T>
+using AlignedArray = std::unique_ptr<T[], AlignedDeleter<T>>;
+
+/// Allocates n default-initialized Ts with 64-byte alignment.
+template <typename T>
+AlignedArray<T> allocateAligned(std::size_t n) {
+    T* p = static_cast<T*>(::operator new[](n * sizeof(T), std::align_val_t(kCacheLineBytes)));
+    return AlignedArray<T>(p);
+}
+
+} // namespace walb

@@ -1,0 +1,32 @@
+#include "core/BinaryIO.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace walb {
+
+namespace {
+struct FileCloser {
+    void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+} // namespace
+
+bool writeFile(const std::string& path, const SendBuffer& buf) {
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f) return false;
+    return std::fwrite(buf.data(), 1, buf.size(), f.get()) == buf.size();
+}
+
+bool readFile(const std::string& path, std::vector<std::uint8_t>& out) {
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) return false;
+    std::fseek(f.get(), 0, SEEK_END);
+    const long sz = std::ftell(f.get());
+    if (sz < 0) return false;
+    std::fseek(f.get(), 0, SEEK_SET);
+    out.resize(std::size_t(sz));
+    return std::fread(out.data(), 1, out.size(), f.get()) == out.size();
+}
+
+} // namespace walb

@@ -1,0 +1,23 @@
+#pragma once
+/// \file BinaryIO.h
+/// File helpers for the compact, endian-independent binary format used to
+/// store block structures (paper §2.2). The heavy lifting (low-byte
+/// encoding) lives in Buffer.h; this adds whole-file read/write.
+
+#include <string>
+#include <vector>
+
+#include "core/Buffer.h"
+
+namespace walb {
+
+/// Writes the buffer contents to a file, replacing existing content.
+/// Returns false on IO failure.
+bool writeFile(const std::string& path, const SendBuffer& buf);
+
+/// Reads an entire file into memory with a single read operation — mirrors
+/// the paper's "one process accesses the file system and loads the entire
+/// file using one single read operation". Returns false on IO failure.
+bool readFile(const std::string& path, std::vector<std::uint8_t>& out);
+
+} // namespace walb

@@ -1,0 +1,191 @@
+#pragma once
+/// \file Buffer.h
+/// Byte-oriented serialization buffers used by the virtual message-passing
+/// layer (ghost-layer exchange, setup scatter/gather) and by the compact
+/// block-structure file format. All multi-byte values are written in
+/// little-endian byte order explicitly, making the format
+/// endian-independent as required by Section 2.2 of the paper.
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/Debug.h"
+#include "core/Types.h"
+
+namespace walb {
+
+namespace detail {
+
+template <typename T>
+concept TriviallySerializable = std::is_trivially_copyable_v<T> && !std::is_pointer_v<T>;
+
+/// The integer type used to serialize T: the underlying type for enums, T
+/// itself otherwise (lazy so that underlying_type is never instantiated for
+/// non-enums).
+template <typename T>
+struct SerializedInt {
+    using type = T;
+};
+template <typename T>
+    requires std::is_enum_v<T>
+struct SerializedInt<T> {
+    using type = std::underlying_type_t<T>;
+};
+
+/// Encodes an unsigned integer into `n` little-endian bytes at dst.
+inline void putLE(std::uint8_t* dst, std::uint64_t v, unsigned n) {
+    for (unsigned i = 0; i < n; ++i) dst[i] = std::uint8_t(v >> (8 * i));
+}
+
+inline std::uint64_t getLE(const std::uint8_t* src, unsigned n) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) v |= std::uint64_t(src[i]) << (8 * i);
+    return v;
+}
+
+} // namespace detail
+
+/// Growable write-only byte buffer.
+class SendBuffer {
+public:
+    void clear() { data_.clear(); }
+    bool empty() const { return data_.empty(); }
+    std::size_t size() const { return data_.size(); }
+    const std::uint8_t* data() const { return data_.data(); }
+    std::vector<std::uint8_t> release() { return std::move(data_); }
+    void reserve(std::size_t n) { data_.reserve(n); }
+
+    /// Raw byte append.
+    void putBytes(const void* src, std::size_t n) {
+        const auto* p = static_cast<const std::uint8_t*>(src);
+        data_.insert(data_.end(), p, p + n);
+    }
+
+    /// Appends an unsigned value using exactly nBytes little-endian bytes.
+    /// This implements the paper's "only the lower-order bytes that actually
+    /// carry information are stored" compaction (e.g. 2-byte process ranks).
+    void putCompact(std::uint64_t v, unsigned nBytes) {
+        WALB_DASSERT(nBytes <= 8);
+        WALB_DASSERT(nBytes == 8 || v < (1ull << (8 * nBytes)), "value " << v << " needs more than "
+                                                                         << nBytes << " bytes");
+        const std::size_t off = data_.size();
+        data_.resize(off + nBytes);
+        detail::putLE(data_.data() + off, v, nBytes);
+    }
+
+    template <detail::TriviallySerializable T>
+    SendBuffer& operator<<(const T& v) {
+        if constexpr (std::is_same_v<T, bool>) {
+            putCompact(v ? 1 : 0, 1);
+        } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+            // Integers endian-normalized.
+            using U = std::make_unsigned_t<typename detail::SerializedInt<T>::type>;
+            putCompact(std::uint64_t(static_cast<U>(v)), unsigned(sizeof(T)));
+        } else {
+            // float/double/PODs: bit pattern as-is (IEEE-754 LE on all
+            // supported targets; asserted in BinaryIO tests).
+            putBytes(&v, sizeof(T));
+        }
+        return *this;
+    }
+
+    SendBuffer& operator<<(const std::string& s) {
+        *this << std::uint32_t(s.size());
+        putBytes(s.data(), s.size());
+        return *this;
+    }
+
+    template <typename T>
+    SendBuffer& operator<<(const std::vector<T>& v) {
+        *this << std::uint64_t(v.size());
+        if constexpr (detail::TriviallySerializable<T> && !std::is_integral_v<T>) {
+            putBytes(v.data(), v.size() * sizeof(T));
+        } else {
+            for (const auto& e : v) *this << e;
+        }
+        return *this;
+    }
+
+private:
+    std::vector<std::uint8_t> data_;
+};
+
+/// Read-only view over a received byte sequence.
+class RecvBuffer {
+public:
+    RecvBuffer() = default;
+    explicit RecvBuffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+
+    void assign(std::vector<std::uint8_t> data) {
+        data_ = std::move(data);
+        pos_ = 0;
+    }
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+    std::size_t size() const { return data_.size(); }
+
+    void getBytes(void* dst, std::size_t n) {
+        WALB_ASSERT(pos_ + n <= data_.size(), "buffer underflow");
+        std::memcpy(dst, data_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    std::uint64_t getCompact(unsigned nBytes) {
+        WALB_ASSERT(pos_ + nBytes <= data_.size(), "buffer underflow");
+        const std::uint64_t v = detail::getLE(data_.data() + pos_, nBytes);
+        pos_ += nBytes;
+        return v;
+    }
+
+    template <detail::TriviallySerializable T>
+    RecvBuffer& operator>>(T& v) {
+        if constexpr (std::is_same_v<T, bool>) {
+            v = getCompact(1) != 0;
+        } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+            using U = std::make_unsigned_t<typename detail::SerializedInt<T>::type>;
+            v = static_cast<T>(static_cast<U>(getCompact(unsigned(sizeof(T)))));
+        } else {
+            getBytes(&v, sizeof(T));
+        }
+        return *this;
+    }
+
+    RecvBuffer& operator>>(std::string& s) {
+        std::uint32_t n = 0;
+        *this >> n;
+        s.resize(n);
+        getBytes(s.data(), n);
+        return *this;
+    }
+
+    template <typename T>
+    RecvBuffer& operator>>(std::vector<T>& v) {
+        std::uint64_t n = 0;
+        *this >> n;
+        v.resize(n);
+        if constexpr (detail::TriviallySerializable<T> && !std::is_integral_v<T>) {
+            getBytes(v.data(), n * sizeof(T));
+        } else {
+            for (auto& e : v) *this >> e;
+        }
+        return *this;
+    }
+
+private:
+    std::vector<std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+/// Number of bytes needed to represent values up to and including maxValue.
+/// E.g. ranks of a 65,536-process simulation fit in 2 bytes (paper §2.2).
+constexpr unsigned bytesNeeded(std::uint64_t maxValue) {
+    unsigned n = 1;
+    while (n < 8 && maxValue >= (1ull << (8 * n))) ++n;
+    return n;
+}
+
+} // namespace walb

@@ -1,0 +1,107 @@
+#pragma once
+/// \file Cell.h
+/// Integer lattice cell coordinates and axis-aligned inclusive cell boxes.
+/// CellInterval is the work-horse for describing block-interior regions,
+/// ghost-layer slices and communication regions.
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/Debug.h"
+#include "core/Types.h"
+
+namespace walb {
+
+/// A single lattice cell identified by integer coordinates.
+struct Cell {
+    cell_idx_t x = 0, y = 0, z = 0;
+
+    constexpr bool operator==(const Cell&) const = default;
+    /// Lexicographic z-major order (matches field memory order for iteration).
+    constexpr bool operator<(const Cell& o) const {
+        if (z != o.z) return z < o.z;
+        if (y != o.y) return y < o.y;
+        return x < o.x;
+    }
+    constexpr Cell operator+(const Cell& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Cell operator-(const Cell& o) const { return {x - o.x, y - o.y, z - o.z}; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Cell& c) {
+    return os << '(' << c.x << ',' << c.y << ',' << c.z << ')';
+}
+
+/// Inclusive axis-aligned box of lattice cells: [min.x..max.x] x ... .
+/// An interval with any max component smaller than the corresponding min
+/// component is empty.
+class CellInterval {
+public:
+    constexpr CellInterval() : min_{0, 0, 0}, max_{-1, -1, -1} {} // empty
+    constexpr CellInterval(Cell mn, Cell mx) : min_(mn), max_(mx) {}
+    constexpr CellInterval(cell_idx_t x0, cell_idx_t y0, cell_idx_t z0, cell_idx_t x1,
+                           cell_idx_t y1, cell_idx_t z1)
+        : min_{x0, y0, z0}, max_{x1, y1, z1} {}
+
+    constexpr const Cell& min() const { return min_; }
+    constexpr const Cell& max() const { return max_; }
+    constexpr Cell& min() { return min_; }
+    constexpr Cell& max() { return max_; }
+
+    constexpr bool empty() const {
+        return max_.x < min_.x || max_.y < min_.y || max_.z < min_.z;
+    }
+    constexpr cell_idx_t xSize() const { return empty() ? 0 : max_.x - min_.x + 1; }
+    constexpr cell_idx_t ySize() const { return empty() ? 0 : max_.y - min_.y + 1; }
+    constexpr cell_idx_t zSize() const { return empty() ? 0 : max_.z - min_.z + 1; }
+    constexpr uint_t numCells() const {
+        return empty() ? 0 : uint_c(xSize()) * uint_c(ySize()) * uint_c(zSize());
+    }
+
+    constexpr bool contains(const Cell& c) const {
+        return c.x >= min_.x && c.x <= max_.x && c.y >= min_.y && c.y <= max_.y &&
+               c.z >= min_.z && c.z <= max_.z;
+    }
+    constexpr bool contains(const CellInterval& o) const {
+        return o.empty() || (contains(o.min_) && contains(o.max_));
+    }
+
+    /// Intersection (empty interval if disjoint).
+    constexpr CellInterval intersect(const CellInterval& o) const {
+        return {Cell{std::max(min_.x, o.min_.x), std::max(min_.y, o.min_.y),
+                     std::max(min_.z, o.min_.z)},
+                Cell{std::min(max_.x, o.max_.x), std::min(max_.y, o.max_.y),
+                     std::min(max_.z, o.max_.z)}};
+    }
+
+    constexpr bool overlaps(const CellInterval& o) const { return !intersect(o).empty(); }
+
+    /// Grows the interval by g cells in every direction.
+    constexpr CellInterval expanded(cell_idx_t g) const {
+        return {Cell{min_.x - g, min_.y - g, min_.z - g},
+                Cell{max_.x + g, max_.y + g, max_.z + g}};
+    }
+
+    /// Shifts the interval by the given offset.
+    constexpr CellInterval shifted(const Cell& o) const { return {min_ + o, max_ + o}; }
+
+    constexpr bool operator==(const CellInterval&) const = default;
+
+    /// Invokes f(x, y, z) for every contained cell in memory order
+    /// (x fastest). The loop body receives cell_idx_t coordinates.
+    template <typename F>
+    void forEach(F&& f) const {
+        for (cell_idx_t z = min_.z; z <= max_.z; ++z)
+            for (cell_idx_t y = min_.y; y <= max_.y; ++y)
+                for (cell_idx_t x = min_.x; x <= max_.x; ++x)
+                    f(x, y, z);
+    }
+
+private:
+    Cell min_, max_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const CellInterval& ci) {
+    return os << '[' << ci.min() << ".." << ci.max() << ']';
+}
+
+} // namespace walb

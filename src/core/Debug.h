@@ -1,0 +1,43 @@
+#pragma once
+/// \file Debug.h
+/// Assertion and abort helpers. WALB_ASSERT is active in all build types for
+/// cheap checks guarding data-structure invariants; WALB_DASSERT only in
+/// debug builds (used inside hot kernels).
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace walb::internal {
+
+[[noreturn]] inline void assertFailed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+    std::fprintf(stderr, "walb assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+                 msg.c_str());
+    std::abort();
+}
+
+} // namespace walb::internal
+
+#define WALB_ASSERT(expr, ...)                                                                 \
+    do {                                                                                       \
+        if (!(expr)) {                                                                         \
+            std::ostringstream walbOss_;                                                       \
+            walbOss_ << "" __VA_ARGS__;                                                        \
+            ::walb::internal::assertFailed(#expr, __FILE__, __LINE__, walbOss_.str());         \
+        }                                                                                      \
+    } while (0)
+
+#ifdef NDEBUG
+#define WALB_DASSERT(expr, ...) ((void)0)
+#else
+#define WALB_DASSERT(expr, ...) WALB_ASSERT(expr, __VA_ARGS__)
+#endif
+
+#define WALB_ABORT(...)                                                                        \
+    do {                                                                                       \
+        std::ostringstream walbOss_;                                                           \
+        walbOss_ << "" __VA_ARGS__;                                                            \
+        ::walb::internal::assertFailed("abort", __FILE__, __LINE__, walbOss_.str());           \
+    } while (0)

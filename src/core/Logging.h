@@ -1,0 +1,63 @@
+#pragma once
+/// \file Logging.h
+/// Minimal leveled logging. Rank-aware output is handled by the callers
+/// (typically only rank 0 logs progress). Thread-safe via a process-global
+/// mutex so virtual ranks do not interleave characters.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace walb {
+
+enum class LogLevel { Error = 0, Warning = 1, Info = 2, Progress = 3, Detail = 4 };
+
+class Logger {
+public:
+    static Logger& instance() {
+        static Logger l;
+        return l;
+    }
+
+    void setLevel(LogLevel lvl) { level_ = lvl; }
+    LogLevel level() const { return level_; }
+
+    void log(LogLevel lvl, const std::string& msg) {
+        if (lvl > level_) return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::ostream& os = (lvl == LogLevel::Error) ? std::cerr : std::cout;
+        os << prefix(lvl) << msg << '\n';
+    }
+
+private:
+    static const char* prefix(LogLevel lvl) {
+        switch (lvl) {
+            case LogLevel::Error: return "[ERROR] ";
+            case LogLevel::Warning: return "[WARN]  ";
+            case LogLevel::Info: return "[INFO]  ";
+            case LogLevel::Progress: return "[PROG]  ";
+            case LogLevel::Detail: return "[DETL]  ";
+        }
+        return "";
+    }
+
+    LogLevel level_ = LogLevel::Info;
+    std::mutex mutex_;
+};
+
+} // namespace walb
+
+#define WALB_LOG(lvl, expr)                                                                     \
+    do {                                                                                        \
+        if ((lvl) <= ::walb::Logger::instance().level()) {                                      \
+            std::ostringstream walbLogOss_;                                                     \
+            walbLogOss_ << expr;                                                                \
+            ::walb::Logger::instance().log((lvl), walbLogOss_.str());                           \
+        }                                                                                       \
+    } while (0)
+
+#define WALB_LOG_INFO(expr) WALB_LOG(::walb::LogLevel::Info, expr)
+#define WALB_LOG_WARNING(expr) WALB_LOG(::walb::LogLevel::Warning, expr)
+#define WALB_LOG_PROGRESS(expr) WALB_LOG(::walb::LogLevel::Progress, expr)
+#define WALB_LOG_DETAIL(expr) WALB_LOG(::walb::LogLevel::Detail, expr)

@@ -1,0 +1,64 @@
+#pragma once
+/// \file Random.h
+/// Deterministic pseudo-random number generation (xoshiro256++ seeded via
+/// SplitMix64). The framework never uses std::rand or non-deterministic
+/// seeds: reproducibility of the synthetic geometry, of the random block
+/// scatter during setup (Section 2.3) and of all tests depends on it.
+
+#include <cstdint>
+
+#include "core/Types.h"
+
+namespace walb {
+
+/// SplitMix64 — used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256++ by Blackman & Vigna: fast, high-quality, tiny state.
+class Random {
+public:
+    explicit constexpr Random(std::uint64_t seed = 42) {
+        std::uint64_t sm = seed;
+        for (auto& si : s_) si = splitmix64(sm);
+    }
+
+    constexpr std::uint64_t nextU64() {
+        const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, 1).
+    constexpr real_t uniform() {
+        return real_c(nextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform in [lo, hi).
+    constexpr real_t uniform(real_t lo, real_t hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n).
+    constexpr std::uint64_t uniformInt(std::uint64_t n) {
+        // Lemire's multiply-shift rejection-free approximation is fine here;
+        // the tiny modulo bias is irrelevant for scattering/jitter purposes.
+        return static_cast<std::uint64_t>((static_cast<unsigned __int128>(nextU64()) * n) >> 64);
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4]{};
+};
+
+} // namespace walb

@@ -1,0 +1,21 @@
+#include "core/Timer.h"
+
+#include <iomanip>
+
+namespace walb {
+
+void TimingPool::print(std::ostream& os) const {
+    const double g = grandTotal();
+    os << std::left << std::setw(28) << "timer" << std::right << std::setw(12) << "total[s]"
+       << std::setw(10) << "count" << std::setw(12) << "avg[ms]" << std::setw(9) << "%"
+       << '\n';
+    for (const auto& [name, t] : timers_) {
+        os << std::left << std::setw(28) << name << std::right << std::fixed
+           << std::setprecision(4) << std::setw(12) << t.total() << std::setw(10) << t.count()
+           << std::setw(12) << t.average() * 1e3 << std::setprecision(1) << std::setw(8)
+           << (g > 0 ? 100.0 * t.total() / g : 0.0) << "%\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+} // namespace walb

@@ -1,0 +1,31 @@
+#pragma once
+/// \file Types.h
+/// Fundamental scalar type aliases used throughout walb.
+///
+/// The framework computes in double precision (the paper streams 19 double
+/// PDFs per cell, i.e. 456 B per lattice-cell update including write
+/// allocate), and uses 64-bit signed cell coordinates so that domains with
+/// more than 2^31 cells per axis-aligned direction are representable.
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace walb {
+
+/// Floating point type of all PDF / macroscopic data.
+using real_t = double;
+
+/// Unsigned size type for counts (blocks, cells, processes).
+using uint_t = std::uint64_t;
+
+/// Signed cell coordinate. Global cell coordinates of a trillion-cell
+/// domain (10^12 ~ 10000^3) exceed int32 in linearized form, hence 64 bit.
+using cell_idx_t = std::int64_t;
+
+/// Converts enum-ish sizes safely.
+constexpr cell_idx_t cell_idx_c(std::integral auto v) { return static_cast<cell_idx_t>(v); }
+constexpr uint_t uint_c(std::integral auto v) { return static_cast<uint_t>(v); }
+constexpr real_t real_c(auto v) { return static_cast<real_t>(v); }
+
+} // namespace walb

@@ -1,0 +1,87 @@
+#pragma once
+/// \file Vector3.h
+/// Small fixed-size 3-vector used for physical coordinates, velocities and
+/// lattice directions. Header-only, constexpr-friendly; deliberately minimal
+/// (no expression templates) since it never appears in hot loops over cells.
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "core/Types.h"
+
+namespace walb {
+
+template <typename T>
+class Vector3 {
+public:
+    constexpr Vector3() : v_{T(0), T(0), T(0)} {}
+    constexpr Vector3(T x, T y, T z) : v_{x, y, z} {}
+    constexpr explicit Vector3(T s) : v_{s, s, s} {}
+
+    constexpr T& operator[](std::size_t i) { return v_[i]; }
+    constexpr const T& operator[](std::size_t i) const { return v_[i]; }
+
+    constexpr T x() const { return v_[0]; }
+    constexpr T y() const { return v_[1]; }
+    constexpr T z() const { return v_[2]; }
+
+    constexpr Vector3 operator+(const Vector3& o) const {
+        return {v_[0] + o.v_[0], v_[1] + o.v_[1], v_[2] + o.v_[2]};
+    }
+    constexpr Vector3 operator-(const Vector3& o) const {
+        return {v_[0] - o.v_[0], v_[1] - o.v_[1], v_[2] - o.v_[2]};
+    }
+    constexpr Vector3 operator-() const { return {-v_[0], -v_[1], -v_[2]}; }
+    constexpr Vector3 operator*(T s) const { return {v_[0] * s, v_[1] * s, v_[2] * s}; }
+    constexpr Vector3 operator/(T s) const { return {v_[0] / s, v_[1] / s, v_[2] / s}; }
+
+    constexpr Vector3& operator+=(const Vector3& o) {
+        v_[0] += o.v_[0]; v_[1] += o.v_[1]; v_[2] += o.v_[2];
+        return *this;
+    }
+    constexpr Vector3& operator-=(const Vector3& o) {
+        v_[0] -= o.v_[0]; v_[1] -= o.v_[1]; v_[2] -= o.v_[2];
+        return *this;
+    }
+    constexpr Vector3& operator*=(T s) {
+        v_[0] *= s; v_[1] *= s; v_[2] *= s;
+        return *this;
+    }
+
+    constexpr bool operator==(const Vector3& o) const = default;
+
+    constexpr T dot(const Vector3& o) const {
+        return v_[0] * o.v_[0] + v_[1] * o.v_[1] + v_[2] * o.v_[2];
+    }
+    constexpr Vector3 cross(const Vector3& o) const {
+        return {v_[1] * o.v_[2] - v_[2] * o.v_[1],
+                v_[2] * o.v_[0] - v_[0] * o.v_[2],
+                v_[0] * o.v_[1] - v_[1] * o.v_[0]};
+    }
+    constexpr T sqrLength() const { return dot(*this); }
+    T length() const { return std::sqrt(sqrLength()); }
+
+    /// Returns the normalized vector; the zero vector is returned unchanged.
+    Vector3 normalized() const {
+        const T len = length();
+        return len > T(0) ? *this / len : *this;
+    }
+
+private:
+    std::array<T, 3> v_;
+};
+
+template <typename T>
+constexpr Vector3<T> operator*(T s, const Vector3<T>& v) {
+    return v * s;
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vector3<T>& v) {
+    return os << '<' << v[0] << ',' << v[1] << ',' << v[2] << '>';
+}
+
+using Vec3 = Vector3<real_t>;
+
+} // namespace walb

@@ -1,0 +1,54 @@
+#pragma once
+/// \file BoundarySetup.h
+/// Boundary-condition assignment for complex geometries (paper §2.3): after
+/// voxelization and hull marking, every boundary lattice cell receives a
+/// boundary condition "according to the vertex colors of the closest
+/// triangle t̂" — inflow surfaces are colored kColorInflow (velocity bounce
+/// back), outflow surfaces kColorOutflow (pressure anti bounce back),
+/// everything else is a no-slip wall.
+
+#include "field/FlagField.h"
+#include "geometry/SignedDistance.h"
+#include "geometry/Voxelizer.h"
+#include "lbm/Boundary.h"
+
+namespace walb::geometry {
+
+struct BoundaryAssignmentStats {
+    uint_t noSlipCells = 0;
+    uint_t inflowCells = 0;
+    uint_t outflowCells = 0;
+};
+
+/// Classifies every cell of `flags` carrying `hullMask` (interior and ghost
+/// layers) by the dominant vertex color of the closest triangle: the hull
+/// flag is replaced by the matching boundary flag from `masks`.
+inline BoundaryAssignmentStats assignBoundaryConditionsFromColors(
+    field::FlagField& flags, const lbm::BoundaryFlags& masks, field::flag_t hullMask,
+    const MeshDistance& mesh, const CellMapping& mapping) {
+    BoundaryAssignmentStats stats;
+    flags.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        if (!(flags.get(x, y, z) & hullMask)) return;
+        const auto closest = mesh.closestTriangle(mapping.cellCenter(x, y, z));
+        const auto& tri = mesh.mesh().triangle(closest.triangle);
+        unsigned inflow = 0, outflow = 0;
+        for (unsigned v = 0; v < 3; ++v) {
+            if (mesh.mesh().color(tri[v]) == kColorInflow) ++inflow;
+            if (mesh.mesh().color(tri[v]) == kColorOutflow) ++outflow;
+        }
+        flags.removeFlag(x, y, z, hullMask);
+        if (inflow >= 2) {
+            flags.addFlag(x, y, z, masks.ubb);
+            ++stats.inflowCells;
+        } else if (outflow >= 2) {
+            flags.addFlag(x, y, z, masks.pressure);
+            ++stats.outflowCells;
+        } else {
+            flags.addFlag(x, y, z, masks.noSlip);
+            ++stats.noSlipCells;
+        }
+    });
+    return stats;
+}
+
+} // namespace walb::geometry

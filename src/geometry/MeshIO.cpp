@@ -1,0 +1,114 @@
+#include "geometry/MeshIO.h"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace walb::geometry {
+
+bool writeOff(const std::string& path, const TriangleMesh& mesh) {
+    std::ofstream os(path);
+    if (!os) return false;
+    os << "COFF\n" << mesh.numVertices() << ' ' << mesh.numTriangles() << " 0\n";
+    os.precision(17);
+    for (std::size_t v = 0; v < mesh.numVertices(); ++v) {
+        const Vec3& p = mesh.vertex(v);
+        const Color& c = mesh.color(v);
+        os << p[0] << ' ' << p[1] << ' ' << p[2] << ' ' << int(c.r) << ' ' << int(c.g) << ' '
+           << int(c.b) << " 255\n";
+    }
+    for (std::size_t t = 0; t < mesh.numTriangles(); ++t) {
+        const auto& tri = mesh.triangle(t);
+        os << "3 " << tri[0] << ' ' << tri[1] << ' ' << tri[2] << '\n';
+    }
+    return bool(os);
+}
+
+bool readOff(const std::string& path, TriangleMesh& mesh) {
+    std::ifstream is(path);
+    if (!is) return false;
+    std::string header;
+    is >> header;
+    const bool hasColor = header == "COFF";
+    if (!hasColor && header != "OFF") return false;
+
+    std::size_t nv = 0, nt = 0, ne = 0;
+    is >> nv >> nt >> ne;
+    if (!is) return false;
+
+    for (std::size_t v = 0; v < nv; ++v) {
+        Vec3 p;
+        is >> p[0] >> p[1] >> p[2];
+        Color c = kColorWall;
+        if (hasColor) {
+            int r, g, b, a;
+            is >> r >> g >> b >> a;
+            c = {std::uint8_t(r), std::uint8_t(g), std::uint8_t(b)};
+        }
+        if (!is) return false;
+        mesh.addVertex(p, c);
+    }
+    for (std::size_t t = 0; t < nt; ++t) {
+        std::size_t n = 0;
+        std::uint32_t a, b, c;
+        is >> n >> a >> b >> c;
+        if (!is || n != 3) return false; // only triangle meshes supported
+        mesh.addTriangle(a, b, c);
+    }
+    return true;
+}
+
+bool writeStlBinary(const std::string& path, const TriangleMesh& mesh) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) return false;
+    char header[80] = "walb binary STL";
+    os.write(header, 80);
+    const auto n = std::uint32_t(mesh.numTriangles());
+    os.write(reinterpret_cast<const char*>(&n), 4);
+    for (std::size_t t = 0; t < mesh.numTriangles(); ++t) {
+        const Vec3 normal = mesh.faceNormalRaw(t).normalized();
+        float buf[12];
+        for (int i = 0; i < 3; ++i) buf[i] = float(normal[std::size_t(i)]);
+        for (unsigned v = 0; v < 3; ++v) {
+            const Vec3 p = mesh.triangleVertex(t, v);
+            for (int i = 0; i < 3; ++i) buf[3 + 3 * v + unsigned(i)] = float(p[std::size_t(i)]);
+        }
+        os.write(reinterpret_cast<const char*>(buf), sizeof(buf));
+        const std::uint16_t attr = 0;
+        os.write(reinterpret_cast<const char*>(&attr), 2);
+    }
+    return bool(os);
+}
+
+bool readStlBinary(const std::string& path, TriangleMesh& mesh) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return false;
+    char header[80];
+    is.read(header, 80);
+    std::uint32_t n = 0;
+    is.read(reinterpret_cast<char*>(&n), 4);
+    if (!is) return false;
+
+    // Exact-match vertex dedup restores an indexed mesh from the soup.
+    std::map<std::array<float, 3>, std::uint32_t> lookup;
+    for (std::uint32_t t = 0; t < n; ++t) {
+        float buf[12];
+        is.read(reinterpret_cast<char*>(buf), sizeof(buf));
+        std::uint16_t attr;
+        is.read(reinterpret_cast<char*>(&attr), 2);
+        if (!is) return false;
+        std::array<std::uint32_t, 3> idx{};
+        for (unsigned v = 0; v < 3; ++v) {
+            const std::array<float, 3> key{buf[3 + 3 * v], buf[4 + 3 * v], buf[5 + 3 * v]};
+            auto [it, inserted] = lookup.try_emplace(key, std::uint32_t(mesh.numVertices()));
+            if (inserted)
+                mesh.addVertex(Vec3(real_c(key[0]), real_c(key[1]), real_c(key[2])));
+            idx[v] = it->second;
+        }
+        mesh.addTriangle(idx[0], idx[1], idx[2]);
+    }
+    return true;
+}
+
+} // namespace walb::geometry

@@ -1,0 +1,26 @@
+#pragma once
+/// \file MeshIO.h
+/// Triangle-mesh file IO: OFF/COFF (ASCII, with per-vertex colors — the
+/// mesh "may store a color for each vertex" used for inflow/outflow
+/// boundary assignment, paper §2.3) and binary STL.
+
+#include <string>
+
+#include "geometry/TriangleMesh.h"
+
+namespace walb::geometry {
+
+/// Writes a COFF file (OFF with per-vertex RGBA colors).
+bool writeOff(const std::string& path, const TriangleMesh& mesh);
+
+/// Reads OFF or COFF. Returns false on parse/IO errors.
+bool readOff(const std::string& path, TriangleMesh& mesh);
+
+/// Writes binary STL (colors are not representable and dropped).
+bool writeStlBinary(const std::string& path, const TriangleMesh& mesh);
+
+/// Reads binary STL; vertices are de-duplicated exactly so that the
+/// resulting mesh is indexed and edge pseudonormals are well-defined.
+bool readStlBinary(const std::string& path, TriangleMesh& mesh);
+
+} // namespace walb::geometry

@@ -1,0 +1,85 @@
+#pragma once
+/// \file PointTriangleDistance.h
+/// 3-D point-to-triangle distance following the 2-D region decomposition
+/// method of Jones (1995) as referenced by the paper: the closest point is
+/// classified as lying in the triangle's interior, on one of its three
+/// edges, or at one of its three vertices. The classification selects which
+/// pseudonormal (face / edge / vertex) is used for the signed-distance sign
+/// (Baerentzen & Aanaes).
+
+#include <algorithm>
+
+#include "core/Types.h"
+#include "core/Vector3.h"
+
+namespace walb::geometry {
+
+/// Which feature of the triangle carries the closest point.
+enum class TriFeature : std::uint8_t {
+    Face,
+    Edge01, Edge12, Edge20,
+    Vert0, Vert1, Vert2,
+};
+
+struct ClosestPointResult {
+    Vec3 point;         ///< closest point on the triangle
+    real_t sqrDistance; ///< squared distance from the query point
+    TriFeature feature; ///< feature classification for pseudonormal lookup
+};
+
+/// Closest point on triangle (a, b, c) to point p, with feature
+/// classification (barycentric region walk, cf. Ericson RTCD §5.1.5 —
+/// algebraically equivalent to Jones' 2-D projection method).
+inline ClosestPointResult closestPointOnTriangle(const Vec3& p, const Vec3& a, const Vec3& b,
+                                                 const Vec3& c) {
+    const Vec3 ab = b - a, ac = c - a, ap = p - a;
+    const real_t d1 = ab.dot(ap), d2 = ac.dot(ap);
+    if (d1 <= 0 && d2 <= 0) return {a, (p - a).sqrLength(), TriFeature::Vert0};
+
+    const Vec3 bp = p - b;
+    const real_t d3 = ab.dot(bp), d4 = ac.dot(bp);
+    if (d3 >= 0 && d4 <= d3) return {b, (p - b).sqrLength(), TriFeature::Vert1};
+
+    const real_t vc = d1 * d4 - d3 * d2;
+    if (vc <= 0 && d1 >= 0 && d3 <= 0) {
+        const real_t v = d1 / (d1 - d3);
+        const Vec3 q = a + v * ab;
+        return {q, (p - q).sqrLength(), TriFeature::Edge01};
+    }
+
+    const Vec3 cp = p - c;
+    const real_t d5 = ab.dot(cp), d6 = ac.dot(cp);
+    if (d6 >= 0 && d5 <= d6) return {c, (p - c).sqrLength(), TriFeature::Vert2};
+
+    const real_t vb = d5 * d2 - d1 * d6;
+    if (vb <= 0 && d2 >= 0 && d6 <= 0) {
+        const real_t w = d2 / (d2 - d6);
+        const Vec3 q = a + w * ac;
+        return {q, (p - q).sqrLength(), TriFeature::Edge20};
+    }
+
+    const real_t va = d3 * d6 - d5 * d4;
+    if (va <= 0 && (d4 - d3) >= 0 && (d5 - d6) >= 0) {
+        const real_t w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+        const Vec3 q = b + w * (c - b);
+        return {q, (p - q).sqrLength(), TriFeature::Edge12};
+    }
+
+    // Interior of the face.
+    const real_t denom = real_c(1) / (va + vb + vc);
+    const real_t v = vb * denom, w = vc * denom;
+    const Vec3 q = a + v * ab + w * ac;
+    return {q, (p - q).sqrLength(), TriFeature::Face};
+}
+
+/// Squared distance from a point to the segment [a, b] (used by the
+/// implicit capsule primitives).
+inline real_t sqrDistancePointSegment(const Vec3& p, const Vec3& a, const Vec3& b) {
+    const Vec3 ab = b - a;
+    const real_t len2 = ab.sqrLength();
+    real_t t = len2 > 0 ? (p - a).dot(ab) / len2 : real_c(0);
+    t = std::clamp(t, real_c(0), real_c(1));
+    return (p - (a + t * ab)).sqrLength();
+}
+
+} // namespace walb::geometry

@@ -1,0 +1,131 @@
+#include "geometry/Primitives.h"
+
+#include <cmath>
+
+#include "core/Debug.h"
+
+namespace walb::geometry {
+
+namespace {
+constexpr real_t kPi = real_c(3.14159265358979323846);
+
+/// Any two unit vectors orthogonal to axis (and to each other).
+void orthonormalBasis(const Vec3& axis, Vec3& u, Vec3& v) {
+    const Vec3 helper = std::abs(axis[0]) < real_c(0.9) ? Vec3(1, 0, 0) : Vec3(0, 1, 0);
+    u = axis.cross(helper).normalized();
+    v = axis.cross(u).normalized();
+}
+} // namespace
+
+TriangleMesh makeSphereMesh(const Vec3& center, real_t radius, unsigned slices,
+                            unsigned stacks) {
+    WALB_ASSERT(slices >= 3 && stacks >= 2);
+    TriangleMesh mesh;
+    const std::uint32_t north = mesh.addVertex(center + Vec3(0, 0, radius));
+    // Interior rings.
+    for (unsigned s = 1; s < stacks; ++s) {
+        const real_t phi = kPi * real_c(s) / real_c(stacks);
+        for (unsigned l = 0; l < slices; ++l) {
+            const real_t theta = 2 * kPi * real_c(l) / real_c(slices);
+            mesh.addVertex(center + Vec3(radius * std::sin(phi) * std::cos(theta),
+                                         radius * std::sin(phi) * std::sin(theta),
+                                         radius * std::cos(phi)));
+        }
+    }
+    const std::uint32_t south = mesh.addVertex(center - Vec3(0, 0, radius));
+
+    auto ring = [&](unsigned s, unsigned l) {
+        return std::uint32_t(1 + (s - 1) * slices + (l % slices));
+    };
+    for (unsigned l = 0; l < slices; ++l) {
+        mesh.addTriangle(north, ring(1, l), ring(1, l + 1));
+        mesh.addTriangle(south, ring(stacks - 1, l + 1), ring(stacks - 1, l));
+    }
+    for (unsigned s = 1; s + 1 < stacks; ++s)
+        for (unsigned l = 0; l < slices; ++l) {
+            mesh.addTriangle(ring(s, l), ring(s + 1, l), ring(s + 1, l + 1));
+            mesh.addTriangle(ring(s, l), ring(s + 1, l + 1), ring(s, l + 1));
+        }
+    return mesh;
+}
+
+TriangleMesh makeTubeMesh(const Vec3& a, const Vec3& b, real_t radiusA, real_t radiusB,
+                          unsigned segments, bool capA, bool capB, Color sideColor,
+                          Color capAColor, Color capBColor) {
+    WALB_ASSERT(segments >= 3);
+    TriangleMesh mesh;
+    const Vec3 axis = (b - a).normalized();
+    const real_t length = (b - a).length();
+    Vec3 u, v;
+    orthonormalBasis(axis, u, v);
+
+    // Subdivide lengthwise so triangles stay compact — long sliver
+    // triangles would be binned into nearly every octree leaf along the
+    // tube and defeat the closest-triangle pruning.
+    const real_t meanRadius = (radiusA + radiusB) * real_c(0.5);
+    const unsigned nRings =
+        1 + unsigned(std::min(real_c(64), std::floor(length / (2 * meanRadius))));
+
+    for (unsigned s = 0; s <= nRings; ++s) {
+        const real_t t = real_c(s) / real_c(nRings);
+        const Vec3 center = a + (b - a) * t;
+        const real_t radius = radiusA + (radiusB - radiusA) * t;
+        const bool isCapRing = (s == 0 && capA) || (s == nRings && capB);
+        const Color ringColor = (s == 0 && capA) ? capAColor
+                              : (s == nRings && capB) ? capBColor
+                                                      : sideColor;
+        for (unsigned l = 0; l < segments; ++l) {
+            const real_t theta = 2 * kPi * real_c(l) / real_c(segments);
+            const Vec3 dir = std::cos(theta) * u + std::sin(theta) * v;
+            mesh.addVertex(center + radius * dir, isCapRing ? ringColor : sideColor);
+        }
+    }
+    auto ring = [&](unsigned s, unsigned l) {
+        return std::uint32_t(s * segments + (l % segments));
+    };
+
+    // Side quads, outward orientation: with the right-handed (u, v, axis)
+    // frame the outward winding is A_l -> B_{l+1} -> B_l.
+    for (unsigned s = 0; s < nRings; ++s)
+        for (unsigned l = 0; l < segments; ++l) {
+            mesh.addTriangle(ring(s, l), ring(s + 1, l + 1), ring(s + 1, l));
+            mesh.addTriangle(ring(s, l), ring(s, l + 1), ring(s + 1, l + 1));
+        }
+
+    if (capA) {
+        const std::uint32_t centerA = mesh.addVertex(a, capAColor);
+        for (unsigned l = 0; l < segments; ++l)
+            mesh.addTriangle(centerA, ring(0, l + 1), ring(0, l)); // faces -axis
+    }
+    if (capB) {
+        const std::uint32_t centerB = mesh.addVertex(b, capBColor);
+        for (unsigned l = 0; l < segments; ++l)
+            mesh.addTriangle(centerB, ring(nRings, l), ring(nRings, l + 1)); // faces +axis
+    }
+    return mesh;
+}
+
+TriangleMesh makeBoxMesh(const AABB& box) {
+    TriangleMesh mesh;
+    const Vec3 mn = box.min(), mx = box.max();
+    // 8 corners; bit i of the index selects max on axis i.
+    for (unsigned c = 0; c < 8; ++c)
+        mesh.addVertex(Vec3(c & 1 ? mx[0] : mn[0], c & 2 ? mx[1] : mn[1],
+                            c & 4 ? mx[2] : mn[2]));
+    // Each face as two triangles, outward orientation.
+    const std::uint32_t f[6][4] = {
+        {0, 4, 6, 2}, // x min
+        {1, 3, 7, 5}, // x max
+        {0, 1, 5, 4}, // y min
+        {2, 6, 7, 3}, // y max
+        {0, 2, 3, 1}, // z min
+        {4, 5, 7, 6}, // z max
+    };
+    for (const auto& q : f) {
+        mesh.addTriangle(q[0], q[1], q[2]);
+        mesh.addTriangle(q[0], q[2], q[3]);
+    }
+    return mesh;
+}
+
+} // namespace walb::geometry

@@ -1,0 +1,60 @@
+#include "geometry/TriangleMesh.h"
+
+#include <cmath>
+
+#include "core/Debug.h"
+
+namespace walb::geometry {
+
+void TriangleMesh::computeNormals() {
+    faceNormals_.assign(numTriangles(), Vec3(0, 0, 0));
+    vertexNormals_.assign(numVertices(), Vec3(0, 0, 0));
+    edgeNormals_.clear();
+
+    for (std::size_t t = 0; t < numTriangles(); ++t) {
+        const Vec3 raw = faceNormalRaw(t);
+        const real_t len = raw.length();
+        if (len <= real_c(0)) continue; // degenerate triangle contributes nothing
+        const Vec3 n = raw / len;
+        faceNormals_[t] = n;
+
+        // Edge pseudonormals: sum of the unit normals of the two incident
+        // faces. (Each face contributes an angle of pi around the edge, so
+        // equal weighting realizes the angle-weighted definition.)
+        const Triangle& tri = triangles_[t];
+        for (unsigned e = 0; e < 3; ++e)
+            edgeNormals_[edgeKey(tri[e], tri[(e + 1) % 3])] += n;
+
+        // Vertex pseudonormals: face normal weighted by the interior angle
+        // at the vertex (Baerentzen & Aanaes).
+        for (unsigned v = 0; v < 3; ++v) {
+            const Vec3 p = vertices_[tri[v]];
+            const Vec3 e1 = (vertices_[tri[(v + 1) % 3]] - p).normalized();
+            const Vec3 e2 = (vertices_[tri[(v + 2) % 3]] - p).normalized();
+            const real_t cosA = std::clamp(e1.dot(e2), real_c(-1), real_c(1));
+            vertexNormals_[tri[v]] += std::acos(cosA) * n;
+        }
+    }
+
+    for (auto& [key, n] : edgeNormals_) n = n.normalized();
+    for (auto& n : vertexNormals_) n = n.normalized();
+}
+
+const Vec3& TriangleMesh::edgeNormal(std::uint32_t a, std::uint32_t b) const {
+    const auto it = edgeNormals_.find(edgeKey(a, b));
+    WALB_ASSERT(it != edgeNormals_.end(), "edge (" << a << ',' << b << ") has no normal");
+    return it->second;
+}
+
+void TriangleMesh::append(const TriangleMesh& other) {
+    const auto offset = std::uint32_t(numVertices());
+    for (std::size_t v = 0; v < other.numVertices(); ++v)
+        addVertex(other.vertex(v), other.color(v));
+    for (const Triangle& t : other.triangles())
+        addTriangle(t[0] + offset, t[1] + offset, t[2] + offset);
+    faceNormals_.clear(); // invalidated
+    vertexNormals_.clear();
+    edgeNormals_.clear();
+}
+
+} // namespace walb::geometry

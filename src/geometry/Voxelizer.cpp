@@ -1,0 +1,126 @@
+#include "geometry/Voxelizer.h"
+
+#include <cmath>
+
+namespace walb::geometry {
+
+namespace {
+
+/// Bounding sphere of the cell *centers* of a region (not the full cells).
+struct RegionSphere {
+    Vec3 center;
+    real_t radius;
+};
+
+RegionSphere regionSphere(const CellMapping& m, const CellInterval& ci) {
+    const Vec3 lo = m.cellCenter(ci.min().x, ci.min().y, ci.min().z);
+    const Vec3 hi = m.cellCenter(ci.max().x, ci.max().y, ci.max().z);
+    return {(lo + hi) * real_c(0.5), (hi - lo).length() * real_c(0.5)};
+}
+
+template <typename PerCell, typename FillRegion>
+void recurse(const DistanceFunction& phi, const CellMapping& m, const CellInterval& ci,
+             VoxelizeStats& stats, const PerCell& perCell, const FillRegion& fillRegion) {
+    if (ci.empty()) return;
+    const RegionSphere sphere = regionSphere(m, ci);
+    const real_t d = phi.signedDistance(sphere.center);
+    if (std::abs(d) > sphere.radius) {
+        ++stats.regionsPruned;
+        if (d < 0) fillRegion(ci); // uniformly fluid
+        return;                    // else uniformly outside: nothing to mark
+    }
+    if (ci.numCells() <= 32) {
+        ci.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            ++stats.cellsEvaluated;
+            if (phi.signedDistance(m.cellCenter(x, y, z)) < 0) perCell(x, y, z);
+        });
+        return;
+    }
+    // Split along the longest axis.
+    CellInterval a = ci, b = ci;
+    if (ci.xSize() >= ci.ySize() && ci.xSize() >= ci.zSize()) {
+        const cell_idx_t mid = (ci.min().x + ci.max().x) / 2;
+        a.max().x = mid;
+        b.min().x = mid + 1;
+    } else if (ci.ySize() >= ci.zSize()) {
+        const cell_idx_t mid = (ci.min().y + ci.max().y) / 2;
+        a.max().y = mid;
+        b.min().y = mid + 1;
+    } else {
+        const cell_idx_t mid = (ci.min().z + ci.max().z) / 2;
+        a.max().z = mid;
+        b.min().z = mid + 1;
+    }
+    recurse(phi, m, a, stats, perCell, fillRegion);
+    recurse(phi, m, b, stats, perCell, fillRegion);
+}
+
+} // namespace
+
+VoxelizeStats voxelize(const DistanceFunction& phi, field::FlagField& flags,
+                       const CellMapping& mapping, field::flag_t fluidFlag) {
+    VoxelizeStats stats;
+    auto perCell = [&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        flags.addFlag(x, y, z, fluidFlag);
+        ++stats.fluidCells;
+    };
+    auto fillRegion = [&](const CellInterval& ci) {
+        ci.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            flags.addFlag(x, y, z, fluidFlag);
+        });
+        stats.fluidCells += ci.numCells();
+    };
+    recurse(phi, mapping, flags.allocRegion(), stats, perCell, fillRegion);
+    return stats;
+}
+
+namespace {
+bool anyFluidRecurse(const DistanceFunction& phi, const CellMapping& m,
+                     const CellInterval& ci) {
+    if (ci.empty()) return false;
+    const RegionSphere sphere = regionSphere(m, ci);
+    const real_t d = phi.signedDistance(sphere.center);
+    if (d < -sphere.radius) return true;  // uniformly fluid
+    if (d > sphere.radius) return false;  // uniformly outside
+    if (ci.numCells() <= 32) {
+        bool found = false;
+        ci.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            if (!found && phi.signedDistance(m.cellCenter(x, y, z)) < 0) found = true;
+        });
+        return found;
+    }
+    CellInterval a = ci, b = ci;
+    if (ci.xSize() >= ci.ySize() && ci.xSize() >= ci.zSize()) {
+        const cell_idx_t mid = (ci.min().x + ci.max().x) / 2;
+        a.max().x = mid;
+        b.min().x = mid + 1;
+    } else if (ci.ySize() >= ci.zSize()) {
+        const cell_idx_t mid = (ci.min().y + ci.max().y) / 2;
+        a.max().y = mid;
+        b.min().y = mid + 1;
+    } else {
+        const cell_idx_t mid = (ci.min().z + ci.max().z) / 2;
+        a.max().z = mid;
+        b.min().z = mid + 1;
+    }
+    return anyFluidRecurse(phi, m, a) || anyFluidRecurse(phi, m, b);
+}
+} // namespace
+
+bool anyFluidCell(const DistanceFunction& phi, const CellMapping& mapping, cell_idx_t cellsX,
+                  cell_idx_t cellsY, cell_idx_t cellsZ) {
+    return anyFluidRecurse(phi, mapping,
+                           CellInterval(0, 0, 0, cellsX - 1, cellsY - 1, cellsZ - 1));
+}
+
+uint_t countFluidCells(const DistanceFunction& phi, const CellMapping& mapping,
+                       cell_idx_t cellsX, cell_idx_t cellsY, cell_idx_t cellsZ) {
+    VoxelizeStats stats;
+    auto perCell = [&](cell_idx_t, cell_idx_t, cell_idx_t) { ++stats.fluidCells; };
+    auto fillRegion = [&](const CellInterval& ci) { stats.fluidCells += ci.numCells(); };
+    recurse(phi, mapping, CellInterval(0, 0, 0, cellsX - 1, cellsY - 1, cellsZ - 1), stats,
+            perCell, fillRegion);
+    return stats.fluidCells;
+}
+
+} // namespace walb::geometry

@@ -1,0 +1,75 @@
+#pragma once
+/// \file Voxelizer.h
+/// Marks fluid cells of a block's flag field from a signed distance
+/// function (paper §2.3): a lattice cell belongs to the domain if its
+/// center lies inside (phi < 0). Uses the paper's hierarchical pruning: a
+/// cell region whose bounding sphere is entirely on one side of the surface
+/// (|phi(center)| > sphere radius) is filled/skipped wholesale, so only
+/// cells near the boundary evaluate the distance function individually.
+/// Block/domain intersection pre-tests use the block barycenter with
+/// circumsphere and insphere radii, exactly as described in the paper.
+
+#include "core/AABB.h"
+#include "field/FlagField.h"
+#include "geometry/SignedDistance.h"
+
+namespace walb::geometry {
+
+/// Conservative classification of a block against the domain.
+enum class BlockCoverage {
+    Outside, ///< certainly no fluid cell center inside the block
+    Inside,  ///< certainly every cell center of the block is fluid
+    Mixed,   ///< block may straddle the boundary — needs voxelization
+};
+
+/// Paper §2.3 early-outs: if d(center)^2 > R(b)^2 the block cannot
+/// intersect the domain boundary — it is uniformly inside or outside
+/// depending on the sign; if |phi| < r(b) it must intersect the boundary.
+inline BlockCoverage classifyBlock(const DistanceFunction& phi, const AABB& box) {
+    const real_t d = phi.signedDistance(box.center());
+    const real_t R = box.circumsphereRadius();
+    if (d > R) return BlockCoverage::Outside;
+    if (d < -R) return BlockCoverage::Inside;
+    return BlockCoverage::Mixed;
+}
+
+/// Mapping from a block's cell coordinates to physical space: cell (i,j,k)
+/// has its center at blockBox.min + dx * (i + 1/2, j + 1/2, k + 1/2).
+struct CellMapping {
+    AABB blockBox;
+    real_t dx;
+
+    Vec3 cellCenter(cell_idx_t x, cell_idx_t y, cell_idx_t z) const {
+        return blockBox.min() + Vec3((real_c(x) + real_c(0.5)) * dx,
+                                     (real_c(y) + real_c(0.5)) * dx,
+                                     (real_c(z) + real_c(0.5)) * dx);
+    }
+};
+
+struct VoxelizeStats {
+    uint_t fluidCells = 0;
+    uint_t regionsPruned = 0;  ///< uniform regions decided without per-cell tests
+    uint_t cellsEvaluated = 0; ///< individual distance evaluations
+};
+
+/// Sets `fluidFlag` on every cell (interior plus ghost layers) whose center
+/// is inside the domain. Returns pruning statistics. The hierarchical
+/// subdivision makes the cost proportional to the boundary area rather than
+/// the block volume.
+VoxelizeStats voxelize(const DistanceFunction& phi, field::FlagField& flags,
+                       const CellMapping& mapping, field::flag_t fluidFlag);
+
+/// True if any cell center of the given interior size is inside the domain
+/// — the paper's "block b intersects Lambda if the center of any lattice
+/// cell in b is within Lambda". Early-exits on the first fluid cell or
+/// fluid region.
+bool anyFluidCell(const DistanceFunction& phi, const CellMapping& mapping, cell_idx_t cellsX,
+                  cell_idx_t cellsY, cell_idx_t cellsZ);
+
+/// Counts the fluid cells of a hypothetical block without writing flags —
+/// used for workload estimation during setup/load balancing where only the
+/// count matters. cells* give the interior size (no ghost layers).
+uint_t countFluidCells(const DistanceFunction& phi, const CellMapping& mapping,
+                       cell_idx_t cellsX, cell_idx_t cellsY, cell_idx_t cellsZ);
+
+} // namespace walb::geometry

@@ -1,0 +1,81 @@
+#include "io/VtkOutput.h"
+
+#include <fstream>
+
+namespace walb::io {
+
+void VtkImageWriter::addScalar(
+    const std::string& name,
+    const std::function<real_t(cell_idx_t, cell_idx_t, cell_idx_t)>& f) {
+    DataSet ds{name, 1, {}};
+    ds.values.reserve(std::size_t(nx_ * ny_ * nz_));
+    for (cell_idx_t z = 0; z < nz_; ++z)
+        for (cell_idx_t y = 0; y < ny_; ++y)
+            for (cell_idx_t x = 0; x < nx_; ++x) ds.values.push_back(f(x, y, z));
+    data_.push_back(std::move(ds));
+}
+
+void VtkImageWriter::addVector(
+    const std::string& name,
+    const std::function<Vec3(cell_idx_t, cell_idx_t, cell_idx_t)>& f) {
+    DataSet ds{name, 3, {}};
+    ds.values.reserve(std::size_t(nx_ * ny_ * nz_) * 3);
+    for (cell_idx_t z = 0; z < nz_; ++z)
+        for (cell_idx_t y = 0; y < ny_; ++y)
+            for (cell_idx_t x = 0; x < nx_; ++x) {
+                const Vec3 v = f(x, y, z);
+                ds.values.push_back(v[0]);
+                ds.values.push_back(v[1]);
+                ds.values.push_back(v[2]);
+            }
+    data_.push_back(std::move(ds));
+}
+
+bool VtkImageWriter::write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    os.precision(9);
+    os << "<?xml version=\"1.0\"?>\n"
+       << "<VTKFile type=\"ImageData\" version=\"0.1\" byte_order=\"LittleEndian\">\n"
+       << "  <ImageData WholeExtent=\"0 " << nx_ << " 0 " << ny_ << " 0 " << nz_
+       << "\" Origin=\"" << origin_[0] << ' ' << origin_[1] << ' ' << origin_[2]
+       << "\" Spacing=\"" << dx_ << ' ' << dx_ << ' ' << dx_ << "\">\n"
+       << "    <Piece Extent=\"0 " << nx_ << " 0 " << ny_ << " 0 " << nz_ << "\">\n"
+       << "      <CellData>\n";
+    for (const DataSet& ds : data_) {
+        os << "        <DataArray type=\"Float64\" Name=\"" << ds.name
+           << "\" NumberOfComponents=\"" << ds.components << "\" format=\"ascii\">\n";
+        for (std::size_t i = 0; i < ds.values.size(); ++i) {
+            os << ds.values[i] << ((i + 1) % 9 == 0 ? '\n' : ' ');
+        }
+        os << "\n        </DataArray>\n";
+    }
+    os << "      </CellData>\n    </Piece>\n  </ImageData>\n</VTKFile>\n";
+    return bool(os);
+}
+
+bool writeVtkMesh(const std::string& path, const geometry::TriangleMesh& mesh) {
+    std::ofstream os(path);
+    if (!os) return false;
+    os.precision(9);
+    os << "# vtk DataFile Version 3.0\nwalb mesh\nASCII\nDATASET POLYDATA\n";
+    os << "POINTS " << mesh.numVertices() << " double\n";
+    for (std::size_t v = 0; v < mesh.numVertices(); ++v) {
+        const Vec3& p = mesh.vertex(v);
+        os << p[0] << ' ' << p[1] << ' ' << p[2] << '\n';
+    }
+    os << "POLYGONS " << mesh.numTriangles() << ' ' << 4 * mesh.numTriangles() << '\n';
+    for (std::size_t t = 0; t < mesh.numTriangles(); ++t) {
+        const auto& tri = mesh.triangle(t);
+        os << "3 " << tri[0] << ' ' << tri[1] << ' ' << tri[2] << '\n';
+    }
+    os << "POINT_DATA " << mesh.numVertices() << "\nCOLOR_SCALARS color 3\n";
+    for (std::size_t v = 0; v < mesh.numVertices(); ++v) {
+        const geometry::Color& c = mesh.color(v);
+        os << real_c(c.r) / 255 << ' ' << real_c(c.g) / 255 << ' ' << real_c(c.b) / 255
+           << '\n';
+    }
+    return bool(os);
+}
+
+} // namespace walb::io

@@ -1,0 +1,94 @@
+#pragma once
+/// \file Collision.h
+/// Collision operators: single-relaxation-time (SRT / LBGK, Bhatnagar-
+/// Gross-Krook) and two-relaxation-time (TRT, Ginzburg et al.).
+///
+/// Conventions:
+///   SRT:  f'_a = f_a - omega * (f_a - feq_a),             omega = 1/tau
+///   TRT:  f'_a = f_a + lambda_e (f+_a - feq+_a)
+///                    + lambda_o (f-_a - feq-_a)
+/// with lambda_e = lambda_o = -1/tau reducing TRT to SRT (paper Eq. 8).
+/// lambda_e fixes the shear viscosity; lambda_o is chosen through the
+/// "magic" parameter Lambda = (1/omega_e - 1/2)(1/omega_o - 1/2); the
+/// canonical Lambda = 3/16 places straight bounce-back walls exactly.
+
+#include <array>
+
+#include "core/Debug.h"
+#include "lbm/Equilibrium.h"
+
+namespace walb::lbm {
+
+struct SRT {
+    real_t omega; ///< relaxation rate 1/tau, stable in (0, 2)
+
+    static constexpr const char* name = "SRT";
+
+    explicit SRT(real_t omega_) : omega(omega_) { WALB_ASSERT(omega > 0 && omega < 2); }
+    static SRT fromViscosity(real_t nu) { return SRT(omegaFromTau(tauFromViscosity(nu))); }
+
+    real_t tau() const { return real_c(1) / omega; }
+    real_t viscosity() const { return viscosityFromTau(tau()); }
+
+    /// In-place collision of one cell's distributions.
+    template <LatticeModel M>
+    void apply(std::array<real_t, M::Q>& f) const {
+        const real_t rho = density<M>(f);
+        const Vec3 u = momentum<M>(f) / rho;
+        for (uint_t a = 0; a < M::Q; ++a)
+            f[a] -= omega * (f[a] - equilibrium<M>(a, rho, u));
+    }
+};
+
+struct TRT {
+    real_t lambdaE; ///< even (symmetric) eigenvalue, in (-2, 0)
+    real_t lambdaO; ///< odd (antisymmetric) eigenvalue, in (-2, 0)
+
+    static constexpr const char* name = "TRT";
+    static constexpr real_t magicDefault = real_c(3) / real_c(16);
+
+    TRT(real_t lambdaE_, real_t lambdaO_) : lambdaE(lambdaE_), lambdaO(lambdaO_) {
+        WALB_ASSERT(lambdaE < 0 && lambdaE > -2 && lambdaO < 0 && lambdaO > -2);
+    }
+
+    /// Builds a TRT operator from the viscosity-defining omega_e = -lambda_e
+    /// and a magic parameter Lambda.
+    static TRT fromOmegaAndMagic(real_t omegaE, real_t magic = magicDefault) {
+        const real_t half = real_c(0.5);
+        const real_t omegaO = real_c(1) / (magic / (real_c(1) / omegaE - half) + half);
+        return TRT(-omegaE, -omegaO);
+    }
+
+    /// SRT-equivalent construction (lambda_e == lambda_o == -omega).
+    static TRT fromSRT(real_t omega) { return TRT(-omega, -omega); }
+
+    real_t omegaE() const { return -lambdaE; }
+    real_t omegaO() const { return -lambdaO; }
+    real_t viscosity() const { return viscosityFromTau(real_c(1) / omegaE()); }
+    real_t magic() const {
+        const real_t half = real_c(0.5);
+        return (real_c(1) / omegaE() - half) * (real_c(1) / omegaO() - half);
+    }
+
+    template <LatticeModel M>
+    void apply(std::array<real_t, M::Q>& f) const {
+        const real_t rho = density<M>(f);
+        const Vec3 u = momentum<M>(f) / rho;
+        std::array<real_t, M::Q> fNew{};
+        for (uint_t a = 0; a < M::Q; ++a) {
+            const uint_t b = M::inv[a];
+            const real_t fSym = real_c(0.5) * (f[a] + f[b]);
+            const real_t fAsym = real_c(0.5) * (f[a] - f[b]);
+            fNew[a] = f[a] + lambdaE * (fSym - equilibriumSym<M>(a, rho, u)) +
+                      lambdaO * (fAsym - equilibriumAsym<M>(a, rho, u));
+        }
+        f = fNew;
+    }
+};
+
+template <typename C>
+concept CollisionOperator = requires(const C& c, std::array<real_t, D3Q19::Q>& f) {
+    { c.template apply<D3Q19>(f) };
+};
+
+} // namespace walb::lbm

@@ -1,0 +1,177 @@
+#pragma once
+/// \file Communication.h
+/// Ghost-layer PDF exchange between neighboring blocks.
+///
+/// A block sends, for each of its (up to) 26 neighbors, the post-collision
+/// PDFs of the interior cell slice adjacent to that neighbor; the receiver
+/// stores them in its ghost layer, where the next stream-pull sweep picks
+/// them up. Two packing modes:
+///  * direction-sliced (default): only the PDFs that actually stream across
+///    the interface are sent — 5 of 19 per face cell, 1 per edge cell, and
+///    nothing at all for corner neighbors (D3Q19 has no corner links).
+///  * full: all Q PDFs per cell — simpler, 2.7x the volume; kept as the
+///    baseline for the communication-volume ablation benchmark.
+
+#include <array>
+#include <vector>
+
+#include "core/Buffer.h"
+#include "lbm/PdfField.h"
+
+namespace walb::lbm {
+
+/// The 26 neighbor offsets of a block (all nonzero vectors in {-1,0,1}^3).
+inline constexpr std::array<std::array<int, 3>, 26> neighborhood26 = [] {
+    std::array<std::array<int, 3>, 26> r{};
+    std::size_t i = 0;
+    for (int z = -1; z <= 1; ++z)
+        for (int y = -1; y <= 1; ++y)
+            for (int x = -1; x <= 1; ++x)
+                if (x != 0 || y != 0 || z != 0) r[i++] = {x, y, z};
+    return r;
+}();
+
+/// Index of the opposite neighbor direction.
+inline constexpr std::array<std::size_t, 26> neighborhood26Inv = [] {
+    std::array<std::size_t, 26> r{};
+    for (std::size_t a = 0; a < 26; ++a)
+        for (std::size_t b = 0; b < 26; ++b)
+            if (neighborhood26[b][0] == -neighborhood26[a][0] &&
+                neighborhood26[b][1] == -neighborhood26[a][1] &&
+                neighborhood26[b][2] == -neighborhood26[a][2])
+                r[a] = b;
+    return r;
+}();
+
+/// PDFs of model M that stream across an interface with normal direction d:
+/// every axis on which d is nonzero must match the PDF velocity component.
+template <LatticeModel M>
+std::vector<uint_t> commDirections(const std::array<int, 3>& d) {
+    std::vector<uint_t> result;
+    for (uint_t a = 0; a < M::Q; ++a) {
+        bool ok = true;
+        for (int i = 0; i < 3; ++i)
+            if (d[std::size_t(i)] != 0 && M::c[a][std::size_t(i)] != d[std::size_t(i)]) ok = false;
+        if (ok && !(M::c[a][0] == 0 && M::c[a][1] == 0 && M::c[a][2] == 0)) result.push_back(a);
+    }
+    return result;
+}
+
+/// Interior slice a block sends toward neighbor direction d.
+template <typename T>
+CellInterval sendInterval(const field::Field<T>& f, const std::array<int, 3>& d) {
+    const cell_idx_t sx = f.xSize(), sy = f.ySize(), sz = f.zSize();
+    auto range = [](int dir, cell_idx_t size, cell_idx_t& lo, cell_idx_t& hi) {
+        lo = (dir == 1) ? size - 1 : 0;
+        hi = (dir == -1) ? 0 : size - 1;
+    };
+    CellInterval ci;
+    range(d[0], sx, ci.min().x, ci.max().x);
+    range(d[1], sy, ci.min().y, ci.max().y);
+    range(d[2], sz, ci.min().z, ci.max().z);
+    return ci;
+}
+
+/// Ghost slice of this block facing the neighbor in direction d.
+template <typename T>
+CellInterval recvInterval(const field::Field<T>& f, const std::array<int, 3>& d) {
+    const cell_idx_t sx = f.xSize(), sy = f.ySize(), sz = f.zSize();
+    auto range = [](int dir, cell_idx_t size, cell_idx_t& lo, cell_idx_t& hi) {
+        if (dir == 1) { lo = size; hi = size; }
+        else if (dir == -1) { lo = -1; hi = -1; }
+        else { lo = 0; hi = size - 1; }
+    };
+    CellInterval ci;
+    range(d[0], sx, ci.min().x, ci.max().x);
+    range(d[1], sy, ci.min().y, ci.max().y);
+    range(d[2], sz, ci.min().z, ci.max().z);
+    return ci;
+}
+
+/// Serializes the PDFs streaming toward neighbor direction d into buf.
+template <LatticeModel M>
+void packPdfs(const PdfField& f, const std::array<int, 3>& d, SendBuffer& buf,
+              bool fullPdfSet = false) {
+    const CellInterval ci = sendInterval(f, d);
+    const std::vector<uint_t> dirs =
+        fullPdfSet ? [] { std::vector<uint_t> all; for (uint_t a = 0; a < M::Q; ++a) all.push_back(a); return all; }()
+                   : commDirections<M>(d);
+    ci.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        for (uint_t a : dirs) buf << f.get(x, y, z, cell_idx_c(a));
+    });
+}
+
+/// Deserializes PDFs received from the neighbor in direction d into the
+/// ghost slice facing that neighbor. Must mirror packPdfs' cell/PDF order.
+template <LatticeModel M>
+void unpackPdfs(PdfField& f, const std::array<int, 3>& d, RecvBuffer& buf,
+                bool fullPdfSet = false) {
+    const CellInterval ci = recvInterval(f, d);
+    // The sender packed toward direction -d from its perspective; the PDF
+    // subset is determined by the *sender's* direction.
+    const std::array<int, 3> senderDir = {-d[0], -d[1], -d[2]};
+    const std::vector<uint_t> dirs =
+        fullPdfSet ? [] { std::vector<uint_t> all; for (uint_t a = 0; a < M::Q; ++a) all.push_back(a); return all; }()
+                   : commDirections<M>(senderDir);
+    ci.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        for (uint_t a : dirs) buf >> f.get(x, y, z, cell_idx_c(a));
+    });
+}
+
+/// Direct block-to-block copy for neighbors living on the same process
+/// ("fast local communication", paper §2.3): the ghost slice of `to` facing
+/// direction d is filled from the interior slice of `from` facing -d.
+template <LatticeModel M>
+void copyPdfsLocal(const PdfField& from, PdfField& to, const std::array<int, 3>& d) {
+    const std::array<int, 3> senderDir = {-d[0], -d[1], -d[2]};
+    const CellInterval srcCi = sendInterval(from, senderDir);
+    const CellInterval dstCi = recvInterval(to, d);
+    const std::vector<uint_t> dirs = commDirections<M>(senderDir);
+    if (dirs.empty()) return;
+
+    WALB_DASSERT(srcCi.numCells() == dstCi.numCells());
+    const Cell offset = srcCi.min() - dstCi.min();
+    dstCi.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        for (uint_t a : dirs)
+            to.get(x, y, z, cell_idx_c(a)) =
+                from.get(x + offset.x, y + offset.y, z + offset.z, cell_idx_c(a));
+    });
+}
+
+/// Generic whole-slot slice copy for any field type: the ghost slice of
+/// `to` facing direction d is filled from the interior slice of `from`
+/// facing -d. Used for wrapping flag fields periodically and for
+/// full-PDF-set local exchange.
+template <typename T>
+void copySliceLocal(const field::Field<T>& from, field::Field<T>& to,
+                    const std::array<int, 3>& d) {
+    const std::array<int, 3> senderDir = {-d[0], -d[1], -d[2]};
+    const CellInterval srcCi = sendInterval(from, senderDir);
+    const CellInterval dstCi = recvInterval(to, d);
+    WALB_DASSERT(srcCi.numCells() == dstCi.numCells());
+    const Cell offset = srcCi.min() - dstCi.min();
+    dstCi.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        for (cell_idx_t ff = 0; ff < cell_idx_c(from.fSize()); ++ff)
+            to.get(x, y, z, ff) = from.get(x + offset.x, y + offset.y, z + offset.z, ff);
+    });
+}
+
+/// Applies full periodicity to a single block by wrapping every ghost slice
+/// onto the opposite interior slice — the communication pattern of a
+/// one-block periodic domain. Used by single-block physics tests.
+template <LatticeModel M>
+void applyPeriodicAll(PdfField& f) {
+    for (const auto& d : neighborhood26) copyPdfsLocal<M>(f, f, d);
+}
+
+/// Bytes a block sends toward direction d (for communication-graph edge
+/// weights and the network model).
+template <LatticeModel M>
+std::size_t packedBytes(const PdfField& f, const std::array<int, 3>& d,
+                        bool fullPdfSet = false) {
+    const CellInterval ci = sendInterval(f, d);
+    const std::size_t nd = fullPdfSet ? M::Q : commDirections<M>(d).size();
+    return ci.numCells() * nd * sizeof(real_t);
+}
+
+} // namespace walb::lbm

@@ -1,0 +1,80 @@
+#pragma once
+/// \file Equilibrium.h
+/// Maxwellian equilibrium distribution and macroscopic moment evaluation.
+/// Second-order equilibrium of Qian, d'Humieres & Lallemand:
+///   feq_a = w_a * rho * (1 + 3 (e_a.u) + 4.5 (e_a.u)^2 - 1.5 u.u)
+/// For the TRT operator the symmetric/antisymmetric parts split analytically:
+///   feq+_a = w_a * rho * (1 + 4.5 (e_a.u)^2 - 1.5 u.u)
+///   feq-_a = w_a * rho * 3 (e_a.u)
+
+#include <array>
+
+#include "core/Types.h"
+#include "core/Vector3.h"
+#include "lbm/LatticeModel.h"
+
+namespace walb::lbm {
+
+template <LatticeModel M>
+constexpr real_t equilibrium(uint_t a, real_t rho, const Vec3& u) {
+    const real_t eu = real_c(M::c[a][0]) * u[0] + real_c(M::c[a][1]) * u[1] +
+                      real_c(M::c[a][2]) * u[2];
+    const real_t uu = u.dot(u);
+    return M::w[a] * rho * (real_c(1) + real_c(3) * eu + real_c(4.5) * eu * eu -
+                            real_c(1.5) * uu);
+}
+
+/// Symmetric (even) part of the equilibrium: (feq_a + feq_abar) / 2.
+template <LatticeModel M>
+constexpr real_t equilibriumSym(uint_t a, real_t rho, const Vec3& u) {
+    const real_t eu = real_c(M::c[a][0]) * u[0] + real_c(M::c[a][1]) * u[1] +
+                      real_c(M::c[a][2]) * u[2];
+    const real_t uu = u.dot(u);
+    return M::w[a] * rho * (real_c(1) + real_c(4.5) * eu * eu - real_c(1.5) * uu);
+}
+
+/// Antisymmetric (odd) part of the equilibrium: (feq_a - feq_abar) / 2.
+template <LatticeModel M>
+constexpr real_t equilibriumAsym(uint_t a, real_t rho, const Vec3& u) {
+    const real_t eu = real_c(M::c[a][0]) * u[0] + real_c(M::c[a][1]) * u[1] +
+                      real_c(M::c[a][2]) * u[2];
+    return M::w[a] * rho * real_c(3) * eu;
+}
+
+/// Fills f with the complete equilibrium set.
+template <LatticeModel M>
+constexpr void setEquilibrium(std::array<real_t, M::Q>& f, real_t rho, const Vec3& u) {
+    for (uint_t a = 0; a < M::Q; ++a) f[a] = equilibrium<M>(a, rho, u);
+}
+
+/// Density: zeroth moment of f.
+template <LatticeModel M>
+constexpr real_t density(const std::array<real_t, M::Q>& f) {
+    real_t rho = 0;
+    for (uint_t a = 0; a < M::Q; ++a) rho += f[a];
+    return rho;
+}
+
+/// Momentum: first moment of f (rho * u).
+template <LatticeModel M>
+constexpr Vec3 momentum(const std::array<real_t, M::Q>& f) {
+    Vec3 m(0, 0, 0);
+    for (uint_t a = 0; a < M::Q; ++a) {
+        m[0] += real_c(M::c[a][0]) * f[a];
+        m[1] += real_c(M::c[a][1]) * f[a];
+        m[2] += real_c(M::c[a][2]) * f[a];
+    }
+    return m;
+}
+
+template <LatticeModel M>
+constexpr Vec3 velocity(const std::array<real_t, M::Q>& f) {
+    return momentum<M>(f) / density<M>(f);
+}
+
+/// Kinematic lattice viscosity for a given SRT relaxation time tau.
+constexpr real_t viscosityFromTau(real_t tau) { return (tau - real_c(0.5)) / real_c(3); }
+constexpr real_t tauFromViscosity(real_t nu) { return real_c(3) * nu + real_c(0.5); }
+constexpr real_t omegaFromTau(real_t tau) { return real_c(1) / tau; }
+
+} // namespace walb::lbm

@@ -1,0 +1,138 @@
+#pragma once
+/// \file LatticeModel.h
+/// Compile-time lattice (stencil) descriptors: D3Q19 (used for every
+/// simulation in the paper), plus D3Q27 and D2Q9 exercised by the generic
+/// kernel. A descriptor provides the discrete velocity set, the lattice
+/// weights, inverse-direction lookup and the symmetric/asymmetric pairing
+/// used by the TRT collision operator.
+///
+/// Direction ordering for D3Q19 follows the waLBerla convention:
+/// C, N, S, W, E, T, B, NW, NE, SW, SE, TN, TS, TW, TE, BN, BS, BW, BE.
+/// All tables are constexpr; the kernels receive the model as a template
+/// parameter so every per-direction quantity folds into the instruction
+/// stream at compile time (paper §2.2: stencil code "automatically
+/// generated" / resolved at compile time).
+
+#include <array>
+
+#include "core/Types.h"
+
+namespace walb::lbm {
+
+namespace detail {
+
+/// Finds the index of the direction opposite to a. Runs at compile time.
+template <std::size_t Q>
+constexpr std::array<uint_t, Q> computeInverse(const std::array<std::array<int, 3>, Q>& c) {
+    std::array<uint_t, Q> inv{};
+    for (std::size_t a = 0; a < Q; ++a) {
+        for (std::size_t b = 0; b < Q; ++b) {
+            if (c[b][0] == -c[a][0] && c[b][1] == -c[a][1] && c[b][2] == -c[a][2]) {
+                inv[a] = b;
+                break;
+            }
+        }
+    }
+    return inv;
+}
+
+} // namespace detail
+
+struct D3Q19 {
+    static constexpr uint_t Q = 19;
+    static constexpr uint_t D = 3;
+    static constexpr const char* name = "D3Q19";
+
+    // clang-format off
+    static constexpr std::array<std::array<int, 3>, 19> c = {{
+        { 0,  0,  0},                                            // C
+        { 0,  1,  0}, { 0, -1,  0}, {-1,  0,  0}, { 1,  0,  0},  // N S W E
+        { 0,  0,  1}, { 0,  0, -1},                              // T B
+        {-1,  1,  0}, { 1,  1,  0}, {-1, -1,  0}, { 1, -1,  0},  // NW NE SW SE
+        { 0,  1,  1}, { 0, -1,  1}, {-1,  0,  1}, { 1,  0,  1},  // TN TS TW TE
+        { 0,  1, -1}, { 0, -1, -1}, {-1,  0, -1}, { 1,  0, -1},  // BN BS BW BE
+    }};
+    static constexpr std::array<real_t, 19> w = {
+        1.0 / 3.0,
+        1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+        1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+        1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0};
+    // clang-format on
+    static constexpr std::array<uint_t, 19> inv = detail::computeInverse<19>(c);
+
+    /// Speed of sound squared in lattice units.
+    static constexpr real_t csSqr = 1.0 / 3.0;
+};
+
+struct D3Q27 {
+    static constexpr uint_t Q = 27;
+    static constexpr uint_t D = 3;
+    static constexpr const char* name = "D3Q27";
+
+    static constexpr std::array<std::array<int, 3>, 27> c = [] {
+        std::array<std::array<int, 3>, 27> r{};
+        std::size_t i = 0;
+        // Center first, then faces, edges, corners (sorted by |c|^2) so that
+        // weight assignment below stays readable.
+        r[i++] = {0, 0, 0};
+        for (int z = -1; z <= 1; ++z)
+            for (int y = -1; y <= 1; ++y)
+                for (int x = -1; x <= 1; ++x)
+                    if (x * x + y * y + z * z == 1) r[i++] = {x, y, z};
+        for (int z = -1; z <= 1; ++z)
+            for (int y = -1; y <= 1; ++y)
+                for (int x = -1; x <= 1; ++x)
+                    if (x * x + y * y + z * z == 2) r[i++] = {x, y, z};
+        for (int z = -1; z <= 1; ++z)
+            for (int y = -1; y <= 1; ++y)
+                for (int x = -1; x <= 1; ++x)
+                    if (x * x + y * y + z * z == 3) r[i++] = {x, y, z};
+        return r;
+    }();
+    static constexpr std::array<real_t, 27> w = [] {
+        std::array<real_t, 27> r{};
+        for (std::size_t a = 0; a < 27; ++a) {
+            const int n = c[a][0] * c[a][0] + c[a][1] * c[a][1] + c[a][2] * c[a][2];
+            r[a] = (n == 0) ? 8.0 / 27.0
+                 : (n == 1) ? 2.0 / 27.0
+                 : (n == 2) ? 1.0 / 54.0
+                            : 1.0 / 216.0;
+        }
+        return r;
+    }();
+    static constexpr std::array<uint_t, 27> inv = detail::computeInverse<27>(c);
+    static constexpr real_t csSqr = 1.0 / 3.0;
+};
+
+/// Two-dimensional stencil embedded in 3-D (z component always 0); the
+/// generic kernel runs it on fields with zSize == 1.
+struct D2Q9 {
+    static constexpr uint_t Q = 9;
+    static constexpr uint_t D = 2;
+    static constexpr const char* name = "D2Q9";
+
+    // clang-format off
+    static constexpr std::array<std::array<int, 3>, 9> c = {{
+        { 0,  0, 0},
+        { 0,  1, 0}, { 0, -1, 0}, {-1,  0, 0}, { 1,  0, 0},
+        {-1,  1, 0}, { 1,  1, 0}, {-1, -1, 0}, { 1, -1, 0},
+    }};
+    static constexpr std::array<real_t, 9> w = {
+        4.0 / 9.0,
+        1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0,
+        1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0};
+    // clang-format on
+    static constexpr std::array<uint_t, 9> inv = detail::computeInverse<9>(c);
+    static constexpr real_t csSqr = 1.0 / 3.0;
+};
+
+/// Concept shared by all lattice descriptors.
+template <typename M>
+concept LatticeModel = requires {
+    { M::Q } -> std::convertible_to<uint_t>;
+    { M::c } ;
+    { M::w } ;
+    { M::inv } ;
+};
+
+} // namespace walb::lbm

@@ -1,0 +1,60 @@
+#pragma once
+/// \file PdfField.h
+/// Convenience helpers around Field<real_t> holding one PDF set per cell.
+/// By convention a PDF field stores *post-collision* values; the fused
+/// stream-pull kernels read src(x - e_a, a), collide, and write dst(x, a).
+
+#include <array>
+
+#include "core/Vector3.h"
+#include "field/Field.h"
+#include "lbm/Equilibrium.h"
+
+namespace walb::lbm {
+
+using PdfField = field::Field<real_t>;
+
+/// Creates a PDF field for lattice model M with one ghost layer (the layer
+/// that holds copies of neighboring blocks' boundary cells).
+template <LatticeModel M>
+PdfField makePdfField(cell_idx_t xs, cell_idx_t ys, cell_idx_t zs,
+                      field::Layout layout = field::Layout::fzyx, cell_idx_t ghost = 1) {
+    return PdfField(xs, ys, zs, M::Q, layout, real_c(0), ghost);
+}
+
+/// Reads the full PDF set of one cell.
+template <LatticeModel M>
+std::array<real_t, M::Q> getPdfs(const PdfField& f, cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+    std::array<real_t, M::Q> pdfs{};
+    for (uint_t a = 0; a < M::Q; ++a) pdfs[a] = f.get(x, y, z, cell_idx_c(a));
+    return pdfs;
+}
+
+template <LatticeModel M>
+void setPdfs(PdfField& f, cell_idx_t x, cell_idx_t y, cell_idx_t z,
+             const std::array<real_t, M::Q>& pdfs) {
+    for (uint_t a = 0; a < M::Q; ++a) f.get(x, y, z, cell_idx_c(a)) = pdfs[a];
+}
+
+/// Sets every cell (including ghost layers) to equilibrium at (rho, u).
+template <LatticeModel M>
+void initEquilibrium(PdfField& f, real_t rho, const Vec3& u) {
+    std::array<real_t, M::Q> eq{};
+    setEquilibrium<M>(eq, rho, u);
+    f.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        for (uint_t a = 0; a < M::Q; ++a) f.get(x, y, z, cell_idx_c(a)) = eq[a];
+    });
+}
+
+template <LatticeModel M>
+real_t cellDensity(const PdfField& f, cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+    return density<M>(getPdfs<M>(f, x, y, z));
+}
+
+template <LatticeModel M>
+Vec3 cellVelocity(const PdfField& f, cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+    const auto pdfs = getPdfs<M>(f, x, y, z);
+    return momentum<M>(pdfs) / density<M>(pdfs);
+}
+
+} // namespace walb::lbm

@@ -1,0 +1,95 @@
+#pragma once
+/// \file Refinement.h
+/// Inter-level field transfer operators — the groundwork for the grid
+/// refinement the paper's data structures support and its conclusion names
+/// as future work ("we will extend waLBerla to support blocks with
+/// different sizes and grid refinement"). A coarse block cell corresponds
+/// to a 2x2x2 group of fine block cells (octree refinement, factor 2 in
+/// every direction).
+///
+///  * restrict: fine -> coarse by averaging each 2^3 cell group — exactly
+///    conservative for densities (the coarse total equals the fine total).
+///  * prolongate: coarse -> fine by injection (piecewise-constant) or
+///    trilinear interpolation of cell-centered values.
+///
+/// The operators act per f-slot on whole fields, so they apply to PDF
+/// fields and to any cell-centered quantity alike.
+
+#include "field/Field.h"
+
+namespace walb::lbm {
+
+/// Averages every 2x2x2 fine-cell group into the corresponding coarse
+/// cell. fine must be exactly twice the size of coarse in each direction;
+/// f-slot counts must match.
+template <typename T>
+void restrictToCoarse(const field::Field<T>& fine, field::Field<T>& coarse) {
+    WALB_ASSERT(fine.xSize() == 2 * coarse.xSize() && fine.ySize() == 2 * coarse.ySize() &&
+                fine.zSize() == 2 * coarse.zSize() && fine.fSize() == coarse.fSize());
+    const T eighth = T(1) / T(8);
+    coarse.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        for (cell_idx_t f = 0; f < cell_idx_c(coarse.fSize()); ++f) {
+            T sum = T(0);
+            for (int dz = 0; dz < 2; ++dz)
+                for (int dy = 0; dy < 2; ++dy)
+                    for (int dx = 0; dx < 2; ++dx)
+                        sum += fine.get(2 * x + dx, 2 * y + dy, 2 * z + dz, f);
+            coarse.get(x, y, z, f) = sum * eighth;
+        }
+    });
+}
+
+/// Piecewise-constant prolongation: every fine cell receives its parent
+/// coarse cell's value. The exact right-inverse of restrictToCoarse.
+template <typename T>
+void prolongateConstant(const field::Field<T>& coarse, field::Field<T>& fine) {
+    WALB_ASSERT(fine.xSize() == 2 * coarse.xSize() && fine.ySize() == 2 * coarse.ySize() &&
+                fine.zSize() == 2 * coarse.zSize() && fine.fSize() == coarse.fSize());
+    fine.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        for (cell_idx_t f = 0; f < cell_idx_c(fine.fSize()); ++f)
+            fine.get(x, y, z, f) = coarse.get(x / 2, y / 2, z / 2, f);
+    });
+}
+
+/// Trilinear prolongation of cell-centered data: each fine cell center
+/// interpolates between the eight nearest coarse cell centers; coarse
+/// ghost cells supply the values beyond the block face (the coarse field
+/// must have at least one ghost layer with valid data). Reproduces linear
+/// fields exactly.
+template <typename T>
+void prolongateTrilinear(const field::Field<T>& coarse, field::Field<T>& fine) {
+    WALB_ASSERT(fine.xSize() == 2 * coarse.xSize() && fine.ySize() == 2 * coarse.ySize() &&
+                fine.zSize() == 2 * coarse.zSize() && fine.fSize() == coarse.fSize());
+    WALB_ASSERT(coarse.ghostLayers() >= 1,
+                "trilinear prolongation reads one coarse ghost layer");
+    fine.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        // Fine center in coarse index space: (x + 0.5)/2 - 0.5.
+        // For even x that is x/2 - 1/4, for odd x x/2 + 1/4: the base cell
+        // is x/2 shifted toward the neighbor on the odd/even side with
+        // weights 3/4 and 1/4.
+        // Even fine cells sit in the lower half of their parent: the base
+        // coarse cell is the *previous* one and the parent (upper corner)
+        // carries weight 3/4; odd fine cells mirror this.
+        const cell_idx_t bx = (x % 2 == 0) ? x / 2 - 1 : x / 2;
+        const cell_idx_t by = (y % 2 == 0) ? y / 2 - 1 : y / 2;
+        const cell_idx_t bz = (z % 2 == 0) ? z / 2 - 1 : z / 2;
+        const T wx = (x % 2 == 0) ? T(0.75) : T(0.25); // weight of corner bx+1
+        const T wy = (y % 2 == 0) ? T(0.75) : T(0.25);
+        const T wz = (z % 2 == 0) ? T(0.75) : T(0.25);
+        // value = sum over corners (bx + i): weight (i ? wx : 1-wx) etc.,
+        // where wx is the weight of the *upper* corner bx+1.
+        for (cell_idx_t f = 0; f < cell_idx_c(fine.fSize()); ++f) {
+            T v = T(0);
+            for (int k = 0; k < 2; ++k)
+                for (int j = 0; j < 2; ++j)
+                    for (int i = 0; i < 2; ++i) {
+                        const T w = (i ? wx : T(1) - wx) * (j ? wy : T(1) - wy) *
+                                    (k ? wz : T(1) - wz);
+                        v += w * coarse.get(bx + i, by + j, bz + k, f);
+                    }
+            fine.get(x, y, z, f) = v;
+        }
+    });
+}
+
+} // namespace walb::lbm

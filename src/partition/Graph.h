@@ -1,0 +1,98 @@
+#pragma once
+/// \file Graph.h
+/// Weighted undirected graph in CSR form — the input of the graph
+/// partitioner (partition/Partitioner.h) that replaces METIS for the
+/// paper's multi-constraint static load balancing (§2.3): vertices are
+/// blocks weighted by their fluid-cell workload, edges carry the
+/// communication volume between neighboring blocks.
+
+#include <vector>
+
+#include "core/Debug.h"
+#include "core/Types.h"
+
+namespace walb::partition {
+
+class Graph {
+public:
+    Graph() = default;
+    explicit Graph(std::size_t numVertices) : xadj_(numVertices + 1, 0) {
+        vertexWeights_.assign(numVertices, 1);
+    }
+
+    std::size_t numVertices() const { return xadj_.empty() ? 0 : xadj_.size() - 1; }
+    std::size_t numEdges() const { return adjncy_.size() / 2; }
+
+    /// Build step 1: declare edges (undirected; add each pair once).
+    void addEdge(std::uint32_t u, std::uint32_t v, std::uint64_t weight = 1) {
+        WALB_DASSERT(u < numVertices() && v < numVertices() && u != v);
+        pendingEdges_.push_back({u, v, weight});
+    }
+
+    void setVertexWeight(std::uint32_t v, std::uint64_t w) { vertexWeights_[v] = w; }
+    std::uint64_t vertexWeight(std::uint32_t v) const { return vertexWeights_[v]; }
+
+    std::uint64_t totalVertexWeight() const {
+        std::uint64_t t = 0;
+        for (auto w : vertexWeights_) t += w;
+        return t;
+    }
+
+    /// Build step 2: freeze the edge list into CSR. Must be called once
+    /// after all addEdge calls and before any adjacency query.
+    void finalize() {
+        const std::size_t n = numVertices();
+        std::fill(xadj_.begin(), xadj_.end(), 0);
+        for (const auto& e : pendingEdges_) {
+            ++xadj_[e.u + 1];
+            ++xadj_[e.v + 1];
+        }
+        for (std::size_t i = 1; i <= n; ++i) xadj_[i] += xadj_[i - 1];
+        adjncy_.resize(pendingEdges_.size() * 2);
+        edgeWeights_.resize(pendingEdges_.size() * 2);
+        std::vector<std::size_t> cursor(xadj_.begin(), xadj_.end() - 1);
+        for (const auto& e : pendingEdges_) {
+            adjncy_[cursor[e.u]] = e.v;
+            edgeWeights_[cursor[e.u]++] = e.w;
+            adjncy_[cursor[e.v]] = e.u;
+            edgeWeights_[cursor[e.v]++] = e.w;
+        }
+        pendingEdges_.clear();
+        pendingEdges_.shrink_to_fit();
+        finalized_ = true;
+    }
+
+    bool finalized() const { return finalized_; }
+
+    /// Neighbor list of v: indices into neighbor()/edgeWeight().
+    std::size_t degreeBegin(std::uint32_t v) const { return xadj_[v]; }
+    std::size_t degreeEnd(std::uint32_t v) const { return xadj_[v + 1]; }
+    std::uint32_t neighbor(std::size_t i) const { return adjncy_[i]; }
+    std::uint64_t edgeWeight(std::size_t i) const { return edgeWeights_[i]; }
+
+    /// Sum of edge weights crossing between different parts of the given
+    /// assignment — the partitioner's objective.
+    std::uint64_t cutWeight(const std::vector<std::uint32_t>& part) const {
+        WALB_ASSERT(finalized_ && part.size() == numVertices());
+        std::uint64_t cut = 0;
+        for (std::uint32_t v = 0; v < numVertices(); ++v)
+            for (std::size_t i = degreeBegin(v); i < degreeEnd(v); ++i)
+                if (part[v] != part[neighbor(i)]) cut += edgeWeight(i);
+        return cut / 2;
+    }
+
+private:
+    struct PendingEdge {
+        std::uint32_t u, v;
+        std::uint64_t w;
+    };
+
+    std::vector<std::size_t> xadj_;
+    std::vector<std::uint32_t> adjncy_;
+    std::vector<std::uint64_t> edgeWeights_;
+    std::vector<std::uint64_t> vertexWeights_;
+    std::vector<PendingEdge> pendingEdges_;
+    bool finalized_ = false;
+};
+
+} // namespace walb::partition

@@ -1,0 +1,380 @@
+#include "partition/Partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/Random.h"
+
+namespace walb::partition {
+
+namespace {
+
+// ---- coarsening: heavy-edge matching ---------------------------------------
+
+struct CoarseLevel {
+    Graph graph;
+    std::vector<std::uint32_t> fineToCoarse;
+};
+
+CoarseLevel coarsen(const Graph& g, Random& rng) {
+    const std::size_t n = g.numVertices();
+    std::vector<std::uint32_t> match(n, ~0u);
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[rng.uniformInt(i)]);
+
+    // Heavy-edge matching: pair each unmatched vertex with its unmatched
+    // neighbor of maximum edge weight.
+    std::uint32_t numCoarse = 0;
+    std::vector<std::uint32_t> fineToCoarse(n, ~0u);
+    for (std::uint32_t v : order) {
+        if (match[v] != ~0u) continue;
+        std::uint32_t best = v;
+        std::uint64_t bestW = 0;
+        for (std::size_t e = g.degreeBegin(v); e < g.degreeEnd(v); ++e) {
+            const std::uint32_t u = g.neighbor(e);
+            if (match[u] == ~0u && u != v && g.edgeWeight(e) > bestW) {
+                bestW = g.edgeWeight(e);
+                best = u;
+            }
+        }
+        match[v] = best;
+        match[best] = v;
+        fineToCoarse[v] = numCoarse;
+        fineToCoarse[best] = numCoarse;
+        ++numCoarse;
+    }
+
+    Graph coarse(numCoarse);
+    std::vector<std::uint64_t> coarseWeight(numCoarse, 0);
+    for (std::uint32_t v = 0; v < n; ++v) coarseWeight[fineToCoarse[v]] += g.vertexWeight(v);
+    for (std::uint32_t c = 0; c < numCoarse; ++c) coarse.setVertexWeight(c, coarseWeight[c]);
+    // Aggregate edges between coarse vertices.
+    std::unordered_map<std::uint64_t, std::uint64_t> coarseEdges;
+    for (std::uint32_t v = 0; v < n; ++v) {
+        const std::uint32_t cv = fineToCoarse[v];
+        for (std::size_t e = g.degreeBegin(v); e < g.degreeEnd(v); ++e) {
+            const std::uint32_t cu = fineToCoarse[g.neighbor(e)];
+            if (cu == cv) continue;
+            const std::uint64_t key =
+                (std::uint64_t(std::min(cu, cv)) << 32) | std::max(cu, cv);
+            coarseEdges[key] += g.edgeWeight(e);
+        }
+    }
+    for (const auto& [key, w] : coarseEdges)
+        coarse.addEdge(std::uint32_t(key >> 32), std::uint32_t(key & 0xffffffffu),
+                       w / 2); // each undirected edge was visited from both ends
+    coarse.finalize();
+    return {std::move(coarse), std::move(fineToCoarse)};
+}
+
+// ---- initial bisection: greedy region growing -------------------------------
+
+/// BFS from `start`, greedily absorbing vertices until side 0 reaches its
+/// target weight; prefers the frontier vertex with the strongest connection
+/// to the grown region (cheap gain heuristic).
+std::vector<std::uint8_t> growBisection(const Graph& g, std::uint64_t targetW0, Random& rng) {
+    const std::size_t n = g.numVertices();
+    std::vector<std::uint8_t> side(n, 1);
+    if (n == 0) return side;
+
+    // Pseudo-peripheral start: BFS twice from a random vertex.
+    auto bfsFarthest = [&](std::uint32_t s) {
+        std::vector<int> dist(n, -1);
+        std::vector<std::uint32_t> queue{s};
+        dist[s] = 0;
+        std::uint32_t last = s;
+        for (std::size_t q = 0; q < queue.size(); ++q) {
+            const std::uint32_t v = queue[q];
+            last = v;
+            for (std::size_t e = g.degreeBegin(v); e < g.degreeEnd(v); ++e) {
+                const std::uint32_t u = g.neighbor(e);
+                if (dist[u] < 0) {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        return last;
+    };
+    std::uint32_t start = std::uint32_t(rng.uniformInt(n));
+    start = bfsFarthest(bfsFarthest(start));
+
+    std::vector<std::uint64_t> connectivity(n, 0);
+    std::vector<std::uint8_t> inFrontier(n, 0);
+    std::vector<std::uint32_t> frontier{start};
+    inFrontier[start] = 1;
+    std::uint64_t w0 = 0;
+
+    while (!frontier.empty() && w0 < targetW0) {
+        // Pick the frontier vertex with max connectivity to side 0.
+        std::size_t bestIdx = 0;
+        for (std::size_t i = 1; i < frontier.size(); ++i)
+            if (connectivity[frontier[i]] > connectivity[frontier[bestIdx]]) bestIdx = i;
+        const std::uint32_t v = frontier[bestIdx];
+        frontier[bestIdx] = frontier.back();
+        frontier.pop_back();
+
+        side[v] = 0;
+        w0 += g.vertexWeight(v);
+        for (std::size_t e = g.degreeBegin(v); e < g.degreeEnd(v); ++e) {
+            const std::uint32_t u = g.neighbor(e);
+            if (side[u] == 0) continue;
+            connectivity[u] += g.edgeWeight(e);
+            if (!inFrontier[u]) {
+                inFrontier[u] = 1;
+                frontier.push_back(u);
+            }
+        }
+        // Disconnected graph: restart the growth from an unassigned vertex.
+        if (frontier.empty() && w0 < targetW0) {
+            for (std::uint32_t u = 0; u < n; ++u)
+                if (side[u] == 1) {
+                    frontier.push_back(u);
+                    inFrontier[u] = 1;
+                    break;
+                }
+        }
+    }
+    return side;
+}
+
+// ---- FM-style boundary refinement -------------------------------------------
+
+/// Gain of moving v to the other side: cut reduction (positive = better).
+std::int64_t moveGain(const Graph& g, const std::vector<std::uint8_t>& side, std::uint32_t v) {
+    std::int64_t gain = 0;
+    for (std::size_t e = g.degreeBegin(v); e < g.degreeEnd(v); ++e) {
+        const auto w = std::int64_t(g.edgeWeight(e));
+        gain += (side[g.neighbor(e)] != side[v]) ? w : -w;
+    }
+    return gain;
+}
+
+void refineBisection(const Graph& g, std::vector<std::uint8_t>& side, std::uint64_t targetW0,
+                     std::uint64_t targetW1, double tolerance, unsigned passes) {
+    const std::size_t n = g.numVertices();
+    std::uint64_t w[2] = {0, 0};
+    for (std::uint32_t v = 0; v < n; ++v) w[side[v]] += g.vertexWeight(v);
+    const std::uint64_t maxW0 = std::uint64_t(double(targetW0) * tolerance);
+    const std::uint64_t maxW1 = std::uint64_t(double(targetW1) * tolerance);
+
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        bool improved = false;
+        // Collect boundary vertices ordered by descending gain.
+        std::vector<std::pair<std::int64_t, std::uint32_t>> candidates;
+        for (std::uint32_t v = 0; v < n; ++v) {
+            bool boundary = false;
+            for (std::size_t e = g.degreeBegin(v); e < g.degreeEnd(v) && !boundary; ++e)
+                boundary = side[g.neighbor(e)] != side[v];
+            if (boundary) candidates.push_back({moveGain(g, side, v), v});
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const auto& a, const auto& b) { return a.first > b.first; });
+
+        for (const auto& [gainAtScan, v] : candidates) {
+            const std::int64_t gain = moveGain(g, side, v); // may have changed
+            const std::uint8_t from = side[v], to = std::uint8_t(1 - from);
+            const std::uint64_t newTo = w[to] + g.vertexWeight(v);
+            const bool balanceOk = (to == 0) ? newTo <= maxW0 : newTo <= maxW1;
+            // Move on strict improvement, or on equal cut if it improves
+            // the balance.
+            const bool helpsBalance = w[from] > ((from == 0) ? maxW0 : maxW1);
+            if ((gain > 0 && balanceOk) || (gain >= 0 && helpsBalance)) {
+                side[v] = to;
+                w[from] -= g.vertexWeight(v);
+                w[to] += g.vertexWeight(v);
+                improved = true;
+            }
+        }
+        // Balance repair: force lowest-loss moves off an overweight side.
+        for (int s = 0; s < 2; ++s) {
+            const std::uint64_t limit = (s == 0) ? maxW0 : maxW1;
+            while (w[s] > limit) {
+                std::int64_t bestGain = std::numeric_limits<std::int64_t>::min();
+                std::uint32_t bestV = ~0u;
+                for (std::uint32_t v = 0; v < n; ++v) {
+                    if (side[v] != s) continue;
+                    const std::int64_t gain = moveGain(g, side, v);
+                    if (gain > bestGain) {
+                        bestGain = gain;
+                        bestV = v;
+                    }
+                }
+                if (bestV == ~0u) break;
+                side[bestV] = std::uint8_t(1 - s);
+                w[s] -= g.vertexWeight(bestV);
+                w[1 - s] += g.vertexWeight(bestV);
+                improved = true;
+            }
+        }
+        if (!improved) break;
+    }
+}
+
+// ---- multilevel bisection ----------------------------------------------------
+
+std::vector<std::uint8_t> multilevelBisect(const Graph& g, std::uint64_t targetW0,
+                                           std::uint64_t targetW1,
+                                           const PartitionOptions& options, Random& rng,
+                                           unsigned depth = 0) {
+    if (g.numVertices() > options.coarsenTarget && depth < 40) {
+        CoarseLevel level = coarsen(g, rng);
+        // Coarsening stalls when no matchable edges remain.
+        if (level.graph.numVertices() < g.numVertices()) {
+            const std::vector<std::uint8_t> coarseSide =
+                multilevelBisect(level.graph, targetW0, targetW1, options, rng, depth + 1);
+            std::vector<std::uint8_t> side(g.numVertices());
+            for (std::uint32_t v = 0; v < g.numVertices(); ++v)
+                side[v] = coarseSide[level.fineToCoarse[v]];
+            refineBisection(g, side, targetW0, targetW1, options.imbalanceTolerance,
+                            options.refinementPasses);
+            return side;
+        }
+    }
+    std::vector<std::uint8_t> side = growBisection(g, targetW0, rng);
+    refineBisection(g, side, targetW0, targetW1, options.imbalanceTolerance,
+                    options.refinementPasses);
+    return side;
+}
+
+// ---- recursive k-way -----------------------------------------------------------
+
+void recursivePartition(const Graph& g, const std::vector<std::uint32_t>& vertices,
+                        std::uint32_t partLo, std::uint32_t partHi,
+                        const PartitionOptions& options, Random& rng,
+                        std::vector<std::uint32_t>& part) {
+    if (partHi - partLo == 1) {
+        for (std::uint32_t v : vertices) part[v] = partLo;
+        return;
+    }
+    // Build the subgraph induced by `vertices`.
+    std::vector<std::uint32_t> globalToLocal(g.numVertices(), ~0u);
+    for (std::uint32_t i = 0; i < vertices.size(); ++i) globalToLocal[vertices[i]] = i;
+    Graph sub(vertices.size());
+    std::uint64_t totalW = 0;
+    for (std::uint32_t i = 0; i < vertices.size(); ++i) {
+        const std::uint32_t v = vertices[i];
+        sub.setVertexWeight(i, g.vertexWeight(v));
+        totalW += g.vertexWeight(v);
+        for (std::size_t e = g.degreeBegin(v); e < g.degreeEnd(v); ++e) {
+            const std::uint32_t lu = globalToLocal[g.neighbor(e)];
+            if (lu != ~0u && lu > i) sub.addEdge(i, lu, g.edgeWeight(e));
+        }
+    }
+    sub.finalize();
+
+    const std::uint32_t mid = partLo + (partHi - partLo) / 2;
+    const std::uint64_t targetW0 =
+        totalW * (mid - partLo) / (partHi - partLo);
+    const std::vector<std::uint8_t> side =
+        multilevelBisect(sub, targetW0, totalW - targetW0, options, rng);
+
+    std::vector<std::uint32_t> left, right;
+    for (std::uint32_t i = 0; i < vertices.size(); ++i)
+        (side[i] == 0 ? left : right).push_back(vertices[i]);
+    recursivePartition(g, left, partLo, mid, options, rng, part);
+    recursivePartition(g, right, mid, partHi, options, rng, part);
+}
+
+/// Final k-way repair: recursive bisection compounds per-level imbalance,
+/// so overweight parts shed their cheapest boundary vertices to lighter
+/// parts until every part fits the tolerance (or no move helps).
+void kwayBalanceRepair(const Graph& g, std::vector<std::uint32_t>& part,
+                       std::uint32_t numParts, double tolerance) {
+    const std::size_t n = g.numVertices();
+    std::vector<std::uint64_t> weight(numParts, 0);
+    for (std::uint32_t v = 0; v < n; ++v) weight[part[v]] += g.vertexWeight(v);
+    const double ideal = double(g.totalVertexWeight()) / double(numParts);
+    const auto maxAllowed = std::uint64_t(ideal * tolerance);
+
+    for (std::size_t iter = 0; iter < 4 * n; ++iter) {
+        // Heaviest overweight part.
+        std::uint32_t heavy = 0;
+        for (std::uint32_t p = 1; p < numParts; ++p)
+            if (weight[p] > weight[heavy]) heavy = p;
+        if (weight[heavy] <= maxAllowed) break;
+
+        // Best vertex to evict: prefer small cut damage, require the target
+        // to stay below the source's weight (strict improvement).
+        std::int64_t bestScore = std::numeric_limits<std::int64_t>::min();
+        std::uint32_t bestV = ~0u, bestTarget = 0;
+        for (std::uint32_t v = 0; v < n; ++v) {
+            if (part[v] != heavy) continue;
+            // Candidate targets: adjacent parts, plus the globally lightest.
+            std::uint32_t lightest = 0;
+            for (std::uint32_t p = 1; p < numParts; ++p)
+                if (weight[p] < weight[lightest]) lightest = p;
+            std::int64_t connHeavy = 0;
+            std::int64_t bestConnOther = std::numeric_limits<std::int64_t>::min();
+            std::uint32_t bestOther = lightest;
+            std::int64_t connLightest = 0;
+            for (std::size_t e = g.degreeBegin(v); e < g.degreeEnd(v); ++e) {
+                const std::uint32_t u = g.neighbor(e);
+                const auto w = std::int64_t(g.edgeWeight(e));
+                if (part[u] == heavy) connHeavy += w;
+                else {
+                    if (part[u] == lightest) connLightest += w;
+                    if (weight[part[u]] + g.vertexWeight(v) < weight[heavy] &&
+                        w > bestConnOther) {
+                        bestConnOther = w;
+                        bestOther = part[u];
+                    }
+                }
+            }
+            std::uint32_t target = bestOther;
+            std::int64_t connTarget = bestConnOther > std::numeric_limits<std::int64_t>::min()
+                                          ? bestConnOther
+                                          : connLightest;
+            if (weight[target] + g.vertexWeight(v) >= weight[heavy]) continue;
+            const std::int64_t score = connTarget - connHeavy; // cut delta (negated loss)
+            if (score > bestScore) {
+                bestScore = score;
+                bestV = v;
+                bestTarget = target;
+            }
+        }
+        if (bestV == ~0u) break;
+        weight[heavy] -= g.vertexWeight(bestV);
+        weight[bestTarget] += g.vertexWeight(bestV);
+        part[bestV] = bestTarget;
+    }
+}
+
+} // namespace
+
+double computeImbalance(const Graph& graph, const std::vector<std::uint32_t>& part,
+                        std::uint32_t numParts) {
+    std::vector<std::uint64_t> weights(numParts, 0);
+    for (std::uint32_t v = 0; v < graph.numVertices(); ++v)
+        weights[part[v]] += graph.vertexWeight(v);
+    const double ideal = double(graph.totalVertexWeight()) / double(numParts);
+    std::uint64_t maxW = 0;
+    for (auto w : weights) maxW = std::max(maxW, w);
+    return ideal > 0 ? double(maxW) / ideal : 1.0;
+}
+
+PartitionResult partitionGraph(const Graph& graph, const PartitionOptions& options) {
+    WALB_ASSERT(graph.finalized(), "call Graph::finalize() before partitioning");
+    WALB_ASSERT(options.numParts >= 1);
+    PartitionResult result;
+    result.part.assign(graph.numVertices(), 0);
+    if (options.numParts == 1 || graph.numVertices() == 0) {
+        result.imbalance = computeImbalance(graph, result.part, options.numParts);
+        return result;
+    }
+
+    Random rng(options.seed);
+    std::vector<std::uint32_t> all(graph.numVertices());
+    std::iota(all.begin(), all.end(), 0u);
+    recursivePartition(graph, all, 0, options.numParts, options, rng, result.part);
+    kwayBalanceRepair(graph, result.part, options.numParts, options.imbalanceTolerance);
+
+    result.cutWeight = graph.cutWeight(result.part);
+    result.imbalance = computeImbalance(graph, result.part, options.numParts);
+    return result;
+}
+
+} // namespace walb::partition

@@ -1,0 +1,46 @@
+#pragma once
+/// \file Partitioner.h
+/// Multilevel k-way graph partitioner — the in-tree replacement for METIS
+/// (Karypis & Kumar), which the paper uses to solve the multi-constrained
+/// block -> process assignment problem (§2.3): balance the fluid-cell
+/// workload per process while minimizing the communication volume cut and
+/// keeping neighboring blocks on the same process.
+///
+/// Pipeline (classic multilevel scheme):
+///   1. coarsen by heavy-edge matching until the graph is small,
+///   2. recursive-bisection initial partition via greedy BFS region growing
+///      from a pseudo-peripheral vertex,
+///   3. project back and refine each level with boundary
+///      Fiduccia-Mattheyses passes.
+
+#include <vector>
+
+#include "partition/Graph.h"
+
+namespace walb::partition {
+
+struct PartitionOptions {
+    std::uint32_t numParts = 2;
+    /// Allowed relative overweight of any part (1.05 = 5% imbalance).
+    double imbalanceTolerance = 1.05;
+    /// Stop coarsening below this vertex count.
+    std::size_t coarsenTarget = 64;
+    /// FM refinement passes per level.
+    unsigned refinementPasses = 4;
+    std::uint64_t seed = 12345;
+};
+
+struct PartitionResult {
+    std::vector<std::uint32_t> part; ///< part id per vertex
+    std::uint64_t cutWeight = 0;     ///< total weight of cut edges
+    double imbalance = 1.0;          ///< max part weight / ideal part weight
+};
+
+/// Partitions the (finalized) graph into options.numParts parts.
+PartitionResult partitionGraph(const Graph& graph, const PartitionOptions& options);
+
+/// Computes the imbalance of an assignment: max part weight over ideal.
+double computeImbalance(const Graph& graph, const std::vector<std::uint32_t>& part,
+                        std::uint32_t numParts);
+
+} // namespace walb::partition

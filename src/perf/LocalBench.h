@@ -1,0 +1,24 @@
+#pragma once
+/// \file LocalBench.h
+/// Measures the actual MLUPS of the three kernel optimization tiers on the
+/// local machine (dense memory-resident domain, kernel time only —
+/// communication excluded, exactly like the paper's Figure 3 methodology).
+/// The figure benches anchor the machine models with these measurements.
+
+#include "perf/Ecm.h" // KernelTier
+
+namespace walb::perf {
+
+struct KernelBenchResult {
+    double mlups = 0;
+    double seconds = 0;
+    uint_t cells = 0;
+    uint_t timeSteps = 0;
+};
+
+/// Runs the requested kernel tier (SRT or TRT) on a dense n^3 domain for
+/// `timeSteps` fused stream-collide sweeps and reports the best-of-3 rate.
+KernelBenchResult measureKernelMLUPS(KernelTier tier, bool trt, cell_idx_t n = 64,
+                                     uint_t timeSteps = 8);
+
+} // namespace walb::perf

@@ -1,0 +1,112 @@
+#pragma once
+/// \file Machine.h
+/// Machine descriptions of the two supercomputers the paper evaluates on
+/// (§3), parameterized with the paper's published numbers plus a handful
+/// of calibration constants fitted to the paper's own measurement figures
+/// (noted per field). These feed the roofline and ECM models and the
+/// network-level scaling model, which together regenerate the *shape* of
+/// Figures 3-8 on hardware we do not have (see DESIGN.md, substitutions
+/// 2/3; EXPERIMENTS.md documents the calibration).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/Types.h"
+
+namespace walb::perf {
+
+/// Bytes streamed per lattice-cell update: 19 PDFs read + 19 written, plus
+/// the write-allocate transfer of the store targets (paper §4.1):
+/// 19 * 8 * 3 = 456 B/LUP.
+inline constexpr double kBytesPerLUP = 19.0 * 8.0 * 3.0;
+
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+/// One compute chip (SuperMUC socket / JUQUEEN node) as seen by the models.
+struct MachineSpec {
+    std::string name;
+    unsigned coresPerChip;      ///< cores sharing the memory interface
+    unsigned chipsPerNode;      ///< sockets per node
+    double frequencyGHz;
+    unsigned smtWays;           ///< hardware threads per core
+
+    double streamBandwidthGiBs;     ///< STREAM bandwidth of the chip (paper §4.1)
+    double usableBandwidthGiBs;     ///< with LBM-like concurrent store streams
+    double singleCoreBandwidthGiBs; ///< memory bandwidth one core can draw
+                                    ///< (limits pre-saturation scaling; fitted
+                                    ///< to Figure 3/4 single-core rates)
+
+    /// ECM inputs for the vectorized TRT kernel: cycles per 8 cell updates
+    /// (one cache line per PDF stream), at one thread per core.
+    double coreCyclesPer8LUP;      ///< in-L1 execution (IACA: 448 on SNB)
+    double cacheCyclesPer8LUP;     ///< inter-cache-level transfers (114 on SNB)
+
+    /// T_core multipliers of the less-optimized kernel tiers, fitted to the
+    /// Figure 3 plateaus (the paper's point: only the SIMD kernel is
+    /// memory bound; the others saturate their cores first).
+    double d3q19CoreCyclesFactor;
+    double genericCoreCyclesFactor;
+
+    unsigned totalCores;           ///< whole machine
+    unsigned coresPerIsland;       ///< network partition (SuperMUC island); 0 = flat
+
+    double peakFlopsPerChip;       ///< GFLOPS, for %-of-peak numbers
+};
+
+/// SuperMUC (LRZ): Sandy Bridge Xeon E5-2680, 2 x 8 cores per node,
+/// 2.7 GHz, STREAM 40 GiB/s per socket (37.3 with concurrent store
+/// streams), islands of 512 nodes = 8192 cores, pruned 4:1 tree between
+/// islands, 147,456 cores total (paper §3.2).
+inline MachineSpec superMUCSocket() {
+    return {
+        "SuperMUC(socket)",
+        8, 2, 2.7, 1,
+        40.0, 37.3, 11.2,
+        448.0, 114.0,
+        3.76, 9.26,
+        147456, 8192,
+        8 * 2.7 * 8, // 8 cores x 2.7 GHz x 8 flop/cycle (AVX) ~ 172.8 GFLOPS
+    };
+}
+
+/// JUQUEEN (JSC): Blue Gene/Q, 16 PowerPC A2 cores per node at 1.6 GHz,
+/// 4-way SMT, STREAM 42.4 GiB/s (32.4 with concurrent stores), 5-D torus,
+/// 458,752 cores (paper §3.1). The in-order A2 core needs all four SMT
+/// threads to fill its pipeline: core cycles are fitted at one thread per
+/// core and scale down with SMT occupancy (Figure 5).
+inline MachineSpec juqueenNode() {
+    return {
+        "JUQUEEN(node)",
+        16, 1, 1.6, 4,
+        42.4, 32.4, 7.0,
+        4200.0, 348.0,
+        5.4, 11.9,
+        458752, 0,
+        204.8, // paper §3.1
+    };
+}
+
+/// Roofline bound in MLUPS for a bandwidth-limited LBM (paper §4.1):
+/// usable bandwidth / 456 B per lattice update.
+inline double rooflineMLUPS(double bandwidthGiBs) {
+    return bandwidthGiBs * kGiB / kBytesPerLUP / 1e6;
+}
+
+/// Sandy Bridge memory bandwidth decreases slightly at reduced clock
+/// frequency (paper §4.1, citing Schoene et al.): ~7% lower usable
+/// bandwidth at 1.6 GHz than at 2.7 GHz, interpolated linearly.
+inline double bandwidthAtFrequency(const MachineSpec& m, double freqGHz) {
+    const double relFreq = freqGHz / m.frequencyGHz;
+    const double penalty = 0.07 * (1.0 - relFreq) / (1.0 - 1.6 / 2.7);
+    return m.usableBandwidthGiBs * (1.0 - std::max(0.0, penalty));
+}
+
+/// A single core's drawable bandwidth shrinks with frequency as well
+/// (fewer outstanding requests per unit time); sqrt captures the measured
+/// in-between behavior of latency-limited streaming.
+inline double singleCoreBandwidthAtFrequency(const MachineSpec& m, double freqGHz) {
+    return m.singleCoreBandwidthGiBs * std::sqrt(freqGHz / m.frequencyGHz);
+}
+
+} // namespace walb::perf

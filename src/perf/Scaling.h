@@ -1,0 +1,104 @@
+#pragma once
+/// \file Scaling.h
+/// Machine-scale performance model: combines the ECM node model with an
+/// analytic network model (5-D torus for JUQUEEN; islands with a 4:1
+/// pruned tree for SuperMUC) to regenerate the scaling behavior of
+/// Figures 6-8. The *data* side of those figures (block counts, fluid
+/// fractions, per-process workloads) comes from real SetupBlockForest
+/// partitionings; only the time axis is modeled, driven by measured
+/// single-core kernel rates rescaled through the machine specs
+/// (see DESIGN.md, substitution 3).
+
+#include <string>
+#include <vector>
+
+#include "perf/Ecm.h"
+
+namespace walb::perf {
+
+/// alphaPbetaT process/thread configuration of Figure 6.
+struct ProcessConfig {
+    unsigned processesPerNode;
+    unsigned threadsPerProcess;
+    std::string label() const {
+        return std::to_string(processesPerNode) + "P" + std::to_string(threadsPerProcess) +
+               "T";
+    }
+};
+
+/// Network-side parameters; defaults are set per machine by the factory
+/// functions below.
+struct NetworkParams {
+    double latencySeconds;        ///< per message
+    double nodeBandwidthGBs;      ///< injection bandwidth of a NODE, shared by
+                                  ///< all its processes (the reason hybrid
+                                  ///< configurations communicate cheaper)
+    unsigned coresPerIsland;      ///< 0 = flat network (torus)
+    double islandCrossPenalty;    ///< comm-time growth per island level (4:1
+                                  ///< pruned tree contention, fitted to Fig. 6a)
+};
+
+NetworkParams torusNetwork();      ///< JUQUEEN: flat, low latency, constant
+NetworkParams prunedTreeNetwork(); ///< SuperMUC: islands, 4:1 pruning beyond
+
+/// One point of a weak/strong scaling curve.
+struct ScalingPoint {
+    unsigned cores = 0;
+    double mlupsPerCore = 0;   ///< (M)LUPS or (M)FLUPS per core
+    double mpiFraction = 0;    ///< share of time spent communicating
+    double timeStepsPerSecond = 0;
+    double totalMLUPS = 0;
+};
+
+/// Inputs describing the per-process decomposition at one scale. For dense
+/// runs these are analytic; for vascular runs they come from an actual
+/// SetupBlockForest partitioning.
+struct DecompositionStats {
+    double cellsPerProcess = 0;        ///< lattice cells traversed per process
+    double fluidCellsPerProcess = 0;   ///< cells actually updated
+    double ghostBytesPerProcess = 0;   ///< direction-sliced comm volume per step
+    double messagesPerProcess = 26.0;  ///< neighbor messages per step
+    double blocksPerProcess = 1.0;     ///< block-loop framework overhead count
+    double processesPerNode = 0;       ///< 0 = all cores of the node run processes
+    double loadImbalance = 1.0;        ///< max process workload / mean workload;
+                                       ///< the step time follows the slowest
+                                       ///< process (drives the Figure 8 decay)
+};
+
+class ScalingModel {
+public:
+    ScalingModel(const MachineSpec& machine, const NetworkParams& network)
+        : machine_(machine), network_(network) {}
+
+    /// Dense cubic-subdomain weak scaling (Figure 6): every core carries
+    /// `cellsPerCore` cells; processes own cubes of cellsPerCore *
+    /// threadsPerProcess cells.
+    ScalingPoint weakScalingDense(unsigned totalCores, const ProcessConfig& config,
+                                  double cellsPerCore) const;
+
+    /// Scaling point from explicit decomposition statistics (vascular
+    /// geometry, Figures 7-8). `coresPerProcess` is threadsPerProcess.
+    ScalingPoint fromDecomposition(unsigned totalCores, unsigned coresPerProcess,
+                                   const DecompositionStats& stats) const;
+
+    const MachineSpec& machine() const { return machine_; }
+
+    /// Seconds a process needs to update the given number of cells, given
+    /// how many cores feed the chip's memory interface.
+    double computeSeconds(double fluidCells, unsigned coresPerProcess) const;
+
+    /// Seconds a process spends communicating at a given machine scale;
+    /// the node's injection bandwidth is shared by its processes.
+    double commSeconds(double bytesPerProcess, double messages, double processesPerNode,
+                       unsigned totalCores) const;
+
+private:
+    MachineSpec machine_;
+    NetworkParams network_;
+};
+
+/// Ghost-exchange bytes per step of a cubic subdomain with edge cells E:
+/// direction-sliced D3Q19 exchange (5 PDFs per face cell, 1 per edge cell).
+double cubeGhostBytes(double edgeCells);
+
+} // namespace walb::perf

@@ -1,0 +1,26 @@
+#pragma once
+/// \file Stream.h
+/// STREAM-like memory bandwidth micro-benchmarks (McCalpin), including the
+/// refined variant the paper uses: multiple concurrent load/store streams
+/// matching the LBM memory access pattern, which yields a lower usable
+/// bandwidth than plain STREAM (37.3 vs 40 GiB/s on SuperMUC, 32.4 vs 42.4
+/// on JUQUEEN).
+
+#include <cstddef>
+
+#include "core/Types.h"
+
+namespace walb::perf {
+
+struct StreamResult {
+    double copyGiBs = 0;   ///< classic c[i] = a[i]
+    double triadGiBs = 0;  ///< a[i] = b[i] + s * c[i]
+    double lbmLikeGiBs = 0;///< many concurrent load + store streams w/ write allocate
+};
+
+/// Measures local memory bandwidth with arrays of `bytesPerArray` (default
+/// 64 MiB, far beyond LLC) over `repetitions` sweeps; reports the best rep.
+StreamResult measureStreamBandwidth(std::size_t bytesPerArray = 64u << 20,
+                                    unsigned repetitions = 3);
+
+} // namespace walb::perf

@@ -1,0 +1,154 @@
+#pragma once
+/// \file SingleBlockSimulation.h
+/// Convenience driver for one-block LBM simulations (validation cases,
+/// quickstart example, kernel benchmarks). It owns the PDF double buffer,
+/// flag field and boundary handling, and runs the canonical time step:
+///
+///   1. communication — here: periodic wrap of the ghost layers,
+///   2. boundary handling — write boundary values into boundary-cell slots,
+///   3. fused stream-pull-collide sweep over fluid cells,
+///   4. src/dst swap.
+///
+/// The multi-block distributed driver (sim/DistributedSimulation.h) runs
+/// the same sequence with real ghost-layer exchange via vmpi.
+
+#include <functional>
+#include <memory>
+
+#include "lbm/Boundary.h"
+#include "lbm/Communication.h"
+#include "lbm/KernelD3Q19Simd.h"
+#include "lbm/KernelGeneric.h"
+#include "lbm/PdfField.h"
+#include "lbm/Sparse.h"
+
+namespace walb::sim {
+
+/// Which of the three optimization tiers performs the sweep.
+enum class KernelTier { Generic, D3Q19, Simd };
+
+class SingleBlockSimulation {
+public:
+    using M = lbm::D3Q19;
+
+    struct Config {
+        cell_idx_t xSize = 16, ySize = 16, zSize = 16;
+        bool periodicX = false, periodicY = false, periodicZ = false;
+        KernelTier tier = KernelTier::Simd;
+        field::Layout layout = field::Layout::fzyx;
+    };
+
+    explicit SingleBlockSimulation(const Config& cfg)
+        : cfg_(cfg),
+          src_(lbm::makePdfField<M>(cfg.xSize, cfg.ySize, cfg.zSize, cfg.layout)),
+          dst_(lbm::makePdfField<M>(cfg.xSize, cfg.ySize, cfg.zSize, cfg.layout)),
+          flags_(cfg.xSize, cfg.ySize, cfg.zSize, 1),
+          masks_(lbm::BoundaryFlags::registerOn(flags_)) {}
+
+    field::FlagField& flags() { return flags_; }
+    const lbm::BoundaryFlags& masks() const { return masks_; }
+    lbm::PdfField& pdfs() { return src_; }
+    const lbm::PdfField& pdfs() const { return src_; }
+
+    /// Marks every interior cell not flagged otherwise as fluid. Call after
+    /// setting boundary flags.
+    void fillRemainingWithFluid() {
+        flags_.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            if (flags_.get(x, y, z) == 0) flags_.addFlag(x, y, z, masks_.fluid);
+        });
+    }
+
+    /// Finalizes the setup: builds boundary link lists and initializes all
+    /// PDFs to equilibrium (rho, u). Must be called exactly once.
+    void finalize(real_t rho = 1.0, const Vec3& u = {0, 0, 0}) {
+        WALB_ASSERT(!boundary_, "finalize() called twice");
+        // Wrap flags into the ghost layers of periodic directions so that
+        // boundary links crossing a periodic interface are discovered (the
+        // boundary cell then appears as a ghost cell with a valid flag).
+        for (const auto& d : lbm::neighborhood26) {
+            if (d[0] != 0 && !cfg_.periodicX) continue;
+            if (d[1] != 0 && !cfg_.periodicY) continue;
+            if (d[2] != 0 && !cfg_.periodicZ) continue;
+            lbm::copySliceLocal(flags_, flags_, d);
+        }
+        boundary_ = std::make_unique<lbm::BoundaryHandling<M>>(flags_, masks_);
+        lbm::initEquilibrium<M>(src_, rho, u);
+        lbm::initEquilibrium<M>(dst_, rho, u);
+        fluidCells_ = flags_.count(masks_.fluid);
+    }
+
+    lbm::BoundaryHandling<M>& boundary() {
+        WALB_ASSERT(boundary_, "finalize() not called");
+        return *boundary_;
+    }
+
+    uint_t fluidCells() const { return fluidCells_; }
+
+    /// Advances the simulation by n time steps with the given collision
+    /// operator (SRT or TRT).
+    template <typename Op>
+    void run(uint_t n, const Op& op) {
+        WALB_ASSERT(boundary_, "finalize() not called");
+        for (uint_t step = 0; step < n; ++step) {
+            applyPeriodicity();
+            boundary_->apply(src_);
+            sweep(op);
+            src_.swapDataWith(dst_);
+        }
+    }
+
+    real_t density(cell_idx_t x, cell_idx_t y, cell_idx_t z) const {
+        return lbm::cellDensity<M>(src_, x, y, z);
+    }
+    Vec3 velocity(cell_idx_t x, cell_idx_t y, cell_idx_t z) const {
+        return lbm::cellVelocity<M>(src_, x, y, z);
+    }
+
+    /// Total mass over all fluid cells — conserved in closed systems.
+    real_t totalMass() const {
+        real_t m = 0;
+        flags_.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            if (flags_.get(x, y, z) & masks_.fluid) m += lbm::cellDensity<M>(src_, x, y, z);
+        });
+        return m;
+    }
+
+private:
+    void applyPeriodicity() {
+        if (!cfg_.periodicX && !cfg_.periodicY && !cfg_.periodicZ) return;
+        for (const auto& d : lbm::neighborhood26) {
+            if (d[0] != 0 && !cfg_.periodicX) continue;
+            if (d[1] != 0 && !cfg_.periodicY) continue;
+            if (d[2] != 0 && !cfg_.periodicZ) continue;
+            lbm::copyPdfsLocal<M>(src_, src_, d);
+        }
+    }
+
+    template <typename Op>
+    void sweep(const Op& op) {
+        switch (cfg_.tier) {
+            case KernelTier::Generic:
+                lbm::streamCollideGeneric<M>(src_, dst_, op, &flags_, masks_.fluid);
+                break;
+            case KernelTier::D3Q19:
+                lbm::streamCollideD3Q19(src_, dst_, op, &flags_, masks_.fluid);
+                break;
+            case KernelTier::Simd:
+                if (!runs_) runs_ = std::make_unique<lbm::FluidRunList>(
+                                lbm::buildFluidRuns(flags_, masks_.fluid));
+                lbm::streamCollideIntervals(src_, dst_, *runs_, op, simd_);
+                break;
+        }
+    }
+
+    Config cfg_;
+    lbm::PdfField src_, dst_;
+    field::FlagField flags_;
+    lbm::BoundaryFlags masks_;
+    std::unique_ptr<lbm::BoundaryHandling<M>> boundary_;
+    std::unique_ptr<lbm::FluidRunList> runs_;
+    lbm::KernelD3Q19Simd<> simd_;
+    uint_t fluidCells_ = 0;
+};
+
+} // namespace walb::sim

@@ -1,0 +1,116 @@
+#pragma once
+/// \file Simd.h
+/// Thin SIMD abstraction over double-precision vectors. The LBM compute
+/// kernels are written once against this interface and instantiated for
+/// scalar, SSE2 (width 2) and AVX2 (width 4) backends — mirroring the
+/// paper's SSE kernels on SuperMUC and QPX (width 4) kernels on JUQUEEN.
+///
+/// Only the operations the kernels need are exposed: aligned/unaligned
+/// load, store, broadcast, +-*/ and fused multiply-add. Every backend is a
+/// value type with `width` elements; scalar code and vector code share the
+/// same source.
+
+#include <cstddef>
+
+#include "core/Types.h"
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace walb::simd {
+
+/// Scalar "vector" of width 1 — the portable reference backend.
+struct ScalarD {
+    static constexpr std::size_t width = 1;
+    double v;
+
+    static ScalarD set1(double s) { return {s}; }
+    static ScalarD load(const double* p) { return {*p}; }
+    static ScalarD loadu(const double* p) { return {*p}; }
+    void store(double* p) const { *p = v; }
+    void storeu(double* p) const { *p = v; }
+
+    friend ScalarD operator+(ScalarD a, ScalarD b) { return {a.v + b.v}; }
+    friend ScalarD operator-(ScalarD a, ScalarD b) { return {a.v - b.v}; }
+    friend ScalarD operator*(ScalarD a, ScalarD b) { return {a.v * b.v}; }
+    friend ScalarD operator/(ScalarD a, ScalarD b) { return {a.v / b.v}; }
+};
+
+/// a*b + c
+inline ScalarD fma(ScalarD a, ScalarD b, ScalarD c) { return {a.v * b.v + c.v}; }
+
+#if defined(__SSE2__)
+/// SSE2 backend: two doubles per vector (the paper's SuperMUC SSE kernels).
+struct SseD {
+    static constexpr std::size_t width = 2;
+    __m128d v;
+
+    static SseD set1(double s) { return {_mm_set1_pd(s)}; }
+    static SseD load(const double* p) { return {_mm_load_pd(p)}; }
+    static SseD loadu(const double* p) { return {_mm_loadu_pd(p)}; }
+    void store(double* p) const { _mm_store_pd(p, v); }
+    void storeu(double* p) const { _mm_storeu_pd(p, v); }
+
+    friend SseD operator+(SseD a, SseD b) { return {_mm_add_pd(a.v, b.v)}; }
+    friend SseD operator-(SseD a, SseD b) { return {_mm_sub_pd(a.v, b.v)}; }
+    friend SseD operator*(SseD a, SseD b) { return {_mm_mul_pd(a.v, b.v)}; }
+    friend SseD operator/(SseD a, SseD b) { return {_mm_div_pd(a.v, b.v)}; }
+};
+
+inline SseD fma(SseD a, SseD b, SseD c) {
+#if defined(__FMA__)
+    return {_mm_fmadd_pd(a.v, b.v, c.v)};
+#else
+    return {_mm_add_pd(_mm_mul_pd(a.v, b.v), c.v)};
+#endif
+}
+#endif // __SSE2__
+
+#if defined(__AVX__)
+/// AVX/AVX2 backend: four doubles per vector. Width 4 equals Blue Gene/Q's
+/// QPX, so this backend doubles as the "QPX" kernel in machine-model terms.
+struct AvxD {
+    static constexpr std::size_t width = 4;
+    __m256d v;
+
+    static AvxD set1(double s) { return {_mm256_set1_pd(s)}; }
+    static AvxD load(const double* p) { return {_mm256_load_pd(p)}; }
+    static AvxD loadu(const double* p) { return {_mm256_loadu_pd(p)}; }
+    void store(double* p) const { _mm256_store_pd(p, v); }
+    void storeu(double* p) const { _mm256_storeu_pd(p, v); }
+
+    friend AvxD operator+(AvxD a, AvxD b) { return {_mm256_add_pd(a.v, b.v)}; }
+    friend AvxD operator-(AvxD a, AvxD b) { return {_mm256_sub_pd(a.v, b.v)}; }
+    friend AvxD operator*(AvxD a, AvxD b) { return {_mm256_mul_pd(a.v, b.v)}; }
+    friend AvxD operator/(AvxD a, AvxD b) { return {_mm256_div_pd(a.v, b.v)}; }
+};
+
+inline AvxD fma(AvxD a, AvxD b, AvxD c) {
+#if defined(__FMA__)
+    return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+#else
+    return {_mm256_add_pd(_mm256_mul_pd(a.v, b.v), c.v)};
+#endif
+}
+#endif // __AVX__
+
+/// Widest backend available at compile time.
+#if defined(__AVX__)
+using BestD = AvxD;
+#elif defined(__SSE2__)
+using BestD = SseD;
+#else
+using BestD = ScalarD;
+#endif
+
+/// Human-readable name of the given backend (for benchmark output).
+template <typename V>
+constexpr const char* backendName() {
+    if constexpr (V::width == 1) return "scalar";
+    if constexpr (V::width == 2) return "SSE2";
+    if constexpr (V::width == 4) return "AVX2";
+    return "unknown";
+}
+
+} // namespace walb::simd

@@ -1,0 +1,68 @@
+#pragma once
+/// \file BufferSystem.h
+/// Neighborhood exchange: each rank packs one send buffer per neighbor rank,
+/// exchange() ships them all and collects the expected incoming buffers.
+/// This mirrors waLBerla's BufferSystem, the backbone of the ghost-layer
+/// PDF communication. Because vmpi sends are buffered/non-blocking, the
+/// naive "send everything, then receive everything" schedule is
+/// deadlock-free, like the MPI_Isend/Irecv pattern it stands in for.
+
+#include <map>
+#include <vector>
+
+#include "core/Buffer.h"
+#include "core/Debug.h"
+#include "vmpi/Comm.h"
+
+namespace walb::vmpi {
+
+class BufferSystem {
+public:
+    /// tag: disambiguates concurrent buffer systems over the same comm.
+    explicit BufferSystem(Comm& comm, int tag = 0) : comm_(comm), tag_(tag) {}
+
+    /// The ranks this rank will receive a (possibly empty) buffer from in
+    /// every exchange. Usually identical to the set of send targets by
+    /// symmetry of the block neighborhood graph.
+    void setReceiverInfo(std::vector<int> recvFrom) { recvFrom_ = std::move(recvFrom); }
+
+    /// Send buffer for the given neighbor rank, created on first use.
+    SendBuffer& sendBuffer(int rank) {
+        WALB_DASSERT(rank >= 0 && rank < comm_.size());
+        return sendBuffers_[rank];
+    }
+
+    /// Ships all send buffers and receives one buffer from every rank in the
+    /// receiver set. Send buffers are cleared afterwards so the system can
+    /// be reused every time step.
+    void exchange() {
+        for (auto& [rank, sb] : sendBuffers_) {
+            std::vector<std::uint8_t> bytes(sb.data(), sb.data() + sb.size());
+            comm_.send(rank, tag_, std::move(bytes));
+            sb.clear();
+        }
+        recvBuffers_.clear();
+        for (int src : recvFrom_) recvBuffers_.emplace(src, RecvBuffer(comm_.recv(src, tag_)));
+    }
+
+    /// Received buffers of the last exchange, keyed by source rank.
+    std::map<int, RecvBuffer>& recvBuffers() { return recvBuffers_; }
+
+    /// Bytes currently staged for sending (call before exchange()).
+    std::size_t totalSendBytes() const {
+        std::size_t n = 0;
+        for (const auto& [rank, sb] : sendBuffers_) n += sb.size();
+        return n;
+    }
+
+    Comm& comm() { return comm_; }
+
+private:
+    Comm& comm_;
+    int tag_;
+    std::map<int, SendBuffer> sendBuffers_;
+    std::map<int, RecvBuffer> recvBuffers_;
+    std::vector<int> recvFrom_;
+};
+
+} // namespace walb::vmpi

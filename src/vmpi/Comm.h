@@ -1,0 +1,122 @@
+#pragma once
+/// \file Comm.h
+/// Virtual message-passing interface — the framework's MPI substitute.
+///
+/// The paper parallelizes with MPI across hundreds of thousands of
+/// processes. This environment has no MPI installation, so walb defines a
+/// communicator interface with MPI semantics (ranks, tagged point-to-point
+/// messages, collectives) and two backends:
+///   * SerialComm   — a single-rank no-op world,
+///   * ThreadComm   — N virtual ranks running as threads in one process
+///                    (see ThreadComm.h).
+/// All distributed algorithms (block forest construction, ghost-layer
+/// exchange, parallel voxelization scatter/gather, load balancing) are
+/// written against this interface only, exactly as they would be against
+/// MPI. Sends are always *buffered and non-blocking* (like MPI_Ibsend):
+/// a send enqueues the message and returns; a matching recv blocks until
+/// the message arrives. This makes naive "send all, then receive all"
+/// exchange patterns deadlock-free.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/Buffer.h"
+#include "core/Types.h"
+
+namespace walb::vmpi {
+
+enum class ReduceOp { Sum, Min, Max };
+
+class Comm {
+public:
+    virtual ~Comm() = default;
+
+    virtual int rank() const = 0;
+    virtual int size() const = 0;
+
+    /// Buffered non-blocking send of a byte message to dest with a tag.
+    virtual void send(int dest, int tag, std::vector<std::uint8_t> data) = 0;
+
+    /// Blocking receive of the next message from src with the given tag.
+    virtual std::vector<std::uint8_t> recv(int src, int tag) = 0;
+
+    /// Returns true and fills `out` if a message from src/tag is pending;
+    /// never blocks.
+    virtual bool tryRecv(int src, int tag, std::vector<std::uint8_t>& out) = 0;
+
+    virtual void barrier() = 0;
+
+    /// Root's buffer is replicated on all ranks.
+    virtual void broadcast(std::vector<std::uint8_t>& data, int root) = 0;
+
+    /// Element-wise reduction of a double vector, result on all ranks.
+    virtual void allreduce(std::span<double> inout, ReduceOp op) = 0;
+
+    /// Element-wise reduction of an unsigned vector, result on all ranks.
+    virtual void allreduce(std::span<std::uint64_t> inout, ReduceOp op) = 0;
+
+    /// Concatenation of every rank's bytes in rank order, on all ranks.
+    virtual std::vector<std::vector<std::uint8_t>> allgatherv(
+        std::span<const std::uint8_t> mine) = 0;
+
+    /// Concatenation on root only; other ranks receive an empty result.
+    virtual std::vector<std::vector<std::uint8_t>> gatherv(std::span<const std::uint8_t> mine,
+                                                           int root) = 0;
+};
+
+// ---- typed convenience wrappers ------------------------------------------
+
+/// Serializes obj into a message (operator<< must exist for T on SendBuffer).
+template <typename T>
+void sendObject(Comm& comm, int dest, int tag, const T& obj) {
+    SendBuffer sb;
+    sb << obj;
+    comm.send(dest, tag, sb.release());
+}
+
+template <typename T>
+T recvObject(Comm& comm, int src, int tag) {
+    RecvBuffer rb(comm.recv(src, tag));
+    T obj{};
+    rb >> obj;
+    return obj;
+}
+
+inline double allreduceSum(Comm& comm, double v) {
+    comm.allreduce(std::span<double>(&v, 1), ReduceOp::Sum);
+    return v;
+}
+
+inline std::uint64_t allreduceSum(Comm& comm, std::uint64_t v) {
+    comm.allreduce(std::span<std::uint64_t>(&v, 1), ReduceOp::Sum);
+    return v;
+}
+
+inline double allreduceMax(Comm& comm, double v) {
+    comm.allreduce(std::span<double>(&v, 1), ReduceOp::Max);
+    return v;
+}
+
+inline double allreduceMin(Comm& comm, double v) {
+    comm.allreduce(std::span<double>(&v, 1), ReduceOp::Min);
+    return v;
+}
+
+/// Broadcasts a serializable object from root to all ranks.
+template <typename T>
+void broadcastObject(Comm& comm, T& obj, int root) {
+    std::vector<std::uint8_t> bytes;
+    if (comm.rank() == root) {
+        SendBuffer sb;
+        sb << obj;
+        bytes = sb.release();
+    }
+    comm.broadcast(bytes, root);
+    if (comm.rank() != root) {
+        RecvBuffer rb(std::move(bytes));
+        rb >> obj;
+    }
+}
+
+} // namespace walb::vmpi

@@ -1,0 +1,68 @@
+#pragma once
+/// \file SerialComm.h
+/// Single-rank communicator. Point-to-point messages to self are queued and
+/// delivered in FIFO order; collectives are identity operations. Lets every
+/// distributed algorithm run unchanged in a plain serial program.
+
+#include <deque>
+#include <tuple>
+
+#include "core/Debug.h"
+#include "vmpi/Comm.h"
+
+namespace walb::vmpi {
+
+class SerialComm final : public Comm {
+public:
+    int rank() const override { return 0; }
+    int size() const override { return 1; }
+
+    void send(int dest, int tag, std::vector<std::uint8_t> data) override {
+        WALB_ASSERT(dest == 0, "serial comm has only rank 0");
+        queue_.emplace_back(tag, std::move(data));
+    }
+
+    std::vector<std::uint8_t> recv(int src, int tag) override {
+        WALB_ASSERT(src == 0, "serial comm has only rank 0");
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->first == tag) {
+                auto data = std::move(it->second);
+                queue_.erase(it);
+                return data;
+            }
+        }
+        WALB_ABORT("SerialComm::recv would deadlock: no message with tag " << tag);
+    }
+
+    bool tryRecv(int src, int tag, std::vector<std::uint8_t>& out) override {
+        WALB_ASSERT(src == 0);
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->first == tag) {
+                out = std::move(it->second);
+                queue_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void barrier() override {}
+    void broadcast(std::vector<std::uint8_t>&, int) override {}
+    void allreduce(std::span<double>, ReduceOp) override {}
+    void allreduce(std::span<std::uint64_t>, ReduceOp) override {}
+
+    std::vector<std::vector<std::uint8_t>> allgatherv(
+        std::span<const std::uint8_t> mine) override {
+        return {std::vector<std::uint8_t>(mine.begin(), mine.end())};
+    }
+
+    std::vector<std::vector<std::uint8_t>> gatherv(std::span<const std::uint8_t> mine,
+                                                   int) override {
+        return {std::vector<std::uint8_t>(mine.begin(), mine.end())};
+    }
+
+private:
+    std::deque<std::pair<int, std::vector<std::uint8_t>>> queue_;
+};
+
+} // namespace walb::vmpi

@@ -1,0 +1,170 @@
+#include "vmpi/ThreadComm.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace walb::vmpi {
+
+// ---- ThreadCommWorld -------------------------------------------------------
+
+ThreadCommWorld::ThreadCommWorld(int numRanks)
+    : numRanks_(numRanks),
+      barrier_(numRanks),
+      byteSlots_(uint_c(numRanks)),
+      doubleSlots_(uint_c(numRanks)),
+      u64Slots_(uint_c(numRanks)) {
+    WALB_ASSERT(numRanks > 0);
+    mailboxes_.reserve(uint_c(numRanks));
+    for (int i = 0; i < numRanks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+ThreadCommWorld::~ThreadCommWorld() = default;
+
+void ThreadCommWorld::run(const std::function<void(Comm&)>& fn) {
+    std::vector<std::thread> threads;
+    threads.reserve(uint_c(numRanks_));
+    std::mutex excMutex;
+    std::exception_ptr firstExc;
+
+    for (int r = 0; r < numRanks_; ++r) {
+        threads.emplace_back([this, r, &fn, &excMutex, &firstExc] {
+            ThreadComm comm(*this, r);
+            try {
+                fn(comm);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(excMutex);
+                if (!firstExc) firstExc = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    // Purge undelivered messages so a reused world starts clean.
+    for (auto& mb : mailboxes_) {
+        std::lock_guard<std::mutex> lock(mb->mutex);
+        mb->messages.clear();
+    }
+    if (firstExc) std::rethrow_exception(firstExc);
+}
+
+void ThreadCommWorld::deliver(int dest, Message msg) {
+    WALB_ASSERT(dest >= 0 && dest < numRanks_, "invalid destination rank " << dest);
+    Mailbox& mb = *mailboxes_[uint_c(dest)];
+    {
+        std::lock_guard<std::mutex> lock(mb.mutex);
+        mb.messages.push_back(std::move(msg));
+    }
+    mb.cv.notify_all();
+}
+
+std::vector<std::uint8_t> ThreadCommWorld::receive(int self, int src, int tag) {
+    WALB_ASSERT(src >= 0 && src < numRanks_, "invalid source rank " << src);
+    Mailbox& mb = *mailboxes_[uint_c(self)];
+    std::unique_lock<std::mutex> lock(mb.mutex);
+    for (;;) {
+        auto it = std::find_if(mb.messages.begin(), mb.messages.end(),
+                               [&](const Message& m) { return m.src == src && m.tag == tag; });
+        if (it != mb.messages.end()) {
+            auto data = std::move(it->data);
+            mb.messages.erase(it);
+            return data;
+        }
+        mb.cv.wait(lock);
+    }
+}
+
+bool ThreadCommWorld::tryReceive(int self, int src, int tag, std::vector<std::uint8_t>& out) {
+    Mailbox& mb = *mailboxes_[uint_c(self)];
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    auto it = std::find_if(mb.messages.begin(), mb.messages.end(),
+                           [&](const Message& m) { return m.src == src && m.tag == tag; });
+    if (it == mb.messages.end()) return false;
+    out = std::move(it->data);
+    mb.messages.erase(it);
+    return true;
+}
+
+// ---- ThreadComm ------------------------------------------------------------
+
+int ThreadComm::size() const { return world_->numRanks_; }
+
+void ThreadComm::send(int dest, int tag, std::vector<std::uint8_t> data) {
+    world_->deliver(dest, ThreadCommWorld::Message{rank_, tag, std::move(data)});
+}
+
+std::vector<std::uint8_t> ThreadComm::recv(int src, int tag) {
+    return world_->receive(rank_, src, tag);
+}
+
+bool ThreadComm::tryRecv(int src, int tag, std::vector<std::uint8_t>& out) {
+    return world_->tryReceive(rank_, src, tag, out);
+}
+
+void ThreadComm::barrier() { world_->barrier_.arrive_and_wait(); }
+
+void ThreadComm::broadcast(std::vector<std::uint8_t>& data, int root) {
+    auto& slots = world_->byteSlots_;
+    if (rank_ == root) slots[uint_c(root)] = data;
+    barrier();
+    if (rank_ != root) data = slots[uint_c(root)];
+    barrier(); // root may not clear/reuse its slot until all ranks copied
+}
+
+namespace {
+template <typename T>
+void reduceInto(std::span<T> inout, const std::vector<std::vector<T>>& slots, ReduceOp op) {
+    for (std::size_t r = 0; r < slots.size(); ++r) {
+        const auto& contrib = slots[r];
+        WALB_ASSERT(contrib.size() == inout.size(), "allreduce length mismatch across ranks");
+        for (std::size_t i = 0; i < inout.size(); ++i) {
+            switch (op) {
+                case ReduceOp::Sum:
+                    if (r == 0) inout[i] = contrib[i];
+                    else inout[i] += contrib[i];
+                    break;
+                case ReduceOp::Min:
+                    if (r == 0 || contrib[i] < inout[i]) inout[i] = contrib[i];
+                    break;
+                case ReduceOp::Max:
+                    if (r == 0 || contrib[i] > inout[i]) inout[i] = contrib[i];
+                    break;
+            }
+        }
+    }
+}
+} // namespace
+
+void ThreadComm::allreduce(std::span<double> inout, ReduceOp op) {
+    world_->doubleSlots_[uint_c(rank_)].assign(inout.begin(), inout.end());
+    barrier();
+    reduceInto(inout, world_->doubleSlots_, op);
+    barrier();
+}
+
+void ThreadComm::allreduce(std::span<std::uint64_t> inout, ReduceOp op) {
+    world_->u64Slots_[uint_c(rank_)].assign(inout.begin(), inout.end());
+    barrier();
+    reduceInto(inout, world_->u64Slots_, op);
+    barrier();
+}
+
+std::vector<std::vector<std::uint8_t>> ThreadComm::allgatherv(
+    std::span<const std::uint8_t> mine) {
+    world_->byteSlots_[uint_c(rank_)].assign(mine.begin(), mine.end());
+    barrier();
+    std::vector<std::vector<std::uint8_t>> result = world_->byteSlots_;
+    barrier();
+    return result;
+}
+
+std::vector<std::vector<std::uint8_t>> ThreadComm::gatherv(std::span<const std::uint8_t> mine,
+                                                           int root) {
+    world_->byteSlots_[uint_c(rank_)].assign(mine.begin(), mine.end());
+    barrier();
+    std::vector<std::vector<std::uint8_t>> result;
+    if (rank_ == root) result = world_->byteSlots_;
+    barrier();
+    return result;
+}
+
+} // namespace walb::vmpi

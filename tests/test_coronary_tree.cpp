@@ -1,0 +1,176 @@
+/// Tests for the synthetic coronary tree generator: determinism, Murray's
+/// law, containment, sparsity, and the cross-validation between the mesh
+/// pipeline and the exact implicit signed distance.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geometry/CoronaryTree.h"
+#include "geometry/Voxelizer.h"
+
+namespace walb::geometry {
+namespace {
+
+CoronaryTreeParams smallParams(std::uint64_t seed = 42) {
+    CoronaryTreeParams p;
+    p.seed = seed;
+    p.bounds = AABB(0, 0, 0, 1, 1, 1);
+    p.rootRadius = 0.04;
+    p.minRadius = 0.008;
+    p.maxDepth = 9;
+    return p;
+}
+
+TEST(CoronaryTree, DeterministicForSameSeed) {
+    const auto a = CoronaryTree::generate(smallParams(7));
+    const auto b = CoronaryTree::generate(smallParams(7));
+    ASSERT_EQ(a.segments().size(), b.segments().size());
+    for (std::size_t i = 0; i < a.segments().size(); ++i) {
+        EXPECT_EQ(a.segments()[i].a, b.segments()[i].a);
+        EXPECT_EQ(a.segments()[i].b, b.segments()[i].b);
+        EXPECT_EQ(a.segments()[i].radius, b.segments()[i].radius);
+    }
+}
+
+TEST(CoronaryTree, DifferentSeedsDiffer) {
+    const auto a = CoronaryTree::generate(smallParams(1));
+    const auto b = CoronaryTree::generate(smallParams(2));
+    bool differs = a.segments().size() != b.segments().size();
+    for (std::size_t i = 0; !differs && i < a.segments().size(); ++i)
+        differs = !(a.segments()[i].b == b.segments()[i].b);
+    EXPECT_TRUE(differs);
+}
+
+TEST(CoronaryTree, TreeTopologyIsValid) {
+    const auto tree = CoronaryTree::generate(smallParams());
+    const auto& segs = tree.segments();
+    ASSERT_GT(segs.size(), 10u);
+    EXPECT_EQ(segs[0].parent, -1);
+    std::map<std::int32_t, int> childCount;
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+        ASSERT_GE(segs[i].parent, 0);
+        ASSERT_LT(std::size_t(segs[i].parent), segs.size());
+        EXPECT_GT(segs[i].depth, segs[std::size_t(segs[i].parent)].depth);
+        ++childCount[segs[i].parent];
+        // Child starts at (slightly inside) the parent's end.
+        const auto& parent = segs[std::size_t(segs[i].parent)];
+        EXPECT_LT((segs[i].a - parent.b).length(), parent.radius + 1e-12);
+    }
+    for (const auto& [parent, count] : childCount) {
+        EXPECT_LE(count, 2) << "more than a bifurcation at segment " << parent;
+        EXPECT_FALSE(segs[std::size_t(parent)].leaf);
+    }
+    EXPECT_GT(tree.numLeaves(), 2u);
+}
+
+TEST(CoronaryTree, MurraysLawHolds) {
+    const auto tree = CoronaryTree::generate(smallParams());
+    const auto& segs = tree.segments();
+    std::map<std::int32_t, std::vector<std::size_t>> children;
+    for (std::size_t i = 1; i < segs.size(); ++i) children[segs[i].parent].push_back(i);
+    int bifurcations = 0;
+    for (const auto& [parent, kids] : children) {
+        if (kids.size() != 2) continue;
+        ++bifurcations;
+        const real_t r0 = segs[std::size_t(parent)].radius;
+        const real_t r1 = segs[kids[0]].radius, r2 = segs[kids[1]].radius;
+        EXPECT_NEAR(r1 * r1 * r1 + r2 * r2 * r2, r0 * r0 * r0, 1e-12 * r0 * r0 * r0);
+        EXPECT_LT(r1, r0);
+        EXPECT_LT(r2, r0);
+    }
+    EXPECT_GT(bifurcations, 5);
+}
+
+TEST(CoronaryTree, VesselsStayInsideBounds) {
+    const auto tree = CoronaryTree::generate(smallParams());
+    const AABB& bounds = tree.params().bounds;
+    for (const auto& s : tree.segments()) {
+        for (const Vec3& p : {s.a, s.b}) {
+            EXPECT_GE(p[0], bounds.min()[0] - 1e-12);
+            EXPECT_GE(p[1], bounds.min()[1] - 1e-12);
+            EXPECT_GE(p[2], bounds.min()[2] - 1e-12);
+            EXPECT_LE(p[0], bounds.max()[0] + 1e-12);
+            EXPECT_LE(p[1], bounds.max()[1] + 1e-12);
+            EXPECT_LE(p[2], bounds.max()[2] + 1e-12);
+        }
+    }
+}
+
+TEST(CoronaryTree, SparseLikeTheCTADataset) {
+    // The paper's geometry covers ~0.3% of its bounding box; the generator
+    // must stay in that sparse regime (well under 5%).
+    const auto tree = CoronaryTree::generate(smallParams());
+    EXPECT_LT(tree.boundingBoxFluidFraction(), 0.05);
+    EXPECT_GT(tree.boundingBoxFluidFraction(), 0.0005);
+}
+
+TEST(CoronaryTree, ImplicitDistanceMatchesSegmentGeometry) {
+    const auto tree = CoronaryTree::generate(smallParams());
+    const auto phi = tree.implicitDistance();
+    for (const auto& s : tree.segments()) {
+        const Vec3 mid = (s.a + s.b) * real_c(0.5);
+        EXPECT_LT(phi->signedDistance(mid), -0.5 * s.radius); // centerline inside
+    }
+    // A corner of the box far from the inlet should be outside.
+    EXPECT_GT(phi->signedDistance(tree.params().bounds.max() - Vec3(0.01, 0.01, 0.01)), 0.0);
+}
+
+TEST(CoronaryTree, SurfaceMeshHasInflowAndOutflowColors) {
+    const auto tree = CoronaryTree::generate(smallParams());
+    const TriangleMesh mesh = tree.surfaceMesh(96);
+    std::size_t inflow = 0, outflow = 0, wall = 0;
+    for (std::size_t v = 0; v < mesh.numVertices(); ++v) {
+        if (mesh.color(v) == kColorInflow) ++inflow;
+        else if (mesh.color(v) == kColorOutflow) ++outflow;
+        else ++wall;
+    }
+    EXPECT_GT(inflow, 0u);
+    EXPECT_GT(outflow, inflow); // many outlets, one inlet
+    EXPECT_GT(wall, outflow);   // walls dominate
+}
+
+TEST(CoronaryTree, MeshAndImplicitVoxelizationsAgree) {
+    // Voxelize a moderate region with both representations; they must agree
+    // except in a small band near bifurcations (overlapping tubes).
+    auto params = smallParams();
+    params.maxDepth = 4;     // keep the mesh small for the octree
+    params.rootRadius = 0.07; // fat vessels: several cells across at N=40
+    params.minRadius = 0.02;
+    const auto tree = CoronaryTree::generate(params);
+    const auto implicit = tree.implicitDistance();
+    TriangleMesh mesh = tree.surfaceMesh(80);
+    MeshDistance meshDist(mesh);
+
+    const cell_idx_t N = 40;
+    const real_t dx = 1.0 / real_c(N);
+    field::FlagField fromMesh(N, N, N, 0), fromImplicit(N, N, N, 0);
+    const auto a = fromMesh.registerFlag("fluid");
+    const auto b = fromImplicit.registerFlag("fluid");
+    const CellMapping mapping{params.bounds, dx};
+    voxelize(meshDist, fromMesh, mapping, a);
+    voxelize(*implicit, fromImplicit, mapping, b);
+
+    const uint_t implicitCount = fromImplicit.count(b);
+    ASSERT_GT(implicitCount, 500u);
+    uint_t disagree = 0, deepDisagree = 0;
+    fromMesh.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        if ((fromMesh.get(x, y, z) != 0) != (fromImplicit.get(x, y, z) != 0)) {
+            ++disagree;
+            // "Deep" disagreement: the cell is more than 1.5 dx away from
+            // the implicit surface, i.e. not a legitimate representation
+            // difference in the surface band, but a sign error.
+            if (std::abs(implicit->signedDistance(mapping.cellCenter(x, y, z))) > 1.5 * dx)
+                ++deepDisagree;
+        }
+    });
+    // The extracted isosurface tracks the implicit surface within one grid
+    // cell: only a thin band may disagree, and nothing deep inside/outside.
+    EXPECT_LT(disagree, implicitCount / 10)
+        << disagree << " band cells of " << implicitCount;
+    EXPECT_LE(deepDisagree, std::max<uint_t>(2, implicitCount / 200))
+        << deepDisagree << " deep disagreements of " << implicitCount;
+}
+
+} // namespace
+} // namespace walb::geometry

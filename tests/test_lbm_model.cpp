@@ -1,0 +1,216 @@
+/// Tests for lattice descriptors, equilibrium distributions and the SRT/TRT
+/// collision operators: moment identities, conservation laws, and the
+/// TRT->SRT reduction of paper Eq. (8).
+
+#include <gtest/gtest.h>
+
+#include "core/Random.h"
+#include "lbm/Collision.h"
+#include "lbm/Equilibrium.h"
+#include "lbm/LatticeModel.h"
+
+namespace walb::lbm {
+namespace {
+
+template <typename M>
+class LatticeModelTest : public ::testing::Test {};
+
+using Models = ::testing::Types<D3Q19, D3Q27, D2Q9>;
+TYPED_TEST_SUITE(LatticeModelTest, Models);
+
+TYPED_TEST(LatticeModelTest, WeightsSumToOne) {
+    using M = TypeParam;
+    real_t sum = 0;
+    for (uint_t a = 0; a < M::Q; ++a) sum += M::w[a];
+    EXPECT_NEAR(sum, 1.0, 1e-15);
+}
+
+TYPED_TEST(LatticeModelTest, VelocitySetIsSymmetric) {
+    using M = TypeParam;
+    for (uint_t a = 0; a < M::Q; ++a) {
+        const uint_t b = M::inv[a];
+        EXPECT_EQ(M::c[b][0], -M::c[a][0]);
+        EXPECT_EQ(M::c[b][1], -M::c[a][1]);
+        EXPECT_EQ(M::c[b][2], -M::c[a][2]);
+        EXPECT_EQ(M::inv[b], a); // involution
+        EXPECT_DOUBLE_EQ(M::w[a], M::w[b]);
+    }
+}
+
+TYPED_TEST(LatticeModelTest, FirstWeightedMomentVanishes) {
+    using M = TypeParam;
+    for (int i = 0; i < 3; ++i) {
+        real_t m = 0;
+        for (uint_t a = 0; a < M::Q; ++a) m += M::w[a] * real_c(M::c[a][std::size_t(i)]);
+        EXPECT_NEAR(m, 0.0, 1e-15);
+    }
+}
+
+TYPED_TEST(LatticeModelTest, SecondWeightedMomentIsCsSqrIdentity) {
+    using M = TypeParam;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j) {
+            real_t m = 0;
+            for (uint_t a = 0; a < M::Q; ++a)
+                m += M::w[a] * real_c(M::c[a][i]) * real_c(M::c[a][j]);
+            const real_t expected = (i == j && (M::D == 3 || i < 2)) ? M::csSqr : 0.0;
+            EXPECT_NEAR(m, expected, 1e-15) << "i=" << i << " j=" << j;
+        }
+}
+
+TYPED_TEST(LatticeModelTest, UniqueDirections) {
+    using M = TypeParam;
+    for (uint_t a = 0; a < M::Q; ++a)
+        for (uint_t b = a + 1; b < M::Q; ++b)
+            EXPECT_FALSE(M::c[a][0] == M::c[b][0] && M::c[a][1] == M::c[b][1] &&
+                         M::c[a][2] == M::c[b][2]);
+}
+
+TEST(D3Q19Model, HasCenterPlusSixAxesPlusTwelveDiagonals) {
+    int axis = 0, diag = 0, center = 0;
+    for (uint_t a = 0; a < D3Q19::Q; ++a) {
+        const int n = D3Q19::c[a][0] * D3Q19::c[a][0] + D3Q19::c[a][1] * D3Q19::c[a][1] +
+                      D3Q19::c[a][2] * D3Q19::c[a][2];
+        if (n == 0) ++center;
+        else if (n == 1) ++axis;
+        else if (n == 2) ++diag;
+        else FAIL() << "D3Q19 direction with |c|^2 = " << n;
+    }
+    EXPECT_EQ(center, 1);
+    EXPECT_EQ(axis, 6);
+    EXPECT_EQ(diag, 12);
+}
+
+// ---- equilibrium -----------------------------------------------------------
+
+TYPED_TEST(LatticeModelTest, EquilibriumMomentsMatchRhoAndU) {
+    using M = TypeParam;
+    const real_t rho = 1.05;
+    const Vec3 u = (M::D == 2) ? Vec3(0.03, -0.02, 0.0) : Vec3(0.03, -0.02, 0.05);
+    std::array<real_t, M::Q> feq{};
+    setEquilibrium<M>(feq, rho, u);
+    EXPECT_NEAR(density<M>(feq), rho, 1e-14);
+    const Vec3 m = momentum<M>(feq);
+    // Second-order equilibrium reproduces momentum exactly.
+    EXPECT_NEAR(m[0], rho * u[0], 1e-14);
+    EXPECT_NEAR(m[1], rho * u[1], 1e-14);
+    EXPECT_NEAR(m[2], rho * u[2], 1e-14);
+}
+
+TYPED_TEST(LatticeModelTest, EquilibriumAtRestIsWeights) {
+    using M = TypeParam;
+    std::array<real_t, M::Q> feq{};
+    setEquilibrium<M>(feq, 1.0, Vec3(0, 0, 0));
+    for (uint_t a = 0; a < M::Q; ++a) EXPECT_DOUBLE_EQ(feq[a], M::w[a]);
+}
+
+TEST(Equilibrium, SymAsymDecompositionMatchesDefinition) {
+    using M = D3Q19;
+    const real_t rho = 0.97;
+    const Vec3 u(0.04, 0.01, -0.03);
+    for (uint_t a = 0; a < M::Q; ++a) {
+        const uint_t b = M::inv[a];
+        const real_t fa = equilibrium<M>(a, rho, u);
+        const real_t fb = equilibrium<M>(b, rho, u);
+        EXPECT_NEAR(equilibriumSym<M>(a, rho, u), 0.5 * (fa + fb), 1e-15);
+        EXPECT_NEAR(equilibriumAsym<M>(a, rho, u), 0.5 * (fa - fb), 1e-15);
+    }
+}
+
+TEST(Equilibrium, ViscosityTauRelations) {
+    EXPECT_DOUBLE_EQ(viscosityFromTau(1.0), 1.0 / 6.0);
+    EXPECT_DOUBLE_EQ(tauFromViscosity(1.0 / 6.0), 1.0);
+    EXPECT_DOUBLE_EQ(omegaFromTau(2.0), 0.5);
+}
+
+// ---- collision operators ---------------------------------------------------
+
+template <typename M>
+std::array<real_t, M::Q> randomState(std::uint64_t seed) {
+    Random rng(seed);
+    std::array<real_t, M::Q> f{};
+    setEquilibrium<M>(f, 1.0, Vec3(0.02, -0.01, 0.03));
+    for (auto& v : f) v += real_c(0.01) * rng.uniform(-1.0, 1.0); // non-equilibrium part
+    return f;
+}
+
+class CollisionConservation : public ::testing::TestWithParam<real_t> {};
+
+TEST_P(CollisionConservation, SRTConservesMassAndMomentum) {
+    using M = D3Q19;
+    auto f = randomState<M>(11);
+    const real_t rho0 = density<M>(f);
+    const Vec3 m0 = momentum<M>(f);
+    SRT(GetParam()).apply<M>(f);
+    EXPECT_NEAR(density<M>(f), rho0, 1e-14);
+    const Vec3 m1 = momentum<M>(f);
+    EXPECT_NEAR(m1[0], m0[0], 1e-14);
+    EXPECT_NEAR(m1[1], m0[1], 1e-14);
+    EXPECT_NEAR(m1[2], m0[2], 1e-14);
+}
+
+TEST_P(CollisionConservation, TRTConservesMassAndMomentum) {
+    using M = D3Q19;
+    auto f = randomState<M>(13);
+    const real_t rho0 = density<M>(f);
+    const Vec3 m0 = momentum<M>(f);
+    TRT::fromOmegaAndMagic(GetParam()).apply<M>(f);
+    EXPECT_NEAR(density<M>(f), rho0, 1e-14);
+    const Vec3 m1 = momentum<M>(f);
+    EXPECT_NEAR(m1[0], m0[0], 1e-14);
+    EXPECT_NEAR(m1[1], m0[1], 1e-14);
+    EXPECT_NEAR(m1[2], m0[2], 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(OmegaSweep, CollisionConservation,
+                         ::testing::Values(0.3, 0.6, 1.0, 1.5, 1.9));
+
+TEST(Collision, EquilibriumIsFixedPoint) {
+    using M = D3Q19;
+    std::array<real_t, M::Q> f{};
+    setEquilibrium<M>(f, 1.02, Vec3(0.03, 0.01, -0.02));
+    auto fSRT = f;
+    SRT(1.3).apply<M>(fSRT);
+    auto fTRT = f;
+    TRT::fromOmegaAndMagic(1.3).apply<M>(fTRT);
+    for (uint_t a = 0; a < M::Q; ++a) {
+        EXPECT_NEAR(fSRT[a], f[a], 1e-14);
+        EXPECT_NEAR(fTRT[a], f[a], 1e-14);
+    }
+}
+
+TEST(Collision, TRTWithEqualEigenvaluesReducesToSRT) {
+    // Paper Eq. (8): lambda_e = lambda_o = -1/tau reduces TRT to SRT.
+    using M = D3Q19;
+    const real_t omega = 1.4;
+    auto fSRT = randomState<M>(17);
+    auto fTRT = fSRT;
+    SRT(omega).apply<M>(fSRT);
+    TRT::fromSRT(omega).apply<M>(fTRT);
+    for (uint_t a = 0; a < M::Q; ++a) EXPECT_NEAR(fTRT[a], fSRT[a], 1e-14);
+}
+
+TEST(Collision, SRTRelaxesTowardEquilibrium) {
+    using M = D3Q19;
+    auto f = randomState<M>(23);
+    const real_t rho = density<M>(f);
+    const Vec3 u = momentum<M>(f) / rho;
+    std::array<real_t, M::Q> feq{};
+    setEquilibrium<M>(feq, rho, u);
+    real_t distBefore = 0;
+    for (uint_t a = 0; a < M::Q; ++a) distBefore += std::abs(f[a] - feq[a]);
+    SRT(1.0).apply<M>(f); // omega = 1: jump straight to equilibrium
+    for (uint_t a = 0; a < M::Q; ++a) EXPECT_NEAR(f[a], feq[a], 1e-13);
+    EXPECT_GT(distBefore, 0.0);
+}
+
+TEST(Collision, TRTMagicParameterRoundTrip) {
+    const auto op = TRT::fromOmegaAndMagic(1.6, TRT::magicDefault);
+    EXPECT_NEAR(op.magic(), 3.0 / 16.0, 1e-14);
+    EXPECT_NEAR(op.omegaE(), 1.6, 1e-14);
+    const auto op2 = TRT::fromOmegaAndMagic(0.7, 0.25);
+    EXPECT_NEAR(op2.magic(), 0.25, 1e-14);
+}
+
+} // namespace
+} // namespace walb::lbm

@@ -1,0 +1,134 @@
+/// Tests for the mixed-level octree forest (the data-structure refinement
+/// capability of paper §2.2): adaptive refinement, leaf tiling, cross-level
+/// neighbor lookup, and 2:1 grading.
+
+#include <gtest/gtest.h>
+
+#include "blockforest/OctreeForest.h"
+#include "geometry/SignedDistance.h"
+
+namespace walb::bf {
+namespace {
+
+TEST(OctreeForest, NoRefinementGivesRootGrid) {
+    const auto forest = OctreeForest::create(
+        AABB(0, 0, 0, 4, 2, 2), 4, 2, 2, [](const AABB&, unsigned) { return false; }, 5);
+    EXPECT_EQ(forest.numLeaves(), 16u);
+    EXPECT_EQ(forest.maxLevelPresent(), 0u);
+    EXPECT_NEAR(forest.totalLeafVolume(), 16.0, 1e-12);
+}
+
+TEST(OctreeForest, UniformRefinementMultipliesLeavesByEight) {
+    const auto forest = OctreeForest::create(
+        AABB(0, 0, 0, 2, 2, 2), 1, 1, 1,
+        [](const AABB&, unsigned level) { return level < 2; }, 5);
+    EXPECT_EQ(forest.numLeaves(), 64u);
+    EXPECT_EQ(forest.maxLevelPresent(), 2u);
+    EXPECT_NEAR(forest.totalLeafVolume(), 8.0, 1e-12);
+    // Leaf ids are all distinct.
+    std::set<BlockID> ids;
+    for (auto li : forest.leaves()) ids.insert(forest.node(li).id);
+    EXPECT_EQ(ids.size(), 64u);
+}
+
+TEST(OctreeForest, AdaptiveRefinementAroundSurface) {
+    // Refine blocks near a sphere surface: fine leaves cluster there, the
+    // rest stays coarse, and the leaves still tile the domain exactly.
+    geometry::SphereDistance sphere({1, 1, 1}, 0.6);
+    const auto forest = OctreeForest::create(
+        AABB(0, 0, 0, 2, 2, 2), 2, 2, 2,
+        [&](const AABB& box, unsigned level) {
+            return level < 3 &&
+                   std::abs(sphere.signedDistance(box.center())) <
+                       box.circumsphereRadius();
+        },
+        5);
+    EXPECT_GT(forest.maxLevelPresent(), 1u);
+    EXPECT_NEAR(forest.totalLeafVolume(), 8.0, 1e-12);
+    // Fine leaves are near the surface; coarse leaves are not.
+    for (auto li : forest.leaves()) {
+        const auto& node = forest.node(li);
+        if (node.level == forest.maxLevelPresent())
+            EXPECT_LT(std::abs(sphere.signedDistance(node.aabb.center())),
+                      4 * node.aabb.circumsphereRadius());
+    }
+}
+
+TEST(OctreeForest, LeafAtFindsTheContainingLeaf) {
+    const auto forest = OctreeForest::create(
+        AABB(0, 0, 0, 2, 2, 2), 1, 1, 1,
+        [](const AABB& box, unsigned level) {
+            return level < 2 && box.min()[0] < 0.5; // refine only the low-x part
+        },
+        5);
+    const auto fine = forest.leafAt({0.1, 0.1, 0.1});
+    const auto coarse = forest.leafAt({1.9, 1.9, 1.9});
+    ASSERT_GE(fine, 0);
+    ASSERT_GE(coarse, 0);
+    EXPECT_GT(forest.node(std::uint32_t(fine)).level,
+              forest.node(std::uint32_t(coarse)).level);
+    EXPECT_TRUE(forest.node(std::uint32_t(fine)).aabb.contains({0.1, 0.1, 0.1}));
+    EXPECT_EQ(forest.leafAt({5, 5, 5}), -1);
+}
+
+TEST(OctreeForest, NeighborsAcrossLevels) {
+    // One refined root next to an unrefined one: the coarse leaf must list
+    // the four fine face neighbors, and vice versa.
+    const auto forest = OctreeForest::create(
+        AABB(0, 0, 0, 2, 1, 1), 2, 1, 1,
+        [](const AABB& box, unsigned level) { return level < 1 && box.min()[0] < 0.5; }, 3);
+    ASSERT_EQ(forest.numLeaves(), 9u); // 8 fine + 1 coarse
+
+    const auto coarse = forest.leafAt({1.5, 0.5, 0.5});
+    ASSERT_GE(coarse, 0);
+    const auto neighbors = forest.neighborLeaves(std::uint32_t(coarse));
+    // The four fine children on the shared face x = 1 touch the coarse
+    // leaf; the four at x < 0.5 do not.
+    EXPECT_EQ(neighbors.size(), 4u);
+    for (auto n : neighbors) {
+        EXPECT_EQ(forest.node(n).level, 1u);
+        EXPECT_NEAR(forest.node(n).aabb.max()[0], 1.0, 1e-12);
+    }
+
+    const auto fine = forest.leafAt({0.9, 0.2, 0.2});
+    ASSERT_GE(fine, 0);
+    const auto fineNeighbors = forest.neighborLeaves(std::uint32_t(fine));
+    // The fine leaf sees the coarse leaf plus its fine siblings.
+    bool seesCoarse = false;
+    for (auto n : fineNeighbors)
+        if (std::int32_t(n) == coarse) seesCoarse = true;
+    EXPECT_TRUE(seesCoarse);
+}
+
+TEST(OctreeForest, TwoToOneBalanceDetectionAndRepair) {
+    // Nested corner refinement is intrinsically graded, so to violate the
+    // 2:1 rule we refine deep toward the face between root 0 and the
+    // unrefined root 1: the level-3 leaves at x -> 1 then face the level-0
+    // root directly.
+    auto forest = OctreeForest::create(
+        AABB(0, 0, 0, 2, 1, 1), 2, 1, 1,
+        [](const AABB& box, unsigned level) {
+            return level < 3 && box.containsClosed({0.99, 0.01, 0.01});
+        },
+        5);
+    EXPECT_EQ(forest.maxLevelPresent(), 3u);
+    EXPECT_FALSE(forest.is2to1Balanced());
+    const real_t volumeBefore = forest.totalLeafVolume();
+
+    const std::size_t splits = forest.enforce2to1Balance();
+    EXPECT_GT(splits, 0u);
+    EXPECT_TRUE(forest.is2to1Balanced());
+    EXPECT_NEAR(forest.totalLeafVolume(), volumeBefore, 1e-12);
+}
+
+TEST(OctreeForest, FacesTouchClassification) {
+    const AABB a(0, 0, 0, 1, 1, 1);
+    EXPECT_TRUE(OctreeForest::facesTouch(a, AABB(1, 0, 0, 2, 1, 1)));    // face
+    EXPECT_TRUE(OctreeForest::facesTouch(a, AABB(1, 0.5, 0, 2, 1.5, 1))); // partial face
+    EXPECT_FALSE(OctreeForest::facesTouch(a, AABB(1, 1, 0, 2, 2, 1)));   // edge
+    EXPECT_FALSE(OctreeForest::facesTouch(a, AABB(1, 1, 1, 2, 2, 2)));   // corner
+    EXPECT_FALSE(OctreeForest::facesTouch(a, AABB(3, 0, 0, 4, 1, 1)));   // apart
+}
+
+} // namespace
+} // namespace walb::bf

@@ -1,0 +1,94 @@
+/// Hybrid-parallelism tests: with OpenMP enabled, the threaded sweeps must
+/// produce bitwise-identical results regardless of the thread count (rows
+/// write disjoint cells and perform identical arithmetic per cell).
+
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "lbm/KernelD3Q19Simd.h"
+#include "lbm/Boundary.h"
+#include "lbm/Sparse.h"
+
+namespace walb::lbm {
+namespace {
+
+void fillState(PdfField& f) {
+    f.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        const Vec3 u(0.02 * std::sin(0.2 * real_c(x + z)), -0.01 * std::cos(0.3 * real_c(y)),
+                     0.015);
+        for (uint_t a = 0; a < D3Q19::Q; ++a)
+            f.get(x, y, z, cell_idx_c(a)) =
+                equilibrium<D3Q19>(a, 1.0 + 0.01 * std::sin(real_c(x * y % 7)), u);
+    });
+}
+
+#ifdef _OPENMP
+
+TEST(OpenMP, DenseSweepIsThreadCountInvariant) {
+    const cell_idx_t N = 20;
+    PdfField src = makePdfField<D3Q19>(N, N, N);
+    fillState(src);
+    const TRT op = TRT::fromOmegaAndMagic(1.3);
+    KernelD3Q19Simd<> kernel;
+
+    const int maxThreads = omp_get_max_threads();
+    omp_set_num_threads(1);
+    PdfField dst1 = makePdfField<D3Q19>(N, N, N);
+    kernel.sweep(src, dst1, op);
+
+    omp_set_num_threads(std::max(4, maxThreads));
+    PdfField dst4 = makePdfField<D3Q19>(N, N, N);
+    kernel.sweep(src, dst4, op);
+    omp_set_num_threads(maxThreads);
+
+    dst1.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        for (uint_t a = 0; a < D3Q19::Q; ++a)
+            ASSERT_EQ(dst1.get(x, y, z, cell_idx_c(a)), dst4.get(x, y, z, cell_idx_c(a)))
+                << "thread-count-dependent result at " << x << ',' << y << ',' << z;
+    });
+}
+
+TEST(OpenMP, IntervalSweepIsThreadCountInvariant) {
+    const cell_idx_t N = 20;
+    field::FlagField flags(N, N, N, 1);
+    const auto fluid = flags.registerFlag(kFluidFlag);
+    flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        if ((x + 2 * y + 3 * z) % 5 != 0) flags.addFlag(x, y, z, fluid); // ragged runs
+    });
+    const FluidRunList runs = buildFluidRuns(flags, fluid);
+
+    PdfField src = makePdfField<D3Q19>(N, N, N);
+    fillState(src);
+    const SRT op(1.6);
+    KernelD3Q19Simd<> kernel;
+
+    const int maxThreads = omp_get_max_threads();
+    omp_set_num_threads(1);
+    PdfField dst1 = makePdfField<D3Q19>(N, N, N);
+    streamCollideIntervals(src, dst1, runs, op, kernel);
+
+    omp_set_num_threads(std::max(4, maxThreads));
+    PdfField dst4 = makePdfField<D3Q19>(N, N, N);
+    streamCollideIntervals(src, dst4, runs, op, kernel);
+    omp_set_num_threads(maxThreads);
+
+    flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        if (!flags.isFlagSet(x, y, z, fluid)) return;
+        for (uint_t a = 0; a < D3Q19::Q; ++a)
+            ASSERT_EQ(dst1.get(x, y, z, cell_idx_c(a)), dst4.get(x, y, z, cell_idx_c(a)));
+    });
+}
+
+#else
+
+TEST(OpenMP, CompiledWithoutOpenMP) {
+    GTEST_SKIP() << "build has no OpenMP support; threaded-sweep invariance not testable";
+}
+
+#endif
+
+} // namespace
+} // namespace walb::lbm

@@ -1,0 +1,185 @@
+/// Tests for the METIS-substitute graph partitioner: balance, cut quality
+/// on structured graphs, determinism, and degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include "partition/Partitioner.h"
+
+namespace walb::partition {
+namespace {
+
+/// 3-D grid graph of blocks with face edges (the shape of real block
+/// communication graphs).
+Graph gridGraph(std::uint32_t nx, std::uint32_t ny, std::uint32_t nz,
+                std::uint64_t edgeWeight = 1) {
+    Graph g(std::size_t(nx) * ny * nz);
+    auto id = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+        return (z * ny + y) * nx + x;
+    };
+    for (std::uint32_t z = 0; z < nz; ++z)
+        for (std::uint32_t y = 0; y < ny; ++y)
+            for (std::uint32_t x = 0; x < nx; ++x) {
+                if (x + 1 < nx) g.addEdge(id(x, y, z), id(x + 1, y, z), edgeWeight);
+                if (y + 1 < ny) g.addEdge(id(x, y, z), id(x, y + 1, z), edgeWeight);
+                if (z + 1 < nz) g.addEdge(id(x, y, z), id(x, y, z + 1), edgeWeight);
+            }
+    g.finalize();
+    return g;
+}
+
+TEST(Graph, CsrConstruction) {
+    Graph g(4);
+    g.addEdge(0, 1, 5);
+    g.addEdge(1, 2, 7);
+    g.addEdge(2, 3, 1);
+    g.finalize();
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degreeEnd(1) - g.degreeBegin(1), 2u); // neighbors 0 and 2
+    std::uint64_t sum = 0;
+    for (std::size_t e = g.degreeBegin(1); e < g.degreeEnd(1); ++e) sum += g.edgeWeight(e);
+    EXPECT_EQ(sum, 12u);
+}
+
+TEST(Graph, CutWeight) {
+    Graph g(4);
+    g.addEdge(0, 1, 5);
+    g.addEdge(1, 2, 7);
+    g.addEdge(2, 3, 1);
+    g.finalize();
+    EXPECT_EQ(g.cutWeight({0, 0, 1, 1}), 7u);
+    EXPECT_EQ(g.cutWeight({0, 0, 0, 0}), 0u);
+    EXPECT_EQ(g.cutWeight({0, 1, 0, 1}), 13u);
+}
+
+class PartitionerGrid : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PartitionerGrid, BalancedWithinTolerance) {
+    const std::uint32_t k = GetParam();
+    const Graph g = gridGraph(8, 8, 8);
+    PartitionOptions opt;
+    opt.numParts = k;
+    const PartitionResult r = partitionGraph(g, opt);
+    ASSERT_EQ(r.part.size(), g.numVertices());
+    for (auto p : r.part) EXPECT_LT(p, k);
+    EXPECT_LE(r.imbalance, opt.imbalanceTolerance + 0.08)
+        << "imbalance " << r.imbalance << " for k=" << k;
+    // All parts non-empty for reasonable sizes.
+    std::vector<int> used(k, 0);
+    for (auto p : r.part) used[p] = 1;
+    for (std::uint32_t p = 0; p < k; ++p) EXPECT_TRUE(used[p]) << "empty part " << p;
+}
+
+TEST_P(PartitionerGrid, CutFarBelowRandomAssignment) {
+    const std::uint32_t k = GetParam();
+    if (k == 1) GTEST_SKIP();
+    const Graph g = gridGraph(8, 8, 8);
+    PartitionOptions opt;
+    opt.numParts = k;
+    const PartitionResult r = partitionGraph(g, opt);
+    // A random assignment cuts ~ (1 - 1/k) of all edges; a sane partitioner
+    // should cut a small fraction of that on a grid.
+    const double randomCut = double(g.numEdges()) * (1.0 - 1.0 / double(k));
+    EXPECT_LT(double(r.cutWeight), 0.5 * randomCut) << "cut " << r.cutWeight;
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PartitionerGrid, ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(Partitioner, TwoWayGridCutIsNearOptimal) {
+    // Bisecting an 8x8x8 grid optimally cuts one 8x8 plane = 64 edges.
+    const Graph g = gridGraph(8, 8, 8);
+    PartitionOptions opt;
+    opt.numParts = 2;
+    const PartitionResult r = partitionGraph(g, opt);
+    EXPECT_LE(r.cutWeight, 64u * 2) << "bisection cut far from the 64-edge optimum";
+}
+
+TEST(Partitioner, RespectsVertexWeights) {
+    // A path of 10 vertices where vertex 0 carries half the total weight:
+    // for k=2, vertex 0 should sit alone-ish.
+    Graph g(10);
+    for (std::uint32_t v = 0; v + 1 < 10; ++v) g.addEdge(v, v + 1);
+    g.setVertexWeight(0, 9);
+    for (std::uint32_t v = 1; v < 10; ++v) g.setVertexWeight(v, 1);
+    g.finalize();
+    PartitionOptions opt;
+    opt.numParts = 2;
+    const PartitionResult r = partitionGraph(g, opt);
+    std::uint64_t w0 = 0, w1 = 0;
+    for (std::uint32_t v = 0; v < 10; ++v) (r.part[v] == 0 ? w0 : w1) += g.vertexWeight(v);
+    EXPECT_LE(std::max(w0, w1), 12u) << "w0=" << w0 << " w1=" << w1;
+}
+
+TEST(Partitioner, HeavyEdgesStayUncut) {
+    // A chain of two cliques linked by a light edge: the cut must use the
+    // light edge.
+    Graph g(8);
+    for (std::uint32_t a = 0; a < 4; ++a)
+        for (std::uint32_t b = a + 1; b < 4; ++b) g.addEdge(a, b, 100);
+    for (std::uint32_t a = 4; a < 8; ++a)
+        for (std::uint32_t b = a + 1; b < 8; ++b) g.addEdge(a, b, 100);
+    g.addEdge(3, 4, 1);
+    g.finalize();
+    PartitionOptions opt;
+    opt.numParts = 2;
+    const PartitionResult r = partitionGraph(g, opt);
+    EXPECT_EQ(r.cutWeight, 1u);
+}
+
+TEST(Partitioner, DeterministicForFixedSeed) {
+    const Graph g = gridGraph(6, 6, 6);
+    PartitionOptions opt;
+    opt.numParts = 4;
+    const auto a = partitionGraph(g, opt);
+    const auto b = partitionGraph(g, opt);
+    EXPECT_EQ(a.part, b.part);
+    EXPECT_EQ(a.cutWeight, b.cutWeight);
+}
+
+TEST(Partitioner, HandlesDisconnectedGraphs) {
+    Graph g(6); // three disconnected pairs
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    g.addEdge(4, 5);
+    g.finalize();
+    PartitionOptions opt;
+    opt.numParts = 3;
+    const PartitionResult r = partitionGraph(g, opt);
+    EXPECT_LE(r.imbalance, 1.6);
+}
+
+TEST(Partitioner, SingleVertexAndSinglePart) {
+    Graph g(1);
+    g.finalize();
+    PartitionOptions opt;
+    opt.numParts = 1;
+    const PartitionResult r = partitionGraph(g, opt);
+    EXPECT_EQ(r.part, std::vector<std::uint32_t>{0});
+    EXPECT_EQ(r.cutWeight, 0u);
+}
+
+TEST(Partitioner, MorePartsThanVerticesLeavesEmptyParts) {
+    Graph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.finalize();
+    PartitionOptions opt;
+    opt.numParts = 8;
+    const PartitionResult r = partitionGraph(g, opt);
+    for (auto p : r.part) EXPECT_LT(p, 8u);
+    // The three vertices land in three distinct parts.
+    EXPECT_NE(r.part[0], r.part[1]);
+    EXPECT_NE(r.part[1], r.part[2]);
+}
+
+TEST(Partitioner, LargeGridScales) {
+    const Graph g = gridGraph(16, 16, 16); // 4096 vertices
+    PartitionOptions opt;
+    opt.numParts = 32;
+    const PartitionResult r = partitionGraph(g, opt);
+    EXPECT_LE(r.imbalance, 1.25);
+    const double randomCut = double(g.numEdges()) * (1.0 - 1.0 / 32.0);
+    EXPECT_LT(double(r.cutWeight), 0.4 * randomCut);
+}
+
+} // namespace
+} // namespace walb::partition

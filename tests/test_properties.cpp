@@ -1,0 +1,179 @@
+/// Randomized property tests over the core abstractions: serialization
+/// round trips for arbitrary values, geometric identities of CellInterval
+/// and AABB under random boxes, and monotonicity properties of the
+/// performance models.
+
+#include <gtest/gtest.h>
+
+#include "core/AABB.h"
+#include "core/Buffer.h"
+#include "core/Cell.h"
+#include "core/Random.h"
+#include "perf/Scaling.h"
+
+namespace walb {
+namespace {
+
+TEST(BufferProperty, CompactRoundTripForAllWidths) {
+    Random rng(17);
+    for (unsigned width = 1; width <= 8; ++width) {
+        const std::uint64_t maxValue =
+            width == 8 ? ~0ull : ((1ull << (8 * width)) - 1);
+        SendBuffer sb;
+        std::vector<std::uint64_t> values;
+        for (int i = 0; i < 64; ++i) {
+            // Bias toward boundary values where truncation bugs live.
+            std::uint64_t v;
+            switch (rng.uniformInt(4)) {
+                case 0: v = 0; break;
+                case 1: v = maxValue; break;
+                case 2: v = maxValue >> 1; break;
+                default:
+                    v = width == 8 ? rng.nextU64() : rng.nextU64() & maxValue;
+            }
+            values.push_back(v);
+            sb.putCompact(v, width);
+        }
+        EXPECT_EQ(sb.size(), 64u * width);
+        RecvBuffer rb(sb.release());
+        for (std::uint64_t v : values) EXPECT_EQ(rb.getCompact(width), v) << "width " << width;
+    }
+}
+
+TEST(BufferProperty, MixedStreamRoundTrip) {
+    Random rng(23);
+    for (int trial = 0; trial < 20; ++trial) {
+        SendBuffer sb;
+        const auto i32 = std::int32_t(rng.nextU64());
+        const auto u16 = std::uint16_t(rng.nextU64());
+        const double d = rng.uniform(-1e10, 1e10);
+        const auto f = float(rng.uniform(-10, 10));
+        std::vector<double> vec(rng.uniformInt(20));
+        for (auto& v : vec) v = rng.uniform(-1, 1);
+        sb << i32 << u16 << d << f << vec;
+        RecvBuffer rb(sb.release());
+        std::int32_t i32b;
+        std::uint16_t u16b;
+        double db;
+        float fb;
+        std::vector<double> vecb;
+        rb >> i32b >> u16b >> db >> fb >> vecb;
+        EXPECT_EQ(i32b, i32);
+        EXPECT_EQ(u16b, u16);
+        EXPECT_EQ(db, d);
+        EXPECT_EQ(fb, f);
+        EXPECT_EQ(vecb, vec);
+        EXPECT_TRUE(rb.atEnd());
+    }
+}
+
+CellInterval randomInterval(Random& rng) {
+    const cell_idx_t x0 = cell_idx_t(rng.uniformInt(20)) - 10;
+    const cell_idx_t y0 = cell_idx_t(rng.uniformInt(20)) - 10;
+    const cell_idx_t z0 = cell_idx_t(rng.uniformInt(20)) - 10;
+    return {x0, y0, z0, x0 + cell_idx_t(rng.uniformInt(8)), y0 + cell_idx_t(rng.uniformInt(8)),
+            z0 + cell_idx_t(rng.uniformInt(8))};
+}
+
+TEST(CellIntervalProperty, IntersectionIsContainedInBoth) {
+    Random rng(31);
+    for (int trial = 0; trial < 200; ++trial) {
+        const CellInterval a = randomInterval(rng), b = randomInterval(rng);
+        const CellInterval i = a.intersect(b);
+        if (i.empty()) {
+            // Disjointness: no cell of a lies in b.
+            bool overlap = false;
+            a.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+                if (b.contains(Cell{x, y, z})) overlap = true;
+            });
+            EXPECT_FALSE(overlap);
+        } else {
+            EXPECT_TRUE(a.contains(i));
+            EXPECT_TRUE(b.contains(i));
+            // Every cell in both is in the intersection.
+            a.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+                const Cell c{x, y, z};
+                EXPECT_EQ(i.contains(c), b.contains(c));
+            });
+        }
+    }
+}
+
+TEST(CellIntervalProperty, NumCellsMatchesForEachCount) {
+    Random rng(37);
+    for (int trial = 0; trial < 100; ++trial) {
+        const CellInterval ci = randomInterval(rng);
+        uint_t count = 0;
+        ci.forEach([&](cell_idx_t, cell_idx_t, cell_idx_t) { ++count; });
+        EXPECT_EQ(count, ci.numCells());
+    }
+}
+
+TEST(AabbProperty, SqrDistanceIsZeroIffInsideClosed) {
+    Random rng(41);
+    for (int trial = 0; trial < 300; ++trial) {
+        const Vec3 lo(rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5));
+        const AABB box(lo, lo + Vec3(rng.uniform(0.1, 4), rng.uniform(0.1, 4),
+                                     rng.uniform(0.1, 4)));
+        const Vec3 p(rng.uniform(-8, 8), rng.uniform(-8, 8), rng.uniform(-8, 8));
+        const bool inside = box.containsClosed(p);
+        EXPECT_EQ(box.sqrDistance(p) == 0.0, inside) << "p=" << p << " box=" << box;
+    }
+}
+
+TEST(AabbProperty, OctantsPartitionTheBox) {
+    Random rng(43);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Vec3 lo(rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5));
+        const AABB box(lo, lo + Vec3(rng.uniform(0.5, 4), rng.uniform(0.5, 4),
+                                     rng.uniform(0.5, 4)));
+        const Vec3 p = box.min() + Vec3(rng.uniform(0, 1) * box.xSize(),
+                                        rng.uniform(0, 1) * box.ySize(),
+                                        rng.uniform(0, 1) * box.zSize());
+        // Half-open octants: exactly one octant contains any interior point.
+        int containing = 0;
+        for (unsigned c = 0; c < 8; ++c)
+            if (box.octant(c).contains(p)) ++containing;
+        if (box.contains(p)) EXPECT_EQ(containing, 1) << p;
+    }
+}
+
+TEST(ModelProperty, EcmIsMonotoneInCoresAndTier) {
+    using namespace perf;
+    for (const auto& machine : {superMUCSocket(), juqueenNode()}) {
+        const EcmModel simd(machine, KernelTier::Simd);
+        for (unsigned c = 1; c < machine.coresPerChip; ++c)
+            EXPECT_LE(simd.predictMLUPS(c), simd.predictMLUPS(c + 1) + 1e-12);
+        EXPECT_LE(simd.predictMLUPS(machine.coresPerChip),
+                  rooflineMLUPS(machine.usableBandwidthGiBs) + 1e-9);
+    }
+}
+
+TEST(ModelProperty, CommTimeIsMonotoneInBytesAndScale) {
+    using namespace perf;
+    const ScalingModel model(superMUCSocket(), prunedTreeNetwork());
+    double last = 0;
+    for (double bytes : {1e3, 1e5, 1e7, 1e9}) {
+        const double t = model.commSeconds(bytes, 18, 16, 4096);
+        EXPECT_GT(t, last);
+        last = t;
+    }
+    // Crossing island boundaries never makes communication cheaper.
+    EXPECT_GE(model.commSeconds(1e6, 18, 16, 1u << 17),
+              model.commSeconds(1e6, 18, 16, 1u << 12));
+}
+
+TEST(ModelProperty, WeakScalingStepTimeDecomposes) {
+    using namespace perf;
+    const ScalingModel model(juqueenNode(), torusNetwork());
+    const auto p = model.weakScalingDense(1u << 10, {64, 1}, 1.728e6);
+    // mpiFraction and timeStepsPerSecond must be consistent:
+    // comm = fraction / stepsPerSecond.
+    const double step = 1.0 / p.timeStepsPerSecond;
+    const double comm = model.commSeconds(cubeGhostBytes(std::cbrt(1.728e6)), 18, 64,
+                                          1u << 10);
+    EXPECT_NEAR(p.mpiFraction, comm / step, 1e-9);
+}
+
+} // namespace
+} // namespace walb

@@ -1,0 +1,114 @@
+/// Tests for the inter-level transfer operators: conservation under
+/// restriction, inverse relations, and exact reproduction of constant and
+/// linear fields — the algebraic requirements for grid-refined LBM.
+
+#include <gtest/gtest.h>
+
+#include "core/Random.h"
+#include "lbm/PdfField.h"
+#include "lbm/Refinement.h"
+
+namespace walb::lbm {
+namespace {
+
+using field::Field;
+using field::Layout;
+
+Field<real_t> makeCoarse(cell_idx_t n, uint_t f = 2, cell_idx_t ghost = 1) {
+    return Field<real_t>(n, n, n, f, Layout::fzyx, 0.0, ghost);
+}
+Field<real_t> makeFine(cell_idx_t n, uint_t f = 2) {
+    return Field<real_t>(2 * n, 2 * n, 2 * n, f, Layout::fzyx, 0.0, 1);
+}
+
+TEST(Refinement, RestrictionConservesTotals) {
+    const cell_idx_t n = 4;
+    Field<real_t> fine = makeFine(n);
+    Random rng(5);
+    fine.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        fine.get(x, y, z, 0) = rng.uniform(0.5, 1.5);
+        fine.get(x, y, z, 1) = rng.uniform(-1, 1);
+    });
+    Field<real_t> coarse = makeCoarse(n);
+    restrictToCoarse(fine, coarse);
+
+    for (cell_idx_t f = 0; f < 2; ++f) {
+        real_t fineTotal = 0, coarseTotal = 0;
+        fine.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            fineTotal += fine.get(x, y, z, f);
+        });
+        coarse.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            coarseTotal += coarse.get(x, y, z, f);
+        });
+        // Averaging: coarse total = fine total / 8 (cell volume ratio).
+        EXPECT_NEAR(coarseTotal * 8, fineTotal, 1e-12 * std::abs(fineTotal) + 1e-14);
+    }
+}
+
+TEST(Refinement, RestrictAfterConstantProlongateIsIdentity) {
+    const cell_idx_t n = 3;
+    Field<real_t> coarse = makeCoarse(n, 1);
+    Random rng(7);
+    coarse.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        coarse.get(x, y, z, 0) = rng.uniform(0, 1);
+    });
+    Field<real_t> fine = makeFine(n, 1);
+    prolongateConstant(coarse, fine);
+    Field<real_t> back = makeCoarse(n, 1);
+    restrictToCoarse(fine, back);
+    coarse.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        EXPECT_DOUBLE_EQ(back.get(x, y, z, 0), coarse.get(x, y, z, 0));
+    });
+}
+
+TEST(Refinement, TrilinearReproducesConstants) {
+    const cell_idx_t n = 4;
+    Field<real_t> coarse = makeCoarse(n, 1);
+    coarse.fill(2.5); // including ghost cells
+    Field<real_t> fine = makeFine(n, 1);
+    prolongateTrilinear(coarse, fine);
+    fine.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        EXPECT_DOUBLE_EQ(fine.get(x, y, z, 0), 2.5);
+    });
+}
+
+TEST(Refinement, TrilinearReproducesLinearFields) {
+    const cell_idx_t n = 4;
+    Field<real_t> coarse = makeCoarse(n, 1);
+    // Linear field in physical coordinates (coarse spacing 1, fine 1/2):
+    // v(p) = 2 px - 3 py + 0.5 pz, sampled at cell centers incl. ghosts.
+    auto linear = [](real_t px, real_t py, real_t pz) {
+        return 2 * px - 3 * py + real_c(0.5) * pz;
+    };
+    coarse.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        coarse.get(x, y, z, 0) =
+            linear(real_c(x) + real_c(0.5), real_c(y) + real_c(0.5), real_c(z) + real_c(0.5));
+    });
+    Field<real_t> fine = makeFine(n, 1);
+    prolongateTrilinear(coarse, fine);
+    fine.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        const real_t expected =
+            linear((real_c(x) + real_c(0.5)) / 2, (real_c(y) + real_c(0.5)) / 2,
+                   (real_c(z) + real_c(0.5)) / 2);
+        EXPECT_NEAR(fine.get(x, y, z, 0), expected, 1e-12) << x << ',' << y << ',' << z;
+    });
+}
+
+TEST(Refinement, EquilibriumSurvivesRoundTrip) {
+    // A PDF field at uniform equilibrium restricted and prolongated stays
+    // at the same equilibrium — levels can hand over quiescent regions
+    // without disturbance.
+    const cell_idx_t n = 4;
+    Field<real_t> fine(2 * n, 2 * n, 2 * n, D3Q19::Q, Layout::fzyx, 0.0, 1);
+    initEquilibrium<D3Q19>(fine, 1.02, {0.01, -0.02, 0.005});
+    Field<real_t> coarse(n, n, n, D3Q19::Q, Layout::fzyx, 0.0, 1);
+    restrictToCoarse(fine, coarse);
+    coarse.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        for (uint_t a = 0; a < D3Q19::Q; ++a)
+            EXPECT_NEAR(coarse.get(x, y, z, cell_idx_c(a)),
+                        equilibrium<D3Q19>(a, 1.02, {0.01, -0.02, 0.005}), 1e-14);
+    });
+}
+
+} // namespace
+} // namespace walb::lbm

@@ -1,0 +1,77 @@
+/// Tests for the weak/strong scaling partitioning searches of paper §2.3.
+
+#include <gtest/gtest.h>
+
+#include "blockforest/ScalingSetup.h"
+#include "geometry/CoronaryTree.h"
+
+namespace walb::bf {
+namespace {
+
+std::unique_ptr<geometry::DistanceFunction> testTree() {
+    geometry::CoronaryTreeParams params;
+    params.seed = 11;
+    params.bounds = AABB(0, 0, 0, 1, 1, 1);
+    params.rootRadius = 0.05;
+    params.minRadius = 0.012;
+    params.maxDepth = 8;
+    return geometry::CoronaryTree::generate(params).implicitDistance();
+}
+
+TEST(ScalingSetup, ConfigForBlockGridCoversBbox) {
+    const AABB bbox(0, 0, 0, 1.0, 0.6, 0.3);
+    const SetupConfig cfg = configForBlockGrid(bbox, 10, 16);
+    EXPECT_EQ(cfg.rootBlocksX, 10u);
+    EXPECT_EQ(cfg.rootBlocksY, 6u);
+    EXPECT_EQ(cfg.rootBlocksZ, 3u);
+    EXPECT_GE(cfg.domain.xSize(), bbox.xSize() - 1e-12);
+    EXPECT_GE(cfg.domain.ySize(), bbox.ySize() - 1e-12);
+    // Cubic cells: dx equal along all axes by construction.
+    EXPECT_NEAR(cfg.dx(), 0.1 / 16.0, 1e-12);
+}
+
+TEST(ScalingSetup, WeakSearchHitsTargetFromBelow) {
+    const auto phi = testTree();
+    for (uint_t target : {16u, 64u, 256u}) {
+        const auto result = findWeakScalingPartition(*phi, AABB(0, 0, 0, 1, 1, 1), 8, target);
+        EXPECT_LE(result.blocks, target);
+        EXPECT_GT(result.blocks, target / 4) << "search landed far below the target";
+        EXPECT_EQ(result.forest.numBlocks(), result.blocks);
+        EXPECT_GT(result.dx, 0.0);
+    }
+}
+
+TEST(ScalingSetup, WeakSearchRefinesResolutionWithMoreBlocks) {
+    const auto phi = testTree();
+    const auto coarse = findWeakScalingPartition(*phi, AABB(0, 0, 0, 1, 1, 1), 8, 32);
+    const auto fine = findWeakScalingPartition(*phi, AABB(0, 0, 0, 1, 1, 1), 8, 512);
+    EXPECT_LT(fine.dx, coarse.dx); // weak scaling: more blocks = finer resolution
+}
+
+TEST(ScalingSetup, StrongSearchKeepsDxFixed) {
+    const auto phi = testTree();
+    const real_t dx = 1.0 / 256.0;
+    const auto few = findStrongScalingPartition(*phi, AABB(0, 0, 0, 1, 1, 1), dx, 32, 4, 128);
+    const auto many =
+        findStrongScalingPartition(*phi, AABB(0, 0, 0, 1, 1, 1), dx, 512, 4, 128);
+    EXPECT_LE(few.blocks, 32u);
+    EXPECT_LE(many.blocks, 512u);
+    EXPECT_GT(many.blocks, few.blocks);
+    // More blocks at fixed dx means smaller block edges.
+    EXPECT_LT(many.blockEdgeCells, few.blockEdgeCells);
+    EXPECT_DOUBLE_EQ(few.dx, dx);
+    EXPECT_DOUBLE_EQ(many.dx, dx);
+}
+
+TEST(ScalingSetup, StrongSearchBlocksAreCubes) {
+    const auto phi = testTree();
+    const auto result =
+        findStrongScalingPartition(*phi, AABB(0, 0, 0, 1, 1, 1), 1.0 / 128.0, 64, 4, 128);
+    const auto& cfg = result.forest.config();
+    EXPECT_EQ(cfg.cellsPerBlockX, cfg.cellsPerBlockY);
+    EXPECT_EQ(cfg.cellsPerBlockY, cfg.cellsPerBlockZ);
+    EXPECT_EQ(cfg.cellsPerBlockX, result.blockEdgeCells);
+}
+
+} // namespace
+} // namespace walb::bf

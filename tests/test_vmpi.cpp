@@ -1,0 +1,231 @@
+/// Tests for the virtual message-passing layer: point-to-point semantics,
+/// collectives, the BufferSystem neighbor exchange, and typed wrappers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "vmpi/BufferSystem.h"
+#include "vmpi/SerialComm.h"
+#include "vmpi/ThreadComm.h"
+
+namespace walb::vmpi {
+namespace {
+
+TEST(SerialComm, SelfSendRecv) {
+    SerialComm comm;
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    sendObject(comm, 0, 5, std::uint64_t(42));
+    EXPECT_EQ(recvObject<std::uint64_t>(comm, 0, 5), 42u);
+}
+
+TEST(SerialComm, TryRecvReturnsFalseWhenEmpty) {
+    SerialComm comm;
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(comm.tryRecv(0, 1, out));
+    comm.send(0, 1, {1, 2, 3});
+    EXPECT_TRUE(comm.tryRecv(0, 1, out));
+    EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(SerialComm, CollectivesAreIdentity) {
+    SerialComm comm;
+    EXPECT_DOUBLE_EQ(allreduceSum(comm, 3.5), 3.5);
+    const std::vector<std::uint8_t> mine{9, 8};
+    const auto gathered = comm.allgatherv(mine);
+    ASSERT_EQ(gathered.size(), 1u);
+    EXPECT_EQ(gathered[0], mine);
+}
+
+class ThreadCommTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCommTest, RanksAndSize) {
+    const int n = GetParam();
+    std::atomic<int> sum{0};
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        EXPECT_EQ(comm.size(), n);
+        sum += comm.rank();
+    });
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST_P(ThreadCommTest, RingSendRecv) {
+    const int n = GetParam();
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        const int next = (comm.rank() + 1) % n;
+        const int prev = (comm.rank() + n - 1) % n;
+        sendObject(comm, next, 1, std::uint64_t(comm.rank()));
+        EXPECT_EQ(recvObject<std::uint64_t>(comm, prev, 1), std::uint64_t(prev));
+    });
+}
+
+TEST_P(ThreadCommTest, TagsKeepMessagesApart) {
+    const int n = GetParam();
+    if (n < 2) GTEST_SKIP();
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        if (comm.rank() == 0) {
+            // Send two messages with different tags in "wrong" order.
+            sendObject(comm, 1, 20, std::uint64_t(222));
+            sendObject(comm, 1, 10, std::uint64_t(111));
+        } else if (comm.rank() == 1) {
+            // Receive by tag, not arrival order.
+            EXPECT_EQ(recvObject<std::uint64_t>(comm, 0, 10), 111u);
+            EXPECT_EQ(recvObject<std::uint64_t>(comm, 0, 20), 222u);
+        }
+    });
+}
+
+TEST_P(ThreadCommTest, MessagesWithSameTagArriveFifo) {
+    const int n = GetParam();
+    if (n < 2) GTEST_SKIP();
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        if (comm.rank() == 0) {
+            for (std::uint64_t i = 0; i < 50; ++i) sendObject(comm, 1, 7, i);
+        } else if (comm.rank() == 1) {
+            for (std::uint64_t i = 0; i < 50; ++i)
+                EXPECT_EQ(recvObject<std::uint64_t>(comm, 0, 7), i);
+        }
+    });
+}
+
+TEST_P(ThreadCommTest, Broadcast) {
+    const int n = GetParam();
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        std::vector<double> data;
+        if (comm.rank() == n - 1) data = {1.5, 2.5, 3.5};
+        broadcastObject(comm, data, n - 1);
+        EXPECT_EQ(data, (std::vector<double>{1.5, 2.5, 3.5}));
+    });
+}
+
+TEST_P(ThreadCommTest, AllreduceSumMinMax) {
+    const int n = GetParam();
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        const double r = double(comm.rank());
+        EXPECT_DOUBLE_EQ(allreduceSum(comm, r), double(n * (n - 1)) / 2.0);
+        EXPECT_DOUBLE_EQ(allreduceMin(comm, r), 0.0);
+        EXPECT_DOUBLE_EQ(allreduceMax(comm, r), double(n - 1));
+        std::uint64_t u = uint_c(comm.rank()) + 1;
+        EXPECT_EQ(allreduceSum(comm, u), uint_c(n) * uint_c(n + 1) / 2);
+    });
+}
+
+TEST_P(ThreadCommTest, AllreduceVectorElementwise) {
+    const int n = GetParam();
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        std::vector<double> v{double(comm.rank()), -double(comm.rank()), 1.0};
+        comm.allreduce(std::span<double>(v), ReduceOp::Sum);
+        EXPECT_DOUBLE_EQ(v[0], double(n * (n - 1)) / 2.0);
+        EXPECT_DOUBLE_EQ(v[1], -double(n * (n - 1)) / 2.0);
+        EXPECT_DOUBLE_EQ(v[2], double(n));
+    });
+}
+
+TEST_P(ThreadCommTest, Allgatherv) {
+    const int n = GetParam();
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        // Each rank contributes rank+1 bytes of value rank.
+        std::vector<std::uint8_t> mine(std::size_t(comm.rank()) + 1,
+                                       std::uint8_t(comm.rank()));
+        const auto all = comm.allgatherv(mine);
+        ASSERT_EQ(all.size(), std::size_t(n));
+        for (int r = 0; r < n; ++r) {
+            ASSERT_EQ(all[std::size_t(r)].size(), std::size_t(r) + 1);
+            for (auto b : all[std::size_t(r)]) EXPECT_EQ(b, std::uint8_t(r));
+        }
+    });
+}
+
+TEST_P(ThreadCommTest, GathervOnlyRootReceives) {
+    const int n = GetParam();
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        std::vector<std::uint8_t> mine{std::uint8_t(comm.rank())};
+        const auto all = comm.gatherv(mine, 0);
+        if (comm.rank() == 0) {
+            ASSERT_EQ(all.size(), std::size_t(n));
+            for (int r = 0; r < n; ++r) EXPECT_EQ(all[std::size_t(r)][0], std::uint8_t(r));
+        } else {
+            EXPECT_TRUE(all.empty());
+        }
+    });
+}
+
+TEST_P(ThreadCommTest, BarrierSeparatesPhases) {
+    const int n = GetParam();
+    std::atomic<int> phase1{0};
+    std::atomic<bool> violated{false};
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        ++phase1;
+        comm.barrier();
+        if (phase1.load() != n) violated = true;
+    });
+    EXPECT_FALSE(violated.load());
+}
+
+TEST_P(ThreadCommTest, ExceptionInRankPropagates) {
+    const int n = GetParam();
+    if (n < 2) GTEST_SKIP();
+    // Only rank 0 throws and no rank waits on collectives, so the world
+    // still joins; the exception must surface on the launching thread.
+    EXPECT_THROW(ThreadCommWorld::launch(n,
+                                         [&](Comm& comm) {
+                                             if (comm.rank() == 0)
+                                                 throw std::runtime_error("rank failure");
+                                         }),
+                 std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, ThreadCommTest, ::testing::Values(1, 2, 3, 8, 16));
+
+TEST(BufferSystem, NeighborExchangeRoundTrip) {
+    ThreadCommWorld::launch(4, [&](Comm& comm) {
+        BufferSystem bs(comm, 3);
+        const int n = comm.size();
+        const int left = (comm.rank() + n - 1) % n;
+        const int right = (comm.rank() + 1) % n;
+        bs.setReceiverInfo({left, right});
+        for (int round = 0; round < 3; ++round) {
+            bs.sendBuffer(left) << std::uint64_t(100 * comm.rank() + 1);
+            bs.sendBuffer(right) << std::uint64_t(100 * comm.rank() + 2);
+            bs.exchange();
+            auto& recv = bs.recvBuffers();
+            ASSERT_EQ(recv.size(), 2u);
+            std::uint64_t fromLeft = 0, fromRight = 0;
+            recv.at(left) >> fromLeft;
+            recv.at(right) >> fromRight;
+            EXPECT_EQ(fromLeft, uint_c(100 * left + 2));
+            EXPECT_EQ(fromRight, uint_c(100 * right + 1));
+        }
+    });
+}
+
+TEST(BufferSystem, EmptyBuffersAreDelivered) {
+    ThreadCommWorld::launch(2, [&](Comm& comm) {
+        BufferSystem bs(comm);
+        bs.setReceiverInfo({1 - comm.rank()});
+        if (comm.rank() == 0) bs.sendBuffer(1) << 7.0;
+        else bs.sendBuffer(0); // empty
+        bs.exchange();
+        if (comm.rank() == 1) {
+            double v = 0;
+            bs.recvBuffers().at(0) >> v;
+            EXPECT_DOUBLE_EQ(v, 7.0);
+        } else {
+            EXPECT_EQ(bs.recvBuffers().at(1).size(), 0u);
+        }
+    });
+}
+
+TEST(ThreadCommWorld, ReusableAcrossRuns) {
+    ThreadCommWorld world(3);
+    for (int i = 0; i < 3; ++i) {
+        world.run([&](Comm& comm) {
+            EXPECT_DOUBLE_EQ(allreduceSum(comm, 1.0), 3.0);
+        });
+    }
+}
+
+} // namespace
+} // namespace walb::vmpi

@@ -1,0 +1,61 @@
+/// walb_blockinfo — inspect a block-structure file (paper §2.2 format).
+///
+/// Usage: walb_blockinfo <forest.walb>
+///
+/// Prints the domain, grid configuration, per-process workload statistics
+/// and the level histogram, without loading any cell data — the file holds
+/// only the metadata needed to reconstruct the distributed forest.
+
+#include <cstdio>
+#include <map>
+
+#include "blockforest/SetupBlockForest.h"
+
+int main(int argc, char** argv) {
+    using namespace walb;
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <forest.walb>\n", argv[0]);
+        return 2;
+    }
+    const auto forest = bf::SetupBlockForest::loadFromFile(argv[1]);
+    if (!forest) {
+        std::fprintf(stderr, "error: cannot read '%s'\n", argv[1]);
+        return 1;
+    }
+
+    const auto& cfg = forest->config();
+    std::printf("walb block structure: %s\n", argv[1]);
+    std::printf("  domain           [%g %g %g] .. [%g %g %g]\n", cfg.domain.min()[0],
+                cfg.domain.min()[1], cfg.domain.min()[2], cfg.domain.max()[0],
+                cfg.domain.max()[1], cfg.domain.max()[2]);
+    std::printf("  root grid        %u x %u x %u, refinement level %u\n", cfg.rootBlocksX,
+                cfg.rootBlocksY, cfg.rootBlocksZ, cfg.refinementLevel);
+    std::printf("  cells per block  %u x %u x %u  (dx = %g)\n", cfg.cellsPerBlockX,
+                cfg.cellsPerBlockY, cfg.cellsPerBlockZ, cfg.dx());
+    std::printf("  blocks           %zu of %u possible (%.2f%% occupied)\n",
+                forest->numBlocks(),
+                cfg.blocksX() * cfg.blocksY() * cfg.blocksZ(),
+                100.0 * double(forest->numBlocks()) /
+                    double(cfg.blocksX()) / cfg.blocksY() / cfg.blocksZ());
+    std::printf("  processes        %u\n", forest->numProcesses());
+    std::printf("  total workload   %llu fluid cells (%.1f%% of block cells)\n",
+                (unsigned long long)forest->totalWorkload(),
+                100.0 * double(forest->totalWorkload()) /
+                    (double(forest->numBlocks()) * double(cfg.cellsPerBlock())));
+
+    const auto stats = forest->balanceStats();
+    std::printf("  balance          imbalance %.3f, max %u blocks/process, %u empty "
+                "processes\n",
+                stats.imbalance, stats.maxBlocksPerProcess, stats.emptyProcesses);
+
+    std::map<std::uint32_t, uint_t> blocksPerProcessHisto;
+    {
+        std::map<std::uint32_t, uint_t> count;
+        for (const auto& b : forest->blocks()) ++count[b.process];
+        for (const auto& [proc, n] : count) ++blocksPerProcessHisto[std::uint32_t(n)];
+    }
+    std::printf("  blocks/process histogram:\n");
+    for (const auto& [n, procs] : blocksPerProcessHisto)
+        std::printf("    %3u block(s): %llu process(es)\n", n, (unsigned long long)procs);
+    return 0;
+}
