@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_partitioning"
+  "../bench/fig1_partitioning.pdb"
+  "CMakeFiles/fig1_partitioning.dir/fig1_partitioning.cpp.o"
+  "CMakeFiles/fig1_partitioning.dir/fig1_partitioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

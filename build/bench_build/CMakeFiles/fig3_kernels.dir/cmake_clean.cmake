@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_kernels"
+  "../bench/fig3_kernels.pdb"
+  "CMakeFiles/fig3_kernels.dir/fig3_kernels.cpp.o"
+  "CMakeFiles/fig3_kernels.dir/fig3_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_ecm"
+  "../bench/fig4_ecm.pdb"
+  "CMakeFiles/fig4_ecm.dir/fig4_ecm.cpp.o"
+  "CMakeFiles/fig4_ecm.dir/fig4_ecm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ecm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_smt"
+  "../bench/fig5_smt.pdb"
+  "CMakeFiles/fig5_smt.dir/fig5_smt.cpp.o"
+  "CMakeFiles/fig5_smt.dir/fig5_smt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_weak_dense"
+  "../bench/fig6_weak_dense.pdb"
+  "CMakeFiles/fig6_weak_dense.dir/fig6_weak_dense.cpp.o"
+  "CMakeFiles/fig6_weak_dense.dir/fig6_weak_dense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_weak_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_weak_vascular"
+  "../bench/fig7_weak_vascular.pdb"
+  "CMakeFiles/fig7_weak_vascular.dir/fig7_weak_vascular.cpp.o"
+  "CMakeFiles/fig7_weak_vascular.dir/fig7_weak_vascular.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_weak_vascular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

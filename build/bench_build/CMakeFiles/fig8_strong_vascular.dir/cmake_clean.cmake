@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_strong_vascular"
+  "../bench/fig8_strong_vascular.pdb"
+  "CMakeFiles/fig8_strong_vascular.dir/fig8_strong_vascular.cpp.o"
+  "CMakeFiles/fig8_strong_vascular.dir/fig8_strong_vascular.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_strong_vascular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

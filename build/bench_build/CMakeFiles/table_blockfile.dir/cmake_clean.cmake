@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_blockfile"
+  "../bench/table_blockfile.pdb"
+  "CMakeFiles/table_blockfile.dir/table_blockfile.cpp.o"
+  "CMakeFiles/table_blockfile.dir/table_blockfile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_blockfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_roofline"
+  "../bench/table_roofline.pdb"
+  "CMakeFiles/table_roofline.dir/table_roofline.cpp.o"
+  "CMakeFiles/table_roofline.dir/table_roofline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

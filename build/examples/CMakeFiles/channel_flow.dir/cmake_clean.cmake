@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_flow.dir/channel_flow.cpp.o"
+  "CMakeFiles/channel_flow.dir/channel_flow.cpp.o.d"
+  "channel_flow"
+  "channel_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

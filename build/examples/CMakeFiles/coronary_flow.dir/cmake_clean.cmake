@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coronary_flow.dir/coronary_flow.cpp.o"
+  "CMakeFiles/coronary_flow.dir/coronary_flow.cpp.o.d"
+  "coronary_flow"
+  "coronary_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coronary_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

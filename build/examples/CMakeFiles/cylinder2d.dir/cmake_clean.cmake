@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cylinder2d.dir/cylinder2d.cpp.o"
+  "CMakeFiles/cylinder2d.dir/cylinder2d.cpp.o.d"
+  "cylinder2d"
+  "cylinder2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cylinder2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

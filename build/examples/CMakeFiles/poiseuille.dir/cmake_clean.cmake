@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poiseuille.dir/poiseuille.cpp.o"
+  "CMakeFiles/poiseuille.dir/poiseuille.cpp.o.d"
+  "poiseuille"
+  "poiseuille.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poiseuille.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockforest/OctreeForest.cpp" "src/CMakeFiles/walb.dir/blockforest/OctreeForest.cpp.o" "gcc" "src/CMakeFiles/walb.dir/blockforest/OctreeForest.cpp.o.d"
+  "/root/repo/src/blockforest/ScalingSetup.cpp" "src/CMakeFiles/walb.dir/blockforest/ScalingSetup.cpp.o" "gcc" "src/CMakeFiles/walb.dir/blockforest/ScalingSetup.cpp.o.d"
+  "/root/repo/src/blockforest/SetupBlockForest.cpp" "src/CMakeFiles/walb.dir/blockforest/SetupBlockForest.cpp.o" "gcc" "src/CMakeFiles/walb.dir/blockforest/SetupBlockForest.cpp.o.d"
+  "/root/repo/src/core/BinaryIO.cpp" "src/CMakeFiles/walb.dir/core/BinaryIO.cpp.o" "gcc" "src/CMakeFiles/walb.dir/core/BinaryIO.cpp.o.d"
+  "/root/repo/src/core/Timer.cpp" "src/CMakeFiles/walb.dir/core/Timer.cpp.o" "gcc" "src/CMakeFiles/walb.dir/core/Timer.cpp.o.d"
+  "/root/repo/src/geometry/CoronaryTree.cpp" "src/CMakeFiles/walb.dir/geometry/CoronaryTree.cpp.o" "gcc" "src/CMakeFiles/walb.dir/geometry/CoronaryTree.cpp.o.d"
+  "/root/repo/src/geometry/MarchingTetrahedra.cpp" "src/CMakeFiles/walb.dir/geometry/MarchingTetrahedra.cpp.o" "gcc" "src/CMakeFiles/walb.dir/geometry/MarchingTetrahedra.cpp.o.d"
+  "/root/repo/src/geometry/MeshIO.cpp" "src/CMakeFiles/walb.dir/geometry/MeshIO.cpp.o" "gcc" "src/CMakeFiles/walb.dir/geometry/MeshIO.cpp.o.d"
+  "/root/repo/src/geometry/Primitives.cpp" "src/CMakeFiles/walb.dir/geometry/Primitives.cpp.o" "gcc" "src/CMakeFiles/walb.dir/geometry/Primitives.cpp.o.d"
+  "/root/repo/src/geometry/TriangleMesh.cpp" "src/CMakeFiles/walb.dir/geometry/TriangleMesh.cpp.o" "gcc" "src/CMakeFiles/walb.dir/geometry/TriangleMesh.cpp.o.d"
+  "/root/repo/src/geometry/TriangleOctree.cpp" "src/CMakeFiles/walb.dir/geometry/TriangleOctree.cpp.o" "gcc" "src/CMakeFiles/walb.dir/geometry/TriangleOctree.cpp.o.d"
+  "/root/repo/src/geometry/Voxelizer.cpp" "src/CMakeFiles/walb.dir/geometry/Voxelizer.cpp.o" "gcc" "src/CMakeFiles/walb.dir/geometry/Voxelizer.cpp.o.d"
+  "/root/repo/src/io/VtkOutput.cpp" "src/CMakeFiles/walb.dir/io/VtkOutput.cpp.o" "gcc" "src/CMakeFiles/walb.dir/io/VtkOutput.cpp.o.d"
+  "/root/repo/src/partition/Partitioner.cpp" "src/CMakeFiles/walb.dir/partition/Partitioner.cpp.o" "gcc" "src/CMakeFiles/walb.dir/partition/Partitioner.cpp.o.d"
+  "/root/repo/src/perf/LocalBench.cpp" "src/CMakeFiles/walb.dir/perf/LocalBench.cpp.o" "gcc" "src/CMakeFiles/walb.dir/perf/LocalBench.cpp.o.d"
+  "/root/repo/src/perf/Scaling.cpp" "src/CMakeFiles/walb.dir/perf/Scaling.cpp.o" "gcc" "src/CMakeFiles/walb.dir/perf/Scaling.cpp.o.d"
+  "/root/repo/src/perf/Stream.cpp" "src/CMakeFiles/walb.dir/perf/Stream.cpp.o" "gcc" "src/CMakeFiles/walb.dir/perf/Stream.cpp.o.d"
+  "/root/repo/src/vmpi/ThreadComm.cpp" "src/CMakeFiles/walb.dir/vmpi/ThreadComm.cpp.o" "gcc" "src/CMakeFiles/walb.dir/vmpi/ThreadComm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

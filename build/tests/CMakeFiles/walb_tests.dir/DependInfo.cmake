@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_blockforest.cpp" "tests/CMakeFiles/walb_tests.dir/test_blockforest.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_blockforest.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/walb_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_coronary_tree.cpp" "tests/CMakeFiles/walb_tests.dir/test_coronary_tree.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_coronary_tree.cpp.o.d"
+  "/root/repo/tests/test_distributed.cpp" "tests/CMakeFiles/walb_tests.dir/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_distributed.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/walb_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_field.cpp" "tests/CMakeFiles/walb_tests.dir/test_field.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_field.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/walb_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_integration_extra.cpp" "tests/CMakeFiles/walb_tests.dir/test_integration_extra.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_integration_extra.cpp.o.d"
+  "/root/repo/tests/test_lbm_boundary.cpp" "tests/CMakeFiles/walb_tests.dir/test_lbm_boundary.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_lbm_boundary.cpp.o.d"
+  "/root/repo/tests/test_lbm_communication.cpp" "tests/CMakeFiles/walb_tests.dir/test_lbm_communication.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_lbm_communication.cpp.o.d"
+  "/root/repo/tests/test_lbm_d2q9.cpp" "tests/CMakeFiles/walb_tests.dir/test_lbm_d2q9.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_lbm_d2q9.cpp.o.d"
+  "/root/repo/tests/test_lbm_kernels.cpp" "tests/CMakeFiles/walb_tests.dir/test_lbm_kernels.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_lbm_kernels.cpp.o.d"
+  "/root/repo/tests/test_lbm_model.cpp" "tests/CMakeFiles/walb_tests.dir/test_lbm_model.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_lbm_model.cpp.o.d"
+  "/root/repo/tests/test_lbm_physics.cpp" "tests/CMakeFiles/walb_tests.dir/test_lbm_physics.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_lbm_physics.cpp.o.d"
+  "/root/repo/tests/test_lbm_viscosity.cpp" "tests/CMakeFiles/walb_tests.dir/test_lbm_viscosity.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_lbm_viscosity.cpp.o.d"
+  "/root/repo/tests/test_octree_forest.cpp" "tests/CMakeFiles/walb_tests.dir/test_octree_forest.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_octree_forest.cpp.o.d"
+  "/root/repo/tests/test_openmp.cpp" "tests/CMakeFiles/walb_tests.dir/test_openmp.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_openmp.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/walb_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_perf_models.cpp" "tests/CMakeFiles/walb_tests.dir/test_perf_models.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_perf_models.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/walb_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_refinement.cpp" "tests/CMakeFiles/walb_tests.dir/test_refinement.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_refinement.cpp.o.d"
+  "/root/repo/tests/test_scaling_setup.cpp" "tests/CMakeFiles/walb_tests.dir/test_scaling_setup.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_scaling_setup.cpp.o.d"
+  "/root/repo/tests/test_simd.cpp" "tests/CMakeFiles/walb_tests.dir/test_simd.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_simd.cpp.o.d"
+  "/root/repo/tests/test_vmpi.cpp" "tests/CMakeFiles/walb_tests.dir/test_vmpi.cpp.o" "gcc" "tests/CMakeFiles/walb_tests.dir/test_vmpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/walb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

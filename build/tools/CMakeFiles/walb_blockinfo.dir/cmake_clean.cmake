@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walb_blockinfo.dir/walb_blockinfo.cpp.o"
+  "CMakeFiles/walb_blockinfo.dir/walb_blockinfo.cpp.o.d"
+  "walb_blockinfo"
+  "walb_blockinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walb_blockinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

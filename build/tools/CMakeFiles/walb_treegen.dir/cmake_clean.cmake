@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walb_treegen.dir/walb_treegen.cpp.o"
+  "CMakeFiles/walb_treegen.dir/walb_treegen.cpp.o.d"
+  "walb_treegen"
+  "walb_treegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walb_treegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walb_voxelize.dir/walb_voxelize.cpp.o"
+  "CMakeFiles/walb_voxelize.dir/walb_voxelize.cpp.o.d"
+  "walb_voxelize"
+  "walb_voxelize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walb_voxelize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for walb_voxelize.
+# This may be replaced when dependencies are built.
