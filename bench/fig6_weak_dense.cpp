@@ -14,8 +14,11 @@
 /// models (DESIGN.md substitution 3).
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 
 #include "blockforest/SetupBlockForest.h"
+#include "obs/Report.h"
 #include "perf/Scaling.h"
 #include "sim/DistributedSimulation.h"
 #include "vmpi/ThreadComm.h"
@@ -25,11 +28,44 @@ using namespace walb::perf;
 
 namespace {
 
+/// Reduced telemetry of one real virtual-rank run, for the JSON exporter.
+struct RunRecord {
+    int ranks = 0;
+    uint_t steps = 0;
+    double fluidCells = 0;
+    double mlupsPerRank = 0;
+    double commFraction = 0;
+    obs::ReducedTimingPool phases;
+    obs::ReducedMetrics metrics;
+};
+
+std::uint64_t counterSum(const obs::ReducedMetrics& m, const std::string& name) {
+    auto it = m.counters.find(name);
+    return it == m.counters.end() ? 0 : it->second.sum;
+}
+
+void writeRunJson(obs::json::Writer& w, const RunRecord& r) {
+    w.beginObject();
+    w.kv("ranks", r.ranks).kv("steps", std::uint64_t(r.steps));
+    w.kv("fluid_cells", r.fluidCells);
+    w.kv("mlups_per_rank", r.mlupsPerRank);
+    w.kv("mlups_total", r.mlupsPerRank * double(r.ranks));
+    w.kv("comm_fraction", r.commFraction);
+    w.kv("bytes_sent", counterSum(r.metrics, "comm.bytesSent"));
+    w.kv("bytes_received", counterSum(r.metrics, "comm.bytesReceived"));
+    w.kv("messages_sent", counterSum(r.metrics, "comm.messagesSent"));
+    w.kv("messages_received", counterSum(r.metrics, "comm.messagesReceived"));
+    w.key("phases");
+    obs::writePhasesJson(w, r.phases);
+    w.endObject();
+}
+
 /// Real weak-scaling run on virtual ranks: each rank owns one 24^3 block of
 /// a periodic-free enclosed box. On this one-core host the ranks timeshare
 /// (so MLUPS/core is not expected to stay flat); what this validates is the
 /// full comm stack and the compute/communication split accounting.
-void realSmallScaleRun() {
+std::vector<RunRecord> realSmallScaleRun() {
+    std::vector<RunRecord> records;
     std::printf("\nlocal virtual-rank runs (24^3 cells/rank, enclosed box, TRT):\n");
     std::printf("%6s %12s %8s\n", "ranks", "MLUPS/rank", "comm%");
     for (int ranks : {1, 2, 4, 8}) {
@@ -61,21 +97,36 @@ void realSmallScaleRun() {
             });
         };
 
+        RunRecord record;
         vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
             sim::DistributedSimulation simulation(comm, setup, flagInit);
             const uint_t steps = 30;
             simulation.run(steps, lbm::TRT::fromOmegaAndMagic(1.5));
-            // Collective: every rank must participate.
+            // Collectives: every rank must participate.
             const double cells = double(simulation.globalFluidCells());
+            const obs::ReducedTimingPool reduced = simulation.reduceTiming();
+            const obs::ReducedMetrics metrics = simulation.reduceMetrics();
             if (comm.rank() == 0) {
                 const double mlupsPerRank = cells * double(steps) /
                                             simulation.timing().grandTotal() / 1e6 /
                                             double(ranks);
                 std::printf("%6d %12.2f %7.1f%%\n", ranks, mlupsPerRank,
                             100.0 * simulation.timing().fraction("communication"));
+                record = {ranks,        steps,   cells, mlupsPerRank,
+                          reduced.fraction("communication"), reduced, metrics};
             }
         });
+        records.push_back(std::move(record));
     }
+    // Figure-6-style reduced report for the largest world (min/avg/max of
+    // every phase across ranks plus the communication fraction).
+    if (!records.empty()) {
+        std::printf("\n");
+        const RunRecord& last = records.back();
+        obs::printFigure6Report(std::cout, last.phases, "communication",
+                                last.mlupsPerRank);
+    }
+    return records;
 }
 
 void modelCurve(const MachineSpec& machine, const NetworkParams& network,
@@ -100,10 +151,11 @@ void modelCurve(const MachineSpec& machine, const NetworkParams& network,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
     std::printf("=== Figure 6: weak scaling on dense regular domains ===\n");
+    const std::string metricsPath = obs::metricsJsonPathFromArgs(argc, argv);
 
-    realSmallScaleRun();
+    const std::vector<RunRecord> records = realSmallScaleRun();
 
     modelCurve(superMUCSocket(), prunedTreeNetwork(),
                {{16, 1}, {4, 4}, {2, 8}}, 3.43e6, 5, 17);
@@ -135,6 +187,40 @@ int main() {
                     top.totalMLUPS / 1e6, 100.0 * aggBandwidthFraction,
                     100.0 * top.mlupsPerCore / base.mlupsPerCore,
                     100.0 * (1.0 - top.mpiFraction));
+    }
+
+    if (!metricsPath.empty()) {
+        {
+            std::ofstream os(metricsPath, std::ios::binary);
+            if (!os) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n", metricsPath.c_str());
+                return 1;
+            }
+            obs::json::Writer w(os);
+            w.beginObject();
+            w.kv("benchmark", "fig6_weak_dense");
+            w.kv("cells_per_rank", std::uint64_t(24 * 24 * 24));
+            w.key("runs").beginArray();
+            for (const RunRecord& r : records) writeRunJson(w, r);
+            w.endArray();
+            w.endObject();
+            os << '\n';
+        }
+        // Self-validation: the exporter's output must parse and carry the
+        // keys the BENCH_*.json trajectory consumes.
+        if (!obs::validateMetricsJson(metricsPath, {"benchmark", "runs"})) return 1;
+        std::string text;
+        obs::readFileToString(metricsPath, text);
+        const obs::json::Value root = obs::json::parseOrAbort(text);
+        for (const auto& run : root.at("runs").array()) {
+            if (!run.find("mlups_per_rank") || !run.find("bytes_sent") ||
+                !run.find("bytes_received") || !run.find("phases")) {
+                std::fprintf(stderr, "metrics json run entry lacks required keys\n");
+                return 1;
+            }
+        }
+        std::printf("\nwrote metrics JSON: %s (%zu runs)\n", metricsPath.c_str(),
+                    root.at("runs").array().size());
     }
     return 0;
 }

@@ -15,9 +15,11 @@
 /// virtual-MPI ranks.
 
 #include <cstdio>
+#include <fstream>
 
 #include "blockforest/ScalingSetup.h"
 #include "geometry/CoronaryTree.h"
+#include "obs/Report.h"
 #include "perf/Scaling.h"
 #include "sim/DistributedSimulation.h"
 #include "vmpi/ThreadComm.h"
@@ -112,7 +114,18 @@ void modelCurves(const std::vector<VascularPoint>& points) {
     }
 }
 
-void realRun(const geometry::DistanceFunction& phi, int ranks) {
+/// Telemetry of one real virtual-rank run, for the JSON exporter.
+struct RealRunRecord {
+    int ranks = 0;
+    uint_t blocks = 0;
+    double fluidCells = 0;
+    double mflupsPerRank = 0;
+    double commFraction = 0;
+    obs::ReducedTimingPool phases;
+    obs::ReducedMetrics metrics;
+};
+
+RealRunRecord realRun(const geometry::DistanceFunction& phi, int ranks) {
     auto search =
         bf::findWeakScalingPartition(phi, AABB(0, 0, 0, 1, 1, 1), kCellsPerBlockEdge,
                                      uint_t(ranks) * 16);
@@ -136,26 +149,34 @@ void realRun(const geometry::DistanceFunction& phi, int ranks) {
         });
     };
 
+    RealRunRecord record;
     vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
         sim::DistributedSimulation simulation(comm, search.forest, flagInit);
         const uint_t steps = 20;
         simulation.run(steps, lbm::TRT::fromOmegaAndMagic(1.5));
-        // Collective: every rank must participate.
+        // Collectives: every rank must participate.
         const double fluid = double(simulation.globalFluidCells());
+        const obs::ReducedTimingPool reduced = simulation.reduceTiming();
+        const obs::ReducedMetrics metrics = simulation.reduceMetrics();
         if (comm.rank() == 0) {
+            const double mflups = fluid * double(steps) /
+                                  simulation.timing().grandTotal() / 1e6 / double(ranks);
             std::printf("%6d %9llu %12.0f %11.2f %7.1f%%\n", ranks,
-                        (unsigned long long)search.blocks, fluid,
-                        fluid * double(steps) / simulation.timing().grandTotal() / 1e6 /
-                            double(ranks),
+                        (unsigned long long)search.blocks, fluid, mflups,
                         100.0 * simulation.timing().fraction("communication"));
+            record = {ranks,  search.blocks,
+                      fluid,  mflups,
+                      reduced.fraction("communication"), reduced, metrics};
         }
     });
+    return record;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
     std::printf("=== Figure 7: weak scaling with the vascular geometry ===\n");
+    const std::string metricsPath = obs::metricsJsonPathFromArgs(argc, argv);
     const auto tree = makeTree();
     const auto phi = tree.implicitDistance();
     std::printf("synthetic tree: %zu segments, bbox fluid fraction %.2f%%\n",
@@ -165,7 +186,8 @@ int main() {
                 kCellsPerBlockEdge);
     std::printf("%6s %9s %12s %11s %8s\n", "ranks", "blocks", "fluid cells",
                 "MFLUPS/rank", "comm%");
-    for (int ranks : {2, 4, 8}) realRun(*phi, ranks);
+    std::vector<RealRunRecord> records;
+    for (int ranks : {2, 4, 8}) records.push_back(realRun(*phi, ranks));
 
     std::printf("\nexact partitionings across scales (fluid fraction rises with the "
                 "block fit):\n");
@@ -185,5 +207,52 @@ int main() {
                 "core count\n(Figure 7a/b); largest run 1,033,660,569,847 fluid cells at "
                 "dx = 1.276 um\n(one fifth of a red blood cell), 1.25 time steps/s on "
                 "458,752 cores.\n");
+
+    if (!metricsPath.empty()) {
+        {
+            std::ofstream os(metricsPath, std::ios::binary);
+            if (!os) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n", metricsPath.c_str());
+                return 1;
+            }
+            obs::json::Writer w(os);
+            w.beginObject();
+            w.kv("benchmark", "fig7_weak_vascular");
+            w.key("runs").beginArray();
+            for (const RealRunRecord& r : records) {
+                w.beginObject();
+                w.kv("ranks", r.ranks).kv("blocks", std::uint64_t(r.blocks));
+                w.kv("fluid_cells", r.fluidCells);
+                w.kv("mflups_per_rank", r.mflupsPerRank);
+                w.kv("comm_fraction", r.commFraction);
+                auto counterSum = [&](const char* name) -> std::uint64_t {
+                    auto it = r.metrics.counters.find(name);
+                    return it == r.metrics.counters.end() ? 0 : it->second.sum;
+                };
+                w.kv("bytes_sent", counterSum("comm.bytesSent"));
+                w.kv("bytes_received", counterSum("comm.bytesReceived"));
+                w.key("phases");
+                obs::writePhasesJson(w, r.phases);
+                w.endObject();
+            }
+            w.endArray();
+            w.key("partitionings").beginArray();
+            for (const auto& p : points) {
+                w.beginObject();
+                w.kv("processes", std::uint64_t(p.processes));
+                w.kv("blocks", std::uint64_t(p.blocks));
+                w.kv("fluid_fraction", p.fluidFraction);
+                w.kv("imbalance", p.imbalance);
+                w.kv("dx", double(p.dx));
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+            os << '\n';
+        }
+        if (!obs::validateMetricsJson(metricsPath, {"benchmark", "runs", "partitionings"}))
+            return 1;
+        std::printf("\nwrote metrics JSON: %s\n", metricsPath.c_str());
+    }
     return 0;
 }

@@ -17,10 +17,12 @@
 /// workload imbalance; the fastest candidate is reported per core count.
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "blockforest/ScalingSetup.h"
 #include "geometry/CoronaryTree.h"
+#include "obs/Report.h"
 #include "perf/Scaling.h"
 
 using namespace walb;
@@ -99,8 +101,22 @@ BestPoint evaluate(const std::vector<Candidate>& candidates, const ScalingModel&
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
     std::printf("=== Figure 8: strong scaling with the vascular geometry ===\n");
+    const std::string metricsPath = obs::metricsJsonPathFromArgs(argc, argv);
+
+    // Modeled best points collected for the JSON exporter.
+    struct ExportPoint {
+        std::string machine;
+        std::string resolution;
+        unsigned cores = 0;
+        double mlupsPerCore = 0;
+        double stepsPerSecond = 0;
+        std::uint64_t blocks = 0;
+        unsigned blockEdge = 0;
+    };
+    std::vector<ExportPoint> exportPoints;
+
     const auto tree = makeTree();
     const auto phi = tree.implicitDistance();
 
@@ -146,6 +162,11 @@ int main() {
                             (unsigned long long)best.candidate->blocks,
                             double(best.candidate->blocks) / double(coreCounts[i]),
                             best.candidate->blockEdge);
+                exportPoints.push_back({mc.machine.name, c.name, coreCounts[i],
+                                        best.point.mlupsPerCore,
+                                        best.point.timeStepsPerSecond,
+                                        std::uint64_t(best.candidate->blocks),
+                                        unsigned(best.candidate->blockEdge)});
             }
         }
     }
@@ -156,5 +177,34 @@ int main() {
                 "shrink from 34^3 to 9^3 (0.1 mm) and 46^3 to 13^3 (0.05 mm); "
                 "JUQUEEN's efficiency decays earlier\nbecause the A2 cores digest the "
                 "per-block framework overhead more slowly.\n");
+
+    if (!metricsPath.empty()) {
+        {
+            std::ofstream os(metricsPath, std::ios::binary);
+            if (!os) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n", metricsPath.c_str());
+                return 1;
+            }
+            obs::json::Writer w(os);
+            w.beginObject();
+            w.kv("benchmark", "fig8_strong_vascular");
+            w.key("points").beginArray();
+            for (const ExportPoint& p : exportPoints) {
+                w.beginObject();
+                w.kv("machine", p.machine).kv("resolution", p.resolution);
+                w.kv("cores", std::uint64_t(p.cores));
+                w.kv("mlups_per_core", p.mlupsPerCore);
+                w.kv("steps_per_second", p.stepsPerSecond);
+                w.kv("blocks", p.blocks).kv("block_edge", std::uint64_t(p.blockEdge));
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+            os << '\n';
+        }
+        if (!obs::validateMetricsJson(metricsPath, {"benchmark", "points"})) return 1;
+        std::printf("\nwrote metrics JSON: %s (%zu points)\n", metricsPath.c_str(),
+                    exportPoints.size());
+    }
     return 0;
 }

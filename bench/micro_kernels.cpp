@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/Random.h"
+#include "core/Timer.h"
 #include "geometry/Primitives.h"
 #include "lbm/Boundary.h"
 #include "geometry/SignedDistance.h"
@@ -18,6 +19,8 @@
 #include "lbm/KernelD3Q19Simd.h"
 #include "lbm/KernelGeneric.h"
 #include "lbm/Sparse.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "partition/Partitioner.h"
 
 namespace {
@@ -84,6 +87,48 @@ BENCHMARK(BM_SimdKernel<simd::SseD>)->Unit(benchmark::kMillisecond);
 #if defined(__AVX__)
 BENCHMARK(BM_SimdKernel<simd::AvxD>)->Unit(benchmark::kMillisecond);
 #endif
+
+// ---- observability overhead --------------------------------------------------
+// The per-step instrumentation of the simulation drivers is one TimingPool
+// ScopedTimer + one ScopedTrace per phase plus a few counter increments.
+// Comparing this pair quantifies the overhead against the bare SIMD sweep
+// (acceptance bar: < 5% per step).
+
+void BM_Sweep_Uninstrumented(benchmark::State& state) {
+    PdfField src = makeField(field::Layout::fzyx), dst = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    KernelD3Q19Simd<> kernel;
+    for (auto _ : state) {
+        kernel.sweep(src, dst, op);
+        src.swapDataWith(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+}
+BENCHMARK(BM_Sweep_Uninstrumented)->Unit(benchmark::kMillisecond);
+
+void BM_Sweep_ObsInstrumented(benchmark::State& state) {
+    PdfField src = makeField(field::Layout::fzyx), dst = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    KernelD3Q19Simd<> kernel;
+    TimingPool timing;
+    obs::MetricsRegistry metrics;
+    obs::TraceRecorder trace(0, /*maxEvents=*/std::size_t(1) << 16);
+    obs::Counter& steps = metrics.counter("sim.steps");
+    obs::Counter& bytes = metrics.counter("comm.bytesSent");
+    for (auto _ : state) {
+        {
+            ScopedTimer t(timing["collideStream"]);
+            obs::ScopedTrace tr(trace, "collideStream");
+            kernel.sweep(src, dst, op);
+        }
+        src.swapDataWith(dst);
+        steps.inc();
+        bytes.inc(456);
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+    state.counters["trace_events"] = double(trace.events().size() + trace.dropped());
+}
+BENCHMARK(BM_Sweep_ObsInstrumented)->Unit(benchmark::kMillisecond);
 
 // ---- sparse strategies (tube through the block, ~25% fluid) -----------------
 

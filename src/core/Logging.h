@@ -1,9 +1,15 @@
 #pragma once
 /// \file Logging.h
-/// Minimal leveled logging. Rank-aware output is handled by the callers
-/// (typically only rank 0 logs progress). Thread-safe via a process-global
-/// mutex so virtual ranks do not interleave characters.
+/// Minimal leveled logging. Thread-safe via a process-global mutex so
+/// virtual ranks do not interleave characters. Optional decorations:
+///   * an elapsed-time prefix `[  12.345s]` (time since logger creation),
+///   * a per-thread rank tag `[rank 3]` — thread-local because virtual-MPI
+///     ranks are threads of one process (set from each rank's main),
+/// yielding lines like `[  12.345s][rank 3][INFO]  message`.
+/// Tests capture output through setStream() without touching global cout.
 
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -23,14 +29,51 @@ public:
     void setLevel(LogLevel lvl) { level_ = lvl; }
     LogLevel level() const { return level_; }
 
+    /// Redirects all log output (every level, including errors) to the
+    /// given stream — pass nullptr to restore the default cout/cerr split.
+    /// The stream must outlive the redirection.
+    void setStream(std::ostream* os) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stream_ = os;
+    }
+
+    /// Prepends `[  12.345s]` (seconds since logger construction).
+    void setShowElapsed(bool on) { showElapsed_ = on; }
+    bool showElapsed() const { return showElapsed_; }
+
+    /// Tags messages of the *calling thread* with `[rank r]`; pass a
+    /// negative rank to remove the tag. Thread-local: under ThreadComm each
+    /// virtual rank is a thread and tags only its own lines.
+    static void setThreadRank(int rank) { threadRank() = rank; }
+    static int thisThreadRank() { return threadRank(); }
+
     void log(LogLevel lvl, const std::string& msg) {
         if (lvl > level_) return;
         std::lock_guard<std::mutex> lock(mutex_);
-        std::ostream& os = (lvl == LogLevel::Error) ? std::cerr : std::cout;
+        std::ostream& os =
+            stream_ ? *stream_ : ((lvl == LogLevel::Error) ? std::cerr : std::cout);
+        if (showElapsed_) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "[%9.3fs]", elapsedSeconds());
+            os << buf;
+        }
+        if (threadRank() >= 0) os << "[rank " << threadRank() << ']';
         os << prefix(lvl) << msg << '\n';
     }
 
+    double elapsedSeconds() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+
 private:
+    Logger() : epoch_(std::chrono::steady_clock::now()) {}
+
+    static int& threadRank() {
+        static thread_local int rank = -1;
+        return rank;
+    }
+
     static const char* prefix(LogLevel lvl) {
         switch (lvl) {
             case LogLevel::Error: return "[ERROR] ";
@@ -43,6 +86,9 @@ private:
     }
 
     LogLevel level_ = LogLevel::Info;
+    bool showElapsed_ = false;
+    std::ostream* stream_ = nullptr;
+    std::chrono::steady_clock::time_point epoch_;
     std::mutex mutex_;
 };
 
@@ -57,6 +103,7 @@ private:
         }                                                                                       \
     } while (0)
 
+#define WALB_LOG_ERROR(expr) WALB_LOG(::walb::LogLevel::Error, expr)
 #define WALB_LOG_INFO(expr) WALB_LOG(::walb::LogLevel::Info, expr)
 #define WALB_LOG_WARNING(expr) WALB_LOG(::walb::LogLevel::Warning, expr)
 #define WALB_LOG_PROGRESS(expr) WALB_LOG(::walb::LogLevel::Progress, expr)

@@ -39,13 +39,24 @@ public:
     double max() const { return max_; }
     bool running() const { return running_; }
 
-    /// Accumulate a duration measured externally (used when merging timers
-    /// from other ranks).
+    /// Accumulate a duration measured externally.
     void addMeasurement(double seconds) {
         total_ += seconds;
         ++count_;
         if (seconds < min_) min_ = seconds;
         if (seconds > max_) max_ = seconds;
+    }
+
+    /// Merge pre-aggregated statistics of another timer (e.g. one received
+    /// from a different rank) without losing the measurement count or the
+    /// single-measurement extremes: totals and counts add, min/max combine.
+    /// A zero-count aggregate is a no-op (its min/max carry no information).
+    void mergeAggregate(double total, uint_t count, double mn, double mx) {
+        if (count == 0) return;
+        total_ += total;
+        count_ += count;
+        if (mn < min_) min_ = mn;
+        if (mx > max_) max_ = mx;
     }
 
     void reset() { *this = Timer(); }
@@ -97,17 +108,13 @@ public:
         return (t && g > 0) ? t->total() / g : 0.0;
     }
 
-    /// Merge another pool into this one timer-by-timer (totals add; the
-    /// measurement counts add as well so averages remain meaningful).
+    /// Merge another pool into this one timer-by-timer: totals and
+    /// measurement counts add (averages stay meaningful), and the
+    /// single-measurement min/max propagate instead of being collapsed into
+    /// one aggregate pseudo-measurement.
     void merge(const TimingPool& other) {
-        for (const auto& [name, t] : other.timers_) {
-            Timer& mine = timers_[name];
-            if (t.count() > 0) {
-                // Re-add as an aggregate measurement preserving extremes.
-                mine.addMeasurement(t.total());
-                if (t.min() < mine.min()) { /* min tracked via addMeasurement */ }
-            }
-        }
+        for (const auto& [name, t] : other.timers_)
+            timers_[name].mergeAggregate(t.total(), t.count(), t.min(), t.max());
     }
 
     void reset() { timers_.clear(); }

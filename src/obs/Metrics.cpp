@@ -1,0 +1,152 @@
+#include "obs/Metrics.h"
+
+#include "core/Buffer.h"
+#include "obs/Json.h"
+#include "vmpi/Comm.h"
+
+namespace walb::obs {
+
+namespace {
+
+void serialize(SendBuffer& sb, const MetricsRegistry& reg) {
+    sb << std::uint32_t(reg.counters().size());
+    for (const auto& [name, c] : reg.counters()) sb << name << c.value();
+    sb << std::uint32_t(reg.gauges().size());
+    for (const auto& [name, g] : reg.gauges()) sb << name << g.value();
+    sb << std::uint32_t(reg.histograms().size());
+    for (const auto& [name, h] : reg.histograms()) {
+        sb << name << h.edges() << h.counts() << h.sum() << h.count() << h.min() << h.max();
+    }
+}
+
+void mergeContribution(ReducedMetrics& out, RecvBuffer& rb) {
+    std::uint32_t n = 0;
+    rb >> n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name;
+        std::uint64_t v = 0;
+        rb >> name >> v;
+        ReducedCounter& rc = out.counters[name];
+        rc.sum = (rc.sum > Counter::kMax - v) ? Counter::kMax : rc.sum + v;
+        if (v < rc.min) rc.min = v;
+        if (v > rc.max) rc.max = v;
+        ++rc.ranks;
+    }
+    rb >> n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name;
+        double v = 0;
+        rb >> name >> v;
+        ReducedGauge& rg = out.gauges[name];
+        if (v < rg.min) rg.min = v;
+        if (v > rg.max) rg.max = v;
+        rg.sum += v;
+        ++rg.ranks;
+    }
+    rb >> n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name;
+        std::vector<double> edges;
+        std::vector<std::uint64_t> counts;
+        double sum = 0, mn = 0, mx = 0;
+        std::uint64_t count = 0;
+        rb >> name >> edges >> counts >> sum >> count >> mn >> mx;
+        auto it = out.histograms.find(name);
+        if (it == out.histograms.end())
+            it = out.histograms.emplace(name, Histogram(edges)).first;
+        Histogram& target = it->second;
+        WALB_ASSERT(target.edges() == edges,
+                    "histogram '" << name << "' has different edges across ranks");
+        target.mergeAggregate(counts, sum, count, mn, mx);
+    }
+}
+
+} // namespace
+
+ReducedMetrics MetricsRegistry::reduce(vmpi::Comm& comm) const {
+    SendBuffer mine;
+    serialize(mine, *this);
+    const auto all = comm.allgatherv(std::span<const std::uint8_t>(mine.data(), mine.size()));
+    ReducedMetrics out;
+    out.worldSize = comm.size();
+    for (const auto& bytes : all) {
+        RecvBuffer rb(bytes);
+        mergeContribution(out, rb);
+    }
+    return out;
+}
+
+namespace {
+
+void writeCounters(json::Writer& w, const std::map<std::string, ReducedCounter>& counters) {
+    w.key("counters").beginObject();
+    for (const auto& [name, c] : counters) {
+        w.key(name).beginObject();
+        w.kv("sum", c.sum).kv("min", c.min).kv("max", c.max).kv("ranks", c.ranks);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void writeGauges(json::Writer& w, const std::map<std::string, ReducedGauge>& gauges) {
+    w.key("gauges").beginObject();
+    for (const auto& [name, g] : gauges) {
+        w.key(name).beginObject();
+        w.kv("min", g.min).kv("max", g.max).kv("avg", g.avg()).kv("sum", g.sum);
+        w.kv("ranks", g.ranks);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void writeHistogram(json::Writer& w, const Histogram& h) {
+    w.beginObject();
+    w.key("edges").beginArray();
+    for (double e : h.edges()) w.value(e);
+    w.endArray();
+    w.key("counts").beginArray();
+    for (std::uint64_t c : h.counts()) w.value(c);
+    w.endArray();
+    w.kv("sum", h.sum()).kv("count", h.count());
+    w.kv("min", h.min()).kv("max", h.max());
+    w.endObject();
+}
+
+} // namespace
+
+void ReducedMetrics::writeJson(std::ostream& os) const {
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("world_size", worldSize);
+    writeCounters(w, counters);
+    writeGauges(w, gauges);
+    w.key("histograms").beginObject();
+    for (const auto& [name, h] : histograms) {
+        w.key(name);
+        writeHistogram(w, h);
+    }
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+void MetricsRegistry::writeJson(std::ostream& os) const {
+    json::Writer w(os);
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto& [name, c] : counters_) w.kv(name, c.value());
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto& [name, g] : gauges_) w.kv(name, g.value());
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto& [name, h] : histograms_) {
+        w.key(name);
+        writeHistogram(w, h);
+    }
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace walb::obs

@@ -1,0 +1,71 @@
+#include "obs/Report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace walb::obs {
+
+std::string metricsJsonPathFromArgs(int argc, char** argv) {
+    const std::string flag = "--metrics-json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc) return argv[i + 1];
+        if (arg.rfind(flag + "=", 0) == 0) return arg.substr(flag.size() + 1);
+    }
+    return "";
+}
+
+bool readFileToString(const std::string& path, std::string& out) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+void writePhasesJson(json::Writer& w, const ReducedTimingPool& reduced) {
+    w.beginObject();
+    for (const auto& [name, t] : reduced.timers) {
+        w.key(name).beginObject();
+        w.kv("tmin", t.totalMin).kv("tavg", t.totalAvg).kv("tmax", t.totalMax);
+        w.kv("total", t.totalAvg * double(reduced.worldSize));
+        w.kv("count", t.countSum);
+        w.kv("fraction", reduced.fraction(name));
+        w.endObject();
+    }
+    w.endObject();
+}
+
+bool validateMetricsJson(const std::string& path,
+                         const std::vector<std::string>& requiredTopLevelKeys) {
+    std::string text;
+    if (!readFileToString(path, text)) {
+        std::fprintf(stderr, "metrics-json validation: cannot read '%s'\n", path.c_str());
+        return false;
+    }
+    bool ok = false;
+    std::string error;
+    const json::Value root = json::parse(text, ok, error);
+    if (!ok) {
+        std::fprintf(stderr, "metrics-json validation: parse error in '%s': %s\n",
+                     path.c_str(), error.c_str());
+        return false;
+    }
+    if (!root.isObject()) {
+        std::fprintf(stderr, "metrics-json validation: root of '%s' is not an object\n",
+                     path.c_str());
+        return false;
+    }
+    for (const std::string& key : requiredTopLevelKeys) {
+        if (!root.find(key)) {
+            std::fprintf(stderr, "metrics-json validation: '%s' lacks key '%s'\n",
+                         path.c_str(), key.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace walb::obs

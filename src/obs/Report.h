@@ -1,0 +1,35 @@
+#pragma once
+/// \file Report.h
+/// Helpers shared by the benchmark drivers' `--metrics-json` exporters:
+/// command-line parsing, file IO, writing of reduced per-phase timings, and
+/// post-write validation (the driver re-reads and parses the file it just
+/// emitted, so a broken exporter fails the run instead of silently
+/// producing an unusable BENCH_*.json trajectory).
+
+#include <string>
+#include <vector>
+
+#include "obs/Json.h"
+#include "obs/TimingReduction.h"
+
+namespace walb::obs {
+
+/// Extracts the value of `--metrics-json <path>` (or `--metrics-json=<path>`)
+/// from the command line; returns "" when absent.
+std::string metricsJsonPathFromArgs(int argc, char** argv);
+
+/// Reads a whole file into a string; false when unreadable.
+bool readFileToString(const std::string& path, std::string& out);
+
+/// Writes the phases of a reduced timing pool as one JSON object:
+/// { "<phase>": {"tmin":..,"tavg":..,"tmax":..,"total":..,"count":..}, ... }
+/// The writer must be positioned where an object value is expected.
+void writePhasesJson(json::Writer& w, const ReducedTimingPool& reduced);
+
+/// Parses the file and checks that every key in `requiredTopLevelKeys`
+/// resolves on the top-level object. Returns false (with a message on
+/// stderr) on parse failure or a missing key.
+bool validateMetricsJson(const std::string& path,
+                         const std::vector<std::string>& requiredTopLevelKeys);
+
+} // namespace walb::obs

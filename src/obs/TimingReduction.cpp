@@ -1,0 +1,99 @@
+#include "obs/TimingReduction.h"
+
+#include <iomanip>
+#include <iterator>
+#include <limits>
+
+#include "core/Buffer.h"
+#include "vmpi/Comm.h"
+
+namespace walb::obs {
+
+ReducedTimingPool reduceTimingPool(vmpi::Comm& comm, const TimingPool& pool) {
+    SendBuffer sb;
+    sb << std::uint32_t(std::distance(pool.begin(), pool.end()));
+    for (const auto& [name, t] : pool)
+        sb << name << t.total() << std::uint64_t(t.count()) << t.min() << t.max();
+
+    const auto all = comm.allgatherv(std::span<const std::uint8_t>(sb.data(), sb.size()));
+
+    struct Acc {
+        double totalMin = std::numeric_limits<double>::max();
+        double totalSum = 0;
+        double totalMax = 0;
+        double minTime = std::numeric_limits<double>::max();
+        double maxTime = 0;
+        std::uint64_t countSum = 0;
+        int ranks = 0;
+    };
+    std::map<std::string, Acc> acc;
+    for (const auto& bytes : all) {
+        RecvBuffer rb(bytes);
+        std::uint32_t k = 0;
+        rb >> k;
+        for (std::uint32_t i = 0; i < k; ++i) {
+            std::string name;
+            double total = 0, mn = 0, mx = 0;
+            std::uint64_t count = 0;
+            rb >> name >> total >> count >> mn >> mx;
+            Acc& a = acc[name];
+            if (total < a.totalMin) a.totalMin = total;
+            if (total > a.totalMax) a.totalMax = total;
+            a.totalSum += total;
+            a.countSum += count;
+            ++a.ranks;
+            if (count > 0) {
+                if (mn < a.minTime) a.minTime = mn;
+                if (mx > a.maxTime) a.maxTime = mx;
+            }
+        }
+    }
+
+    ReducedTimingPool out;
+    out.worldSize = comm.size();
+    for (auto& [name, a] : acc) {
+        ReducedTimer r;
+        // Ranks without the phase spent zero time in it.
+        r.totalMin = (a.ranks == comm.size()) ? a.totalMin : 0.0;
+        r.totalAvg = a.totalSum / double(comm.size());
+        r.totalMax = a.totalMax;
+        r.minTime = (a.countSum > 0) ? a.minTime : 0.0;
+        r.maxTime = a.maxTime;
+        r.countSum = a.countSum;
+        r.ranks = a.ranks;
+        out.timers[name] = r;
+    }
+    return out;
+}
+
+void ReducedTimingPool::print(std::ostream& os) const {
+    const double g = grandTotalAvg();
+    os << std::left << std::setw(24) << "phase" << std::right << std::setw(11) << "tmin[s]"
+       << std::setw(11) << "tavg[s]" << std::setw(11) << "tmax[s]" << std::setw(7) << "imb"
+       << std::setw(10) << "count" << std::setw(8) << "%" << '\n';
+    for (const auto& [name, t] : timers) {
+        os << std::left << std::setw(24) << name << std::right << std::fixed
+           << std::setprecision(4) << std::setw(11) << t.totalMin << std::setw(11)
+           << t.totalAvg << std::setw(11) << t.totalMax << std::setprecision(2)
+           << std::setw(7) << t.imbalance() << std::setw(10) << t.countSum
+           << std::setprecision(1) << std::setw(7) << (g > 0 ? 100.0 * t.totalAvg / g : 0.0)
+           << "%\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+void printFigure6Report(std::ostream& os, const ReducedTimingPool& reduced,
+                        const std::string& commPhase, double mlupsPerRank) {
+    os << "-- per-phase timings reduced over " << reduced.worldSize << " rank"
+       << (reduced.worldSize == 1 ? "" : "s") << " " << std::string(28, '-') << '\n';
+    reduced.print(os);
+    os << std::fixed << std::setprecision(1);
+    os << "communication fraction (paper Fig. 6, '% of time spent for MPI'): "
+       << 100.0 * reduced.fraction(commPhase) << "%\n";
+    if (mlupsPerRank > 0.0) {
+        os << std::setprecision(2) << "MLUP/s per rank: " << mlupsPerRank << '\n';
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+} // namespace walb::obs

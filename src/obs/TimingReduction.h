@@ -1,0 +1,77 @@
+#pragma once
+/// \file TimingReduction.h
+/// Cross-rank reduction of TimingPool phase timings — the telemetry behind
+/// the paper's Figure 6/7 "percentage of time spent for MPI communication"
+/// curves. Every rank contributes its local pool; the reduction yields, per
+/// phase, the min/avg/max of the per-rank totals (load-imbalance view) and
+/// the global single-measurement extremes, plus a report printer in the
+/// shape the paper tabulates.
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "core/Timer.h"
+
+namespace walb::vmpi {
+class Comm;
+}
+
+namespace walb::obs {
+
+/// Per-phase statistics across all ranks.
+struct ReducedTimer {
+    double totalMin = 0;  ///< smallest per-rank total [s]
+    double totalAvg = 0;  ///< average per-rank total [s]
+    double totalMax = 0;  ///< largest per-rank total [s]
+    double minTime = 0;   ///< fastest single measurement on any rank [s]
+    double maxTime = 0;   ///< slowest single measurement on any rank [s]
+    std::uint64_t countSum = 0; ///< measurements over all ranks
+    int ranks = 0;        ///< ranks that have this phase
+
+    /// Max/avg of per-rank totals — 1.0 means perfectly balanced.
+    double imbalance() const { return totalAvg > 0 ? totalMax / totalAvg : 1.0; }
+};
+
+struct ReducedTimingPool {
+    std::map<std::string, ReducedTimer> timers;
+    int worldSize = 1;
+
+    const ReducedTimer* find(const std::string& name) const {
+        auto it = timers.find(name);
+        return it == timers.end() ? nullptr : &it->second;
+    }
+
+    /// Sum of per-phase average totals — the denominator for fractions.
+    double grandTotalAvg() const {
+        double s = 0;
+        for (const auto& [name, t] : timers) s += t.totalAvg;
+        return s;
+    }
+
+    /// Fraction of the average time step spent in the given phase.
+    double fraction(const std::string& name) const {
+        const ReducedTimer* t = find(name);
+        const double g = grandTotalAvg();
+        return (t && g > 0) ? t->totalAvg / g : 0.0;
+    }
+
+    /// min/avg/max table of all phases.
+    void print(std::ostream& os) const;
+};
+
+/// Collective over `comm`: reduces the per-phase timings of every rank's
+/// pool; the identical result is available on all ranks. Phases missing on
+/// some ranks contribute zero time there (totalMin then reflects the
+/// absence).
+ReducedTimingPool reduceTimingPool(vmpi::Comm& comm, const TimingPool& pool);
+
+/// Emits the comm-fraction table the paper reports in Figure 6: per-phase
+/// min/avg/max across ranks, the grand total, and the percentage of time
+/// spent in the communication phase (`commPhase`). If `mlupsPerRank` > 0 it
+/// is printed alongside, mirroring the figure's left axis.
+void printFigure6Report(std::ostream& os, const ReducedTimingPool& reduced,
+                        const std::string& commPhase = "communication",
+                        double mlupsPerRank = 0.0);
+
+} // namespace walb::obs

@@ -16,6 +16,7 @@
 /// A TimingPool records communication vs. compute time — the quantity
 /// behind the "% MPI communication" curves of Figure 6.
 
+#include <fstream>
 #include <functional>
 #include <map>
 
@@ -27,6 +28,9 @@
 #include "lbm/KernelD3Q19Simd.h"
 #include "lbm/KernelGeneric.h"
 #include "lbm/Sparse.h"
+#include "obs/Metrics.h"
+#include "obs/TimingReduction.h"
+#include "obs/Trace.h"
 #include "sim/SingleBlockSimulation.h"
 #include "vmpi/BufferSystem.h"
 
@@ -94,6 +98,11 @@ public:
     }
 
     std::size_t bytesLastExchange() const { return bytesLastExchange_; }
+
+    /// Traffic accounting of the underlying neighbor exchange (bytes and
+    /// message counts, per-exchange and cumulative) — the feed for the
+    /// simulation's metrics counters.
+    const vmpi::BufferSystem& bufferSystem() const { return bufferSystem_; }
 
     static std::size_t dirIndex(const std::array<int, 3>& d) {
         for (std::size_t i = 0; i < 26; ++i)
@@ -164,11 +173,14 @@ public:
             lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, dstId_), 1.0, {0, 0, 0});
         }
         comm_scheme_ = std::make_unique<PdfCommScheme>(forest_, comm_, srcId_);
+        trace_.setRank(comm.rank());
     }
 
     bf::BlockForest& forest() { return forest_; }
     const lbm::BoundaryFlags& masks() const { return masks_; }
     TimingPool& timing() { return timing_; }
+    obs::MetricsRegistry& metrics() { return metrics_; }
+    obs::TraceRecorder& trace() { return trace_; }
 
     void setWallVelocity(const Vec3& u) {
         for (auto& b : boundaries_) b->setWallVelocity(u);
@@ -188,18 +200,35 @@ public:
 
     template <typename Op>
     void run(uint_t numSteps, const Op& op) {
+        // Cached metric handles: one map lookup per run, not per step.
+        obs::Counter& steps = metrics_.counter("sim.steps");
+        obs::Counter& bytesSent = metrics_.counter("comm.bytesSent");
+        obs::Counter& bytesRecv = metrics_.counter("comm.bytesReceived");
+        obs::Counter& msgsSent = metrics_.counter("comm.messagesSent");
+        obs::Counter& msgsRecv = metrics_.counter("comm.messagesReceived");
+        const vmpi::BufferSystem& bs = comm_scheme_->bufferSystem();
+
+        Timer wall;
+        wall.start();
         for (uint_t step = 0; step < numSteps; ++step) {
             {
                 ScopedTimer t(timing_["communication"]);
+                obs::ScopedTrace tr(trace_, "communication");
                 comm_scheme_->communicate();
             }
+            bytesSent.inc(bs.lastSendBytes());
+            bytesRecv.inc(bs.lastRecvBytes());
+            msgsSent.inc(bs.lastSendMessages());
+            msgsRecv.inc(bs.lastRecvMessages());
             {
                 ScopedTimer t(timing_["boundary"]);
+                obs::ScopedTrace tr(trace_, "boundary");
                 for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
                     boundaries_[b]->apply(forest_.getData<lbm::PdfField>(b, srcId_));
             }
             {
                 ScopedTimer t(timing_["collideStream"]);
+                obs::ScopedTrace tr(trace_, "collideStream");
                 for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
                     auto& src = forest_.getData<lbm::PdfField>(b, srcId_);
                     auto& dst = forest_.getData<lbm::PdfField>(b, dstId_);
@@ -219,7 +248,44 @@ public:
                     src.swapDataWith(dst);
                 }
             }
+            steps.inc();
         }
+        wall.stop();
+        if (wall.total() > 0)
+            metrics_.gauge("sim.mlups").set(double(localFluidCells()) * double(numSteps) /
+                                            wall.total() / 1e6);
+        metrics_.gauge("sim.fluidCells").set(double(localFluidCells()));
+    }
+
+    // ---- cross-rank observability (collective calls) ----------------------
+
+    /// Per-phase min/avg/max over all ranks of this rank's TimingPool.
+    obs::ReducedTimingPool reduceTiming() { return obs::reduceTimingPool(comm_, timing_); }
+
+    /// Cross-rank reduction of all registered metrics.
+    obs::ReducedMetrics reduceMetrics() { return metrics_.reduce(comm_); }
+
+    /// Prints the Figure-6-style report (per-phase min/avg/max table plus
+    /// the communication fraction) on rank 0. Collective.
+    void printFigure6Report(std::ostream& os) {
+        const obs::ReducedTimingPool reduced = reduceTiming();
+        const obs::ReducedMetrics metrics = reduceMetrics();
+        if (comm_.rank() != 0) return;
+        const auto it = metrics.gauges.find("sim.mlups");
+        obs::printFigure6Report(os, reduced, "communication",
+                                it != metrics.gauges.end() ? it->second.avg() : 0.0);
+    }
+
+    /// Gathers all ranks' phase traces and writes one Chrome trace_event
+    /// JSON file from rank 0 (load it in chrome://tracing). Collective;
+    /// returns success on rank 0, true elsewhere.
+    bool writeChromeTrace(const std::string& path) {
+        const auto events = obs::TraceRecorder::gather(comm_, trace_);
+        if (comm_.rank() != 0) return true;
+        std::ofstream os(path, std::ios::binary);
+        if (!os) return false;
+        obs::TraceRecorder::writeChromeJson(os, events);
+        return bool(os);
     }
 
     /// Velocity at a global cell, available on every rank (owner
@@ -343,6 +409,8 @@ private:
     lbm::KernelD3Q19Simd<> simdKernel_;
     std::unique_ptr<PdfCommScheme> comm_scheme_;
     TimingPool timing_;
+    obs::MetricsRegistry metrics_;
+    obs::TraceRecorder trace_;
 };
 
 } // namespace walb::sim

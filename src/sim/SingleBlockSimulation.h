@@ -15,12 +15,15 @@
 #include <functional>
 #include <memory>
 
+#include "core/Timer.h"
 #include "lbm/Boundary.h"
 #include "lbm/Communication.h"
 #include "lbm/KernelD3Q19Simd.h"
 #include "lbm/KernelGeneric.h"
 #include "lbm/PdfField.h"
 #include "lbm/Sparse.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 namespace walb::sim {
 
@@ -85,17 +88,45 @@ public:
     uint_t fluidCells() const { return fluidCells_; }
 
     /// Advances the simulation by n time steps with the given collision
-    /// operator (SRT or TRT).
+    /// operator (SRT or TRT). The canonical phases are recorded in the
+    /// TimingPool and the phase trace, and the step counter / MLUP/s gauge
+    /// are maintained — same observability surface as the distributed
+    /// driver, minus the cross-rank reduction.
     template <typename Op>
     void run(uint_t n, const Op& op) {
         WALB_ASSERT(boundary_, "finalize() not called");
+        obs::Counter& steps = metrics_.counter("sim.steps");
+        Timer wall;
+        wall.start();
         for (uint_t step = 0; step < n; ++step) {
-            applyPeriodicity();
-            boundary_->apply(src_);
-            sweep(op);
+            {
+                ScopedTimer t(timing_["communication"]);
+                obs::ScopedTrace tr(trace_, "communication");
+                applyPeriodicity();
+            }
+            {
+                ScopedTimer t(timing_["boundary"]);
+                obs::ScopedTrace tr(trace_, "boundary");
+                boundary_->apply(src_);
+            }
+            {
+                ScopedTimer t(timing_["collideStream"]);
+                obs::ScopedTrace tr(trace_, "collideStream");
+                sweep(op);
+            }
             src_.swapDataWith(dst_);
+            steps.inc();
         }
+        wall.stop();
+        if (wall.total() > 0)
+            metrics_.gauge("sim.mlups").set(double(fluidCells_) * double(n) / wall.total() /
+                                            1e6);
+        metrics_.gauge("sim.fluidCells").set(double(fluidCells_));
     }
+
+    TimingPool& timing() { return timing_; }
+    obs::MetricsRegistry& metrics() { return metrics_; }
+    obs::TraceRecorder& trace() { return trace_; }
 
     real_t density(cell_idx_t x, cell_idx_t y, cell_idx_t z) const {
         return lbm::cellDensity<M>(src_, x, y, z);
@@ -149,6 +180,9 @@ private:
     std::unique_ptr<lbm::FluidRunList> runs_;
     lbm::KernelD3Q19Simd<> simd_;
     uint_t fluidCells_ = 0;
+    TimingPool timing_;
+    obs::MetricsRegistry metrics_;
+    obs::TraceRecorder trace_;
 };
 
 } // namespace walb::sim

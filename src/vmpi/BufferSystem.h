@@ -36,23 +36,62 @@ public:
     /// receiver set. Send buffers are cleared afterwards so the system can
     /// be reused every time step.
     void exchange() {
+        lastSendBytes_ = 0;
+        lastSendMessages_ = 0;
         for (auto& [rank, sb] : sendBuffers_) {
+            lastSendBytes_ += sb.size();
+            ++lastSendMessages_;
             std::vector<std::uint8_t> bytes(sb.data(), sb.data() + sb.size());
             comm_.send(rank, tag_, std::move(bytes));
             sb.clear();
         }
         recvBuffers_.clear();
-        for (int src : recvFrom_) recvBuffers_.emplace(src, RecvBuffer(comm_.recv(src, tag_)));
+        lastRecvBytes_ = 0;
+        lastRecvMessages_ = 0;
+        for (int src : recvFrom_) {
+            auto bytes = comm_.recv(src, tag_);
+            lastRecvBytes_ += bytes.size();
+            ++lastRecvMessages_;
+            recvBuffers_.emplace(src, RecvBuffer(std::move(bytes)));
+        }
+        cumulativeSendBytes_ += lastSendBytes_;
+        cumulativeRecvBytes_ += lastRecvBytes_;
+        cumulativeSendMessages_ += lastSendMessages_;
+        cumulativeRecvMessages_ += lastRecvMessages_;
     }
 
     /// Received buffers of the last exchange, keyed by source rank.
     std::map<int, RecvBuffer>& recvBuffers() { return recvBuffers_; }
 
-    /// Bytes currently staged for sending (call before exchange()).
+    /// Bytes currently staged for sending (call before exchange()); after
+    /// an exchange the staged buffers are empty and this returns 0 — use
+    /// lastSendBytes()/cumulativeSendBytes() for accounting.
     std::size_t totalSendBytes() const {
         std::size_t n = 0;
         for (const auto& [rank, sb] : sendBuffers_) n += sb.size();
         return n;
+    }
+
+    /// Bytes received in the last exchange — the receive-side counterpart
+    /// of totalSendBytes(), measured when the messages arrive.
+    std::size_t totalRecvBytes() const { return lastRecvBytes_; }
+
+    // ---- per-exchange and lifetime traffic accounting (feeds the
+    // ---- obs::MetricsRegistry counters of the simulation drivers) --------
+    std::size_t lastSendBytes() const { return lastSendBytes_; }
+    std::size_t lastRecvBytes() const { return lastRecvBytes_; }
+    std::size_t lastSendMessages() const { return lastSendMessages_; }
+    std::size_t lastRecvMessages() const { return lastRecvMessages_; }
+    std::uint64_t cumulativeSendBytes() const { return cumulativeSendBytes_; }
+    std::uint64_t cumulativeRecvBytes() const { return cumulativeRecvBytes_; }
+    std::uint64_t cumulativeSendMessages() const { return cumulativeSendMessages_; }
+    std::uint64_t cumulativeRecvMessages() const { return cumulativeRecvMessages_; }
+
+    void resetTrafficCounters() {
+        lastSendBytes_ = lastRecvBytes_ = 0;
+        lastSendMessages_ = lastRecvMessages_ = 0;
+        cumulativeSendBytes_ = cumulativeRecvBytes_ = 0;
+        cumulativeSendMessages_ = cumulativeRecvMessages_ = 0;
     }
 
     Comm& comm() { return comm_; }
@@ -63,6 +102,10 @@ private:
     std::map<int, SendBuffer> sendBuffers_;
     std::map<int, RecvBuffer> recvBuffers_;
     std::vector<int> recvFrom_;
+    std::size_t lastSendBytes_ = 0, lastRecvBytes_ = 0;
+    std::size_t lastSendMessages_ = 0, lastRecvMessages_ = 0;
+    std::uint64_t cumulativeSendBytes_ = 0, cumulativeRecvBytes_ = 0;
+    std::uint64_t cumulativeSendMessages_ = 0, cumulativeRecvMessages_ = 0;
 };
 
 } // namespace walb::vmpi

@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/AABB.h"
 #include "core/BinaryIO.h"
 #include "core/Buffer.h"
 #include "core/Cell.h"
+#include "core/Logging.h"
 #include "core/Random.h"
 #include "core/Timer.h"
 #include "core/Vector3.h"
@@ -208,6 +211,121 @@ TEST(Timer, MeasuresAndAccumulates) {
     t.addMeasurement(1.0);
     EXPECT_EQ(t.count(), 2u);
     EXPECT_GE(t.max(), 1.0);
+}
+
+TEST(Timer, MergeAggregatePreservesCountAndExtremes) {
+    Timer a;
+    a.addMeasurement(1.0);
+    a.addMeasurement(3.0);
+    // Merging pre-aggregated stats must add totals/counts and combine
+    // min/max instead of collapsing the remote timer into one
+    // pseudo-measurement.
+    a.mergeAggregate(/*total=*/6.0, /*count=*/4, /*mn=*/0.5, /*mx=*/2.5);
+    EXPECT_DOUBLE_EQ(a.total(), 10.0);
+    EXPECT_EQ(a.count(), 6u);
+    EXPECT_DOUBLE_EQ(a.average(), 10.0 / 6.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.5);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Timer, MergeAggregateOfEmptyTimerIsNoOp) {
+    Timer a;
+    a.addMeasurement(2.0);
+    Timer empty;
+    a.mergeAggregate(empty.total(), empty.count(), empty.min(), empty.max());
+    EXPECT_DOUBLE_EQ(a.total(), 2.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 2.0);
+}
+
+TEST(TimingPool, MergeIsExactOnMinMaxCountAvg) {
+    TimingPool a, b;
+    a["comm"].addMeasurement(1.0);
+    a["comm"].addMeasurement(5.0);
+    b["comm"].addMeasurement(0.25);
+    b["comm"].addMeasurement(2.0);
+    b["comm"].addMeasurement(2.75);
+    b["boundary"].addMeasurement(4.0);
+
+    a.merge(b);
+
+    const Timer* comm = a.find("comm");
+    ASSERT_NE(comm, nullptr);
+    EXPECT_DOUBLE_EQ(comm->total(), 11.0);
+    EXPECT_EQ(comm->count(), 5u); // was 2, not 3: counts add, not replace
+    EXPECT_DOUBLE_EQ(comm->average(), 2.2);
+    EXPECT_DOUBLE_EQ(comm->min(), 0.25); // true single-measurement minimum
+    EXPECT_DOUBLE_EQ(comm->max(), 5.0);  // true single-measurement maximum
+
+    // Phases only present in the merged-in pool appear verbatim.
+    const Timer* boundary = a.find("boundary");
+    ASSERT_NE(boundary, nullptr);
+    EXPECT_DOUBLE_EQ(boundary->total(), 4.0);
+    EXPECT_EQ(boundary->count(), 1u);
+    EXPECT_DOUBLE_EQ(boundary->min(), 4.0);
+    EXPECT_DOUBLE_EQ(boundary->max(), 4.0);
+}
+
+TEST(TimingPool, MergeEmptyPoolChangesNothing) {
+    TimingPool a, empty;
+    a["x"].addMeasurement(1.5);
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.grandTotal(), 1.5);
+    EXPECT_EQ(a.find("x")->count(), 1u);
+}
+
+TEST(Logger, SetStreamCapturesOutput) {
+    Logger& log = Logger::instance();
+    std::ostringstream oss;
+    log.setStream(&oss);
+    WALB_LOG_INFO("hello " << 42);
+    log.setStream(nullptr);
+    EXPECT_EQ(oss.str(), "[INFO]  hello 42\n");
+}
+
+TEST(Logger, RankTagIsThreadLocalAndRemovable) {
+    Logger& log = Logger::instance();
+    std::ostringstream oss;
+    log.setStream(&oss);
+    Logger::setThreadRank(3);
+    WALB_LOG_INFO("tagged");
+    Logger::setThreadRank(-1);
+    WALB_LOG_INFO("untagged");
+    log.setStream(nullptr);
+    EXPECT_EQ(oss.str(), "[rank 3][INFO]  tagged\n[INFO]  untagged\n");
+    EXPECT_EQ(Logger::thisThreadRank(), -1);
+}
+
+TEST(Logger, ElapsedPrefixHasFixedWidthFormat) {
+    Logger& log = Logger::instance();
+    std::ostringstream oss;
+    log.setStream(&oss);
+    log.setShowElapsed(true);
+    WALB_LOG_INFO("timed");
+    log.setShowElapsed(false);
+    log.setStream(nullptr);
+    const std::string line = oss.str();
+    // `[  12.345s][INFO]  timed` — 12-char elapsed prefix (`[` + %9.3f +
+    // `s]`) in front of the level tag.
+    ASSERT_GE(line.size(), 12u);
+    EXPECT_EQ(line[0], '[');
+    EXPECT_EQ(line.substr(10, 2), "s]");
+    EXPECT_NE(line.find("[INFO]  timed"), std::string::npos);
+    EXPECT_GE(log.elapsedSeconds(), 0.0);
+}
+
+TEST(Logger, ErrorMacroLogsAtErrorLevelEvenWhenQuiet) {
+    Logger& log = Logger::instance();
+    std::ostringstream oss;
+    log.setStream(&oss);
+    const LogLevel before = log.level();
+    log.setLevel(LogLevel::Error); // suppress everything below Error
+    WALB_LOG_INFO("should be dropped");
+    WALB_LOG_ERROR("boom " << 7);
+    log.setLevel(before);
+    log.setStream(nullptr);
+    EXPECT_EQ(oss.str(), "[ERROR] boom 7\n");
 }
 
 TEST(TimingPool, FractionsSumToOne) {

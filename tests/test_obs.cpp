@@ -1,0 +1,508 @@
+/// Tests for the observability subsystem (`walb::obs`): metrics registry
+/// (counters / gauges / histograms) and its cross-rank reduction, the
+/// TimingPool reduction with the Figure-6 report, the phase TraceRecorder
+/// with Chrome trace_event export, the minimal JSON writer/parser, and the
+/// end-to-end wiring through a 4-rank ThreadComm DistributedSimulation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Report.h"
+#include "obs/TimingReduction.h"
+#include "obs/Trace.h"
+#include "sim/DistributedSimulation.h"
+#include "vmpi/SerialComm.h"
+#include "vmpi/ThreadComm.h"
+
+namespace walb::obs {
+namespace {
+
+// ---- JSON writer / parser --------------------------------------------------
+
+TEST(Json, WriterProducesParseableDocument) {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("name", "walb").kv("pi", 3.25).kv("count", std::uint64_t(42)).kv("neg",
+                                                                          std::int64_t(-7));
+    w.kv("flag", true);
+    w.key("list").beginArray().value(1).value(2).value(3).endArray();
+    w.key("nested").beginObject().kv("inner", "x").endObject();
+    w.endObject();
+    EXPECT_EQ(w.depth(), 0u);
+
+    const json::Value root = json::parseOrAbort(os.str());
+    EXPECT_EQ(root.at("name").str(), "walb");
+    EXPECT_DOUBLE_EQ(root.at("pi").number(), 3.25);
+    EXPECT_DOUBLE_EQ(root.at("count").number(), 42.0);
+    EXPECT_DOUBLE_EQ(root.at("neg").number(), -7.0);
+    EXPECT_TRUE(root.at("flag").boolean());
+    ASSERT_EQ(root.at("list").array().size(), 3u);
+    EXPECT_DOUBLE_EQ(root.at("list").array()[2].number(), 3.0);
+    EXPECT_EQ(root.at("nested").at("inner").str(), "x");
+}
+
+TEST(Json, EscapingRoundTrips) {
+    std::ostringstream os;
+    json::Writer w(os);
+    const std::string nasty = "quote\" backslash\\ newline\n tab\t";
+    w.beginObject().kv("s", nasty).endObject();
+    const json::Value root = json::parseOrAbort(os.str());
+    EXPECT_EQ(root.at("s").str(), nasty);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+    bool ok = true;
+    std::string error;
+    json::parse("{\"a\": ", ok, error);
+    EXPECT_FALSE(ok);
+    EXPECT_FALSE(error.empty());
+    json::parse("{\"a\": 1} trailing", ok, error);
+    EXPECT_FALSE(ok);
+    json::parse("[1, 2,, 3]", ok, error);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Json, ParserAcceptsScalarsAndNesting) {
+    bool ok = false;
+    std::string error;
+    const json::Value v =
+        json::parse("[true, false, null, -1.5e2, \"s\", {\"k\": []}]", ok, error);
+    ASSERT_TRUE(ok) << error;
+    ASSERT_EQ(v.array().size(), 6u);
+    EXPECT_TRUE(v.array()[0].boolean());
+    EXPECT_FALSE(v.array()[1].boolean());
+    EXPECT_TRUE(v.array()[2].isNull());
+    EXPECT_DOUBLE_EQ(v.array()[3].number(), -150.0);
+    EXPECT_EQ(v.array()[4].str(), "s");
+    EXPECT_TRUE(v.array()[5].at("k").array().empty());
+}
+
+// ---- metrics primitives ----------------------------------------------------
+
+TEST(Counter, IncrementAndSaturatingOverflow) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Overflow saturates instead of wrapping: reductions never see a sum
+    // jump backwards.
+    c.inc(Counter::kMax - 10);
+    EXPECT_EQ(c.value(), Counter::kMax);
+    c.inc(123);
+    EXPECT_EQ(c.value(), Counter::kMax);
+}
+
+TEST(Histogram, BucketEdgesAreUpperInclusive) {
+    Histogram h({1.0, 2.0, 5.0});
+    // Bucket i counts x with edge[i-1] < x <= edge[i].
+    h.record(0.5);  // bucket 0
+    h.record(1.0);  // bucket 0 (upper-inclusive)
+    h.record(1.001); // bucket 1
+    h.record(2.0);  // bucket 1
+    h.record(5.0);  // bucket 2
+    h.record(5.001); // overflow
+    h.record(100.0); // overflow
+    ASSERT_EQ(h.counts().size(), 4u);
+    EXPECT_EQ(h.counts()[0], 2u);
+    EXPECT_EQ(h.counts()[1], 2u);
+    EXPECT_EQ(h.counts()[2], 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 5.001 + 100.0, 1e-12);
+}
+
+TEST(Histogram, MergeIsBucketWise) {
+    Histogram a({1.0, 2.0}), b({1.0, 2.0});
+    a.record(0.5);
+    a.record(1.5);
+    b.record(1.5);
+    b.record(9.0);
+    a.merge(b);
+    EXPECT_EQ(a.counts()[0], 1u);
+    EXPECT_EQ(a.counts()[1], 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.5);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndNamed) {
+    MetricsRegistry reg;
+    Counter& c = reg.counter("steps");
+    Gauge& g = reg.gauge("mlups");
+    reg.counter("other").inc(5); // map growth must not invalidate c/g
+    c.inc(3);
+    g.set(1.5);
+    EXPECT_EQ(reg.findCounter("steps")->value(), 3u);
+    EXPECT_DOUBLE_EQ(reg.findGauge("mlups")->value(), 1.5);
+    EXPECT_EQ(reg.findCounter("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, LocalJsonSnapshotParses) {
+    MetricsRegistry reg;
+    reg.counter("a").inc(7);
+    reg.gauge("b").set(2.5);
+    reg.histogram("h", {1.0, 10.0}).record(3.0);
+    std::ostringstream os;
+    reg.writeJson(os);
+    const json::Value root = json::parseOrAbort(os.str());
+    EXPECT_DOUBLE_EQ(root.at("counters").at("a").number(), 7.0);
+    EXPECT_DOUBLE_EQ(root.at("gauges").at("b").number(), 2.5);
+    EXPECT_DOUBLE_EQ(root.at("histograms").at("h").at("count").number(), 1.0);
+}
+
+// ---- cross-rank reduction --------------------------------------------------
+
+TEST(MetricsRegistry, ReduceAcrossFourRanks) {
+    vmpi::ThreadCommWorld::launch(4, [&](vmpi::Comm& comm) {
+        const auto r = std::uint64_t(comm.rank());
+        MetricsRegistry reg;
+        reg.counter("steps").inc(10 * (r + 1)); // 10,20,30,40
+        reg.gauge("mlups").set(double(r));      // 0,1,2,3
+        reg.histogram("dt", {1.0, 2.0}).record(0.5 + double(r)); // 0.5,1.5,2.5,3.5
+        if (comm.rank() == 0) reg.counter("onlyRankZero").inc(99);
+
+        const ReducedMetrics red = reg.reduce(comm);
+        EXPECT_EQ(red.worldSize, 4);
+
+        const ReducedCounter& steps = red.counters.at("steps");
+        EXPECT_EQ(steps.sum, 100u);
+        EXPECT_EQ(steps.min, 10u);
+        EXPECT_EQ(steps.max, 40u);
+        EXPECT_EQ(steps.ranks, 4);
+
+        const ReducedCounter& lone = red.counters.at("onlyRankZero");
+        EXPECT_EQ(lone.sum, 99u);
+        EXPECT_EQ(lone.ranks, 1);
+
+        const ReducedGauge& mlups = red.gauges.at("mlups");
+        EXPECT_DOUBLE_EQ(mlups.min, 0.0);
+        EXPECT_DOUBLE_EQ(mlups.max, 3.0);
+        EXPECT_DOUBLE_EQ(mlups.avg(), 1.5);
+        EXPECT_DOUBLE_EQ(mlups.sum, 6.0);
+
+        const Histogram& dt = red.histograms.at("dt");
+        EXPECT_EQ(dt.count(), 4u);
+        EXPECT_EQ(dt.counts()[0], 1u); // 0.5
+        EXPECT_EQ(dt.counts()[1], 1u); // 1.5
+        EXPECT_EQ(dt.overflow(), 2u);  // 2.5, 3.5
+        EXPECT_DOUBLE_EQ(dt.min(), 0.5);
+        EXPECT_DOUBLE_EQ(dt.max(), 3.5);
+
+        // The reduced snapshot serializes to parseable JSON on every rank.
+        std::ostringstream os;
+        red.writeJson(os);
+        const json::Value root = json::parseOrAbort(os.str());
+        EXPECT_DOUBLE_EQ(root.at("counters").at("steps").at("sum").number(), 100.0);
+    });
+}
+
+TEST(MetricsRegistry, ReduceOnSerialCommIsIdentity) {
+    vmpi::SerialComm comm;
+    MetricsRegistry reg;
+    reg.counter("c").inc(5);
+    reg.gauge("g").set(2.0);
+    const ReducedMetrics red = reg.reduce(comm);
+    EXPECT_EQ(red.worldSize, 1);
+    EXPECT_EQ(red.counters.at("c").sum, 5u);
+    EXPECT_DOUBLE_EQ(red.gauges.at("g").avg(), 2.0);
+}
+
+TEST(ReduceTimingPool, MinAvgMaxAcrossFourRanks) {
+    vmpi::ThreadCommWorld::launch(4, [&](vmpi::Comm& comm) {
+        TimingPool pool;
+        // Rank r contributes two measurements of (r+1)s and one phase that
+        // only exists on rank 2.
+        const double mine = double(comm.rank() + 1);
+        pool["phase"].addMeasurement(mine);
+        pool["phase"].addMeasurement(mine);
+        if (comm.rank() == 2) pool["rare"].addMeasurement(7.0);
+
+        const ReducedTimingPool red = reduceTimingPool(comm, pool);
+        EXPECT_EQ(red.worldSize, 4);
+
+        const ReducedTimer& t = *red.find("phase");
+        EXPECT_DOUBLE_EQ(t.totalMin, 2.0);  // rank 0: 2 x 1s
+        EXPECT_DOUBLE_EQ(t.totalMax, 8.0);  // rank 3: 2 x 4s
+        EXPECT_DOUBLE_EQ(t.totalAvg, 5.0);  // (2+4+6+8)/4
+        EXPECT_DOUBLE_EQ(t.minTime, 1.0);   // fastest single measurement
+        EXPECT_DOUBLE_EQ(t.maxTime, 4.0);   // slowest single measurement
+        EXPECT_EQ(t.countSum, 8u);
+        EXPECT_EQ(t.ranks, 4);
+        EXPECT_NEAR(t.imbalance(), 8.0 / 5.0, 1e-12);
+
+        const ReducedTimer& rare = *red.find("rare");
+        EXPECT_DOUBLE_EQ(rare.totalMin, 0.0); // absent on three ranks
+        EXPECT_DOUBLE_EQ(rare.totalMax, 7.0);
+        EXPECT_DOUBLE_EQ(rare.totalAvg, 7.0 / 4.0);
+        EXPECT_EQ(rare.ranks, 1);
+
+        // Fractions use average totals: 5 / (5 + 1.75).
+        EXPECT_NEAR(red.fraction("phase"), 5.0 / 6.75, 1e-12);
+    });
+}
+
+TEST(ReduceTimingPool, Figure6ReportMentionsCommFraction) {
+    vmpi::SerialComm comm;
+    TimingPool pool;
+    pool["communication"].addMeasurement(1.0);
+    pool["collideStream"].addMeasurement(3.0);
+    const ReducedTimingPool red = reduceTimingPool(comm, pool);
+    std::ostringstream os;
+    printFigure6Report(os, red, "communication", 12.5);
+    const std::string report = os.str();
+    EXPECT_NE(report.find("communication fraction"), std::string::npos);
+    EXPECT_NE(report.find("25.0%"), std::string::npos);
+    EXPECT_NE(report.find("collideStream"), std::string::npos);
+    EXPECT_NE(report.find("MLUP/s per rank: 12.50"), std::string::npos);
+}
+
+// ---- trace recorder --------------------------------------------------------
+
+TEST(TraceRecorder, RecordsNestedScopesWithDepth) {
+    TraceRecorder rec(3);
+    {
+        ScopedTrace outer(rec, "timeStep");
+        { ScopedTrace inner(rec, "communication"); }
+        { ScopedTrace inner(rec, "collideStream"); }
+    }
+    ASSERT_EQ(rec.events().size(), 3u);
+    // Children complete (and are appended) before the parent.
+    const TraceEvent& comm = rec.events()[0];
+    const TraceEvent& collide = rec.events()[1];
+    const TraceEvent& step = rec.events()[2];
+    EXPECT_EQ(step.name, "timeStep");
+    EXPECT_EQ(step.depth, 0u);
+    EXPECT_EQ(comm.depth, 1u);
+    EXPECT_EQ(collide.depth, 1u);
+    EXPECT_EQ(step.rank, 3);
+    // Nesting: children lie within the parent interval.
+    EXPECT_GE(comm.beginUs, step.beginUs);
+    EXPECT_LE(comm.beginUs + comm.durUs, step.beginUs + step.durUs + 1e-6);
+    EXPECT_GE(collide.beginUs, comm.beginUs + comm.durUs - 1e-6);
+}
+
+TEST(TraceRecorder, CapDropsInsteadOfGrowing) {
+    TraceRecorder rec(0, /*maxEvents=*/2);
+    for (int i = 0; i < 5; ++i) { ScopedTrace t(rec, "e"); }
+    EXPECT_EQ(rec.events().size(), 2u);
+    EXPECT_EQ(rec.dropped(), 3u);
+    rec.clear();
+    EXPECT_TRUE(rec.events().empty());
+    EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, DisabledRecorderIsNoOp) {
+    TraceRecorder rec(0);
+    rec.setEnabled(false);
+    { ScopedTrace t(rec, "x"); }
+    EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(TraceRecorder, ChromeExportParsesAndAttributesRanks) {
+    TraceRecorder r0(0), r5(5);
+    { ScopedTrace t(r0, "communication"); }
+    { ScopedTrace t(r5, "collideStream"); }
+    std::vector<TraceEvent> events = r0.events();
+    events.insert(events.end(), r5.events().begin(), r5.events().end());
+
+    std::ostringstream os;
+    TraceRecorder::writeChromeJson(os, events);
+    const json::Value root = json::parseOrAbort(os.str());
+    const auto& arr = root.at("traceEvents").array();
+    std::size_t complete = 0;
+    std::set<int> tids;
+    std::set<std::string> names;
+    for (const auto& e : arr) {
+        if (e.at("ph").str() == "M") continue;
+        EXPECT_EQ(e.at("ph").str(), "X");
+        EXPECT_GE(e.at("dur").number(), 0.0);
+        tids.insert(int(e.at("tid").number()));
+        names.insert(e.at("name").str());
+        ++complete;
+    }
+    EXPECT_EQ(complete, 2u);
+    EXPECT_EQ(tids, (std::set<int>{0, 5}));
+    EXPECT_EQ(names, (std::set<std::string>{"communication", "collideStream"}));
+}
+
+// ---- end-to-end: 4-rank distributed cavity ---------------------------------
+
+constexpr cell_idx_t N = 16;
+
+void cavityFlags(field::FlagField& flags, const lbm::BoundaryFlags& masks,
+                 const Cell& offset) {
+    flags.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        const Cell g{offset.x + x, offset.y + y, offset.z + z};
+        if (g.x < 0 || g.y < 0 || g.z < 0 || g.x >= N || g.y >= N || g.z >= N) return;
+        if (g.y == N - 1) flags.addFlag(x, y, z, masks.ubb);
+        else if (g.x == 0 || g.x == N - 1 || g.y == 0 || g.z == 0 || g.z == N - 1)
+            flags.addFlag(x, y, z, masks.noSlip);
+        else flags.addFlag(x, y, z, masks.fluid);
+    });
+}
+
+bf::SetupBlockForest cavitySetup(std::uint32_t ranks) {
+    bf::SetupConfig cfg;
+    cfg.domain = AABB(0, 0, 0, real_c(N), real_c(N), real_c(N));
+    cfg.rootBlocksX = cfg.rootBlocksY = cfg.rootBlocksZ = 2;
+    const auto cells = std::uint32_t(uint_c(N) / 2);
+    cfg.cellsPerBlockX = cfg.cellsPerBlockY = cfg.cellsPerBlockZ = cells;
+    auto setup = bf::SetupBlockForest::create(cfg);
+    setup.balanceMorton(ranks);
+    return setup;
+}
+
+sim::DistributedSimulation::FlagInitializer distributedCavityFlags() {
+    return [](field::FlagField& flags, const lbm::BoundaryFlags& masks,
+              const bf::BlockForest::Block& block, const geometry::CellMapping& mapping) {
+        const auto cells = cell_idx_c(std::llround(mapping.blockBox.xSize() / mapping.dx));
+        const Cell offset{block.gridPos.x * cells, block.gridPos.y * cells,
+                          block.gridPos.z * cells};
+        cavityFlags(flags, masks, offset);
+    };
+}
+
+TEST(DistributedObservability, FourRankRunProducesReportTraceAndMetrics) {
+    const std::string tracePath = testing::TempDir() + "/walb_obs_fourrank.trace.json";
+    const uint_t steps = 8;
+    const auto setup = cavitySetup(4);
+
+    std::string report;         // rank 0 only
+    bool traceOk = false;       // rank 0 only
+    std::uint64_t stepsSum = 0, bytesSent = 0, bytesRecv = 0, msgsSent = 0, msgsRecv = 0;
+
+    vmpi::ThreadCommWorld::launch(4, [&](vmpi::Comm& comm) {
+        sim::DistributedSimulation sim(comm, setup, distributedCavityFlags());
+        sim.setWallVelocity({0.04, 0, 0});
+        sim.run(steps, lbm::TRT::fromOmegaAndMagic(1.3));
+
+        // (a) reduced per-phase report with comm-fraction line.
+        std::ostringstream os;
+        sim.printFigure6Report(os);
+
+        // (b) chrome trace gathered from all ranks, written by rank 0.
+        const bool wrote = sim.writeChromeTrace(tracePath);
+
+        // (c) reduced metrics.
+        const ReducedMetrics red = sim.reduceMetrics();
+        if (comm.rank() == 0) {
+            report = os.str();
+            traceOk = wrote;
+            stepsSum = red.counters.at("sim.steps").sum;
+            bytesSent = red.counters.at("comm.bytesSent").sum;
+            bytesRecv = red.counters.at("comm.bytesReceived").sum;
+            msgsSent = red.counters.at("comm.messagesSent").sum;
+            msgsRecv = red.counters.at("comm.messagesReceived").sum;
+        }
+    });
+
+    // (a) the Figure-6 style report.
+    EXPECT_NE(report.find("reduced over 4 ranks"), std::string::npos) << report;
+    EXPECT_NE(report.find("communication"), std::string::npos);
+    EXPECT_NE(report.find("boundary"), std::string::npos);
+    EXPECT_NE(report.find("collideStream"), std::string::npos);
+    EXPECT_NE(report.find("communication fraction"), std::string::npos);
+    EXPECT_NE(report.find("MLUP/s per rank"), std::string::npos);
+
+    // (c) metrics: every rank stepped, and — message passing being
+    // conservative — the world sent exactly as many bytes as it received.
+    EXPECT_EQ(stepsSum, 4u * steps);
+    EXPECT_GT(bytesSent, 0u);
+    EXPECT_EQ(bytesSent, bytesRecv);
+    EXPECT_GT(msgsSent, 0u);
+    EXPECT_EQ(msgsSent, msgsRecv);
+
+    // (b) the trace file: >= 3 distinct phase names on >= 4 distinct tids.
+    ASSERT_TRUE(traceOk);
+    std::string text;
+    ASSERT_TRUE(readFileToString(tracePath, text));
+    const json::Value root = json::parseOrAbort(text);
+    std::set<std::string> phases;
+    std::set<int> tids;
+    std::size_t complete = 0;
+    for (const auto& e : root.at("traceEvents").array()) {
+        if (e.at("ph").str() == "M") continue;
+        phases.insert(e.at("name").str());
+        tids.insert(int(e.at("tid").number()));
+        ++complete;
+    }
+    EXPECT_GE(phases.size(), 3u);
+    EXPECT_GE(tids.size(), 4u);
+    EXPECT_EQ(complete, 4u * steps * 3u); // 3 phases per step per rank
+    std::remove(tracePath.c_str());
+}
+
+// ---- report helpers --------------------------------------------------------
+
+TEST(Report, MetricsJsonArgParsing) {
+    const char* argv1[] = {"bench", "--metrics-json", "/tmp/x.json"};
+    EXPECT_EQ(metricsJsonPathFromArgs(3, const_cast<char**>(argv1)), "/tmp/x.json");
+    const char* argv2[] = {"bench", "--metrics-json=/tmp/y.json"};
+    EXPECT_EQ(metricsJsonPathFromArgs(2, const_cast<char**>(argv2)), "/tmp/y.json");
+    const char* argv3[] = {"bench"};
+    EXPECT_EQ(metricsJsonPathFromArgs(1, const_cast<char**>(argv3)), "");
+}
+
+TEST(Report, ValidateMetricsJsonChecksKeys) {
+    const std::string path = testing::TempDir() + "/walb_obs_report.json";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "{\"benchmark\": \"x\", \"runs\": []}\n";
+    }
+    EXPECT_TRUE(validateMetricsJson(path, {"benchmark", "runs"}));
+    EXPECT_FALSE(validateMetricsJson(path, {"benchmark", "missing"}));
+    EXPECT_FALSE(validateMetricsJson(path + ".nope", {}));
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "not json";
+    }
+    EXPECT_FALSE(validateMetricsJson(path, {}));
+    std::remove(path.c_str());
+}
+
+// ---- overhead guard --------------------------------------------------------
+
+/// Per-step instrumentation cost of the drivers: one timer scope, one trace
+/// scope and a few counter increments. The acceptance bar is < 5% of a
+/// micro_kernels sweep (~ms); we assert a generous absolute bound that is
+/// orders of magnitude tighter than that while robust to CI noise.
+TEST(Overhead, PerStepInstrumentationIsCheap) {
+    TimingPool timing;
+    MetricsRegistry metrics;
+    TraceRecorder trace(0, std::size_t(1) << 22);
+    Counter& steps = metrics.counter("sim.steps");
+    Counter& bytes = metrics.counter("comm.bytesSent");
+
+    constexpr int kSteps = 20000;
+    double bestPerStepUs = 1e300;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        trace.clear();
+        const double t0 = TraceRecorder::nowUs();
+        for (int i = 0; i < kSteps; ++i) {
+            {
+                ScopedTimer t(timing["collideStream"]);
+                ScopedTrace tr(trace, "collideStream");
+            }
+            steps.inc();
+            bytes.inc(456);
+        }
+        const double t1 = TraceRecorder::nowUs();
+        bestPerStepUs = std::min(bestPerStepUs, (t1 - t0) / double(kSteps));
+    }
+    // A micro_kernels 48^3 sweep takes ~1 ms/step; 5% of that is 50 us.
+    // The instrumentation must stay far below it (typically < 1 us).
+    EXPECT_LT(bestPerStepUs, 10.0) << "per-step obs overhead " << bestPerStepUs << " us";
+}
+
+} // namespace
+} // namespace walb::obs

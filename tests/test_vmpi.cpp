@@ -218,6 +218,78 @@ TEST(BufferSystem, EmptyBuffersAreDelivered) {
     });
 }
 
+TEST(BufferSystem, TrafficCountersUnderSerialComm) {
+    // Under SerialComm the only neighbor is the rank itself, so send- and
+    // receive-side accounting must agree exactly.
+    SerialComm comm;
+    BufferSystem bs(comm);
+    bs.setReceiverInfo({0});
+
+    bs.sendBuffer(0) << std::uint64_t(7) << 2.5; // 8 + 8 bytes
+    EXPECT_EQ(bs.totalSendBytes(), 16u);
+
+    bs.exchange();
+    EXPECT_EQ(bs.totalSendBytes(), 0u); // staged buffers were cleared
+    EXPECT_EQ(bs.lastSendBytes(), 16u);
+    EXPECT_EQ(bs.totalRecvBytes(), 16u);
+    EXPECT_EQ(bs.lastRecvBytes(), bs.lastSendBytes());
+    EXPECT_EQ(bs.lastSendMessages(), 1u);
+    EXPECT_EQ(bs.lastRecvMessages(), 1u);
+
+    // Second, smaller exchange: last* reflect only the newest exchange,
+    // cumulative* accumulate across both.
+    bs.sendBuffer(0) << std::uint8_t(1);
+    bs.exchange();
+    EXPECT_EQ(bs.lastSendBytes(), 1u);
+    EXPECT_EQ(bs.totalRecvBytes(), 1u);
+    EXPECT_EQ(bs.cumulativeSendBytes(), 17u);
+    EXPECT_EQ(bs.cumulativeRecvBytes(), 17u);
+    EXPECT_EQ(bs.cumulativeSendMessages(), 2u);
+    EXPECT_EQ(bs.cumulativeRecvMessages(), 2u);
+
+    bs.resetTrafficCounters();
+    EXPECT_EQ(bs.lastSendBytes(), 0u);
+    EXPECT_EQ(bs.totalRecvBytes(), 0u);
+    EXPECT_EQ(bs.cumulativeSendBytes(), 0u);
+    EXPECT_EQ(bs.cumulativeRecvMessages(), 0u);
+}
+
+TEST(BufferSystem, TrafficCountersUnderThreadComm) {
+    // Ring of 4: every rank sends rank+1 doubles left and one u64 right, so
+    // per-rank byte counts differ but the world-wide send and receive sums
+    // must balance — globally no byte is lost or double-counted.
+    const int n = 4;
+    std::atomic<std::uint64_t> sentSum{0}, recvSum{0};
+    std::atomic<std::uint64_t> sentMsgs{0}, recvMsgs{0};
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        BufferSystem bs(comm, 9);
+        const int left = (comm.rank() + n - 1) % n;
+        const int right = (comm.rank() + 1) % n;
+        bs.setReceiverInfo({left, right});
+        for (int round = 0; round < 2; ++round) {
+            for (int i = 0; i <= comm.rank(); ++i) bs.sendBuffer(left) << 1.0;
+            bs.sendBuffer(right) << std::uint64_t(comm.rank());
+            const std::size_t staged = bs.totalSendBytes();
+            EXPECT_EQ(staged, 8u * uint_c(comm.rank() + 1) + 8u);
+            bs.exchange();
+            EXPECT_EQ(bs.lastSendBytes(), staged);
+            // From the right neighbor we receive its left-bound doubles,
+            // from the left neighbor its right-bound u64.
+            EXPECT_EQ(bs.totalRecvBytes(), 8u * uint_c(right + 1) + 8u);
+            EXPECT_EQ(bs.lastSendMessages(), 2u);
+            EXPECT_EQ(bs.lastRecvMessages(), 2u);
+        }
+        sentSum += bs.cumulativeSendBytes();
+        recvSum += bs.cumulativeRecvBytes();
+        sentMsgs += bs.cumulativeSendMessages();
+        recvMsgs += bs.cumulativeRecvMessages();
+    });
+    EXPECT_GT(sentSum.load(), 0u);
+    EXPECT_EQ(sentSum.load(), recvSum.load());
+    EXPECT_EQ(sentMsgs.load(), recvMsgs.load());
+    EXPECT_EQ(sentMsgs.load(), uint_c(2 * 2 * n)); // 2 msgs x 2 rounds x n ranks
+}
+
 TEST(ThreadCommWorld, ReusableAcrossRuns) {
     ThreadCommWorld world(3);
     for (int i = 0; i < 3; ++i) {

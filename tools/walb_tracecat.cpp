@@ -1,0 +1,176 @@
+/// walb_tracecat — validates and summarizes a Chrome trace_event JSON file
+/// as emitted by obs::TraceRecorder::writeChromeJson (the export of a
+/// DistributedSimulation phase trace).
+///
+///   walb_tracecat <trace.json>    validate + print summary
+///   walb_tracecat --selftest      record a synthetic trace, export it to a
+///                                 temp file, then validate it (CI smoke
+///                                 test wired into ctest)
+///
+/// Exit status is nonzero when the file does not parse, is not a trace
+/// document, or contains malformed events — so CI can smoke-test trace
+/// output with a single command.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "obs/Report.h"
+#include "obs/Trace.h"
+
+using namespace walb;
+
+namespace {
+
+struct TraceSummary {
+    std::size_t events = 0;
+    std::size_t metadata = 0;
+    std::set<int> tids;
+    std::map<std::string, double> phaseTotalUs;
+    std::map<std::string, std::size_t> phaseCounts;
+    double spanBeginUs = 1e300;
+    double spanEndUs = 0;
+};
+
+bool summarize(const obs::json::Value& root, TraceSummary& out, std::string& error) {
+    if (!root.isObject()) {
+        error = "root is not an object";
+        return false;
+    }
+    const obs::json::Value* events = root.find("traceEvents");
+    if (!events || !events->isArray()) {
+        error = "missing 'traceEvents' array";
+        return false;
+    }
+    for (const auto& e : events->array()) {
+        if (!e.isObject()) {
+            error = "trace event is not an object";
+            return false;
+        }
+        const obs::json::Value* ph = e.find("ph");
+        const obs::json::Value* name = e.find("name");
+        if (!ph || !ph->isString() || !name || !name->isString()) {
+            error = "trace event lacks 'ph'/'name'";
+            return false;
+        }
+        if (ph->str() == "M") {
+            ++out.metadata;
+            continue;
+        }
+        if (ph->str() != "X") {
+            error = "unexpected event phase type '" + ph->str() + "'";
+            return false;
+        }
+        const obs::json::Value* ts = e.find("ts");
+        const obs::json::Value* dur = e.find("dur");
+        const obs::json::Value* tid = e.find("tid");
+        if (!ts || !ts->isNumber() || !dur || !dur->isNumber() || !tid || !tid->isNumber()) {
+            error = "complete event lacks numeric ts/dur/tid";
+            return false;
+        }
+        if (dur->number() < 0) {
+            error = "negative event duration";
+            return false;
+        }
+        ++out.events;
+        out.tids.insert(int(tid->number()));
+        out.phaseTotalUs[name->str()] += dur->number();
+        ++out.phaseCounts[name->str()];
+        out.spanBeginUs = std::min(out.spanBeginUs, ts->number());
+        out.spanEndUs = std::max(out.spanEndUs, ts->number() + dur->number());
+    }
+    return true;
+}
+
+int validateFile(const std::string& path) {
+    std::string text;
+    if (!obs::readFileToString(path, text)) {
+        std::fprintf(stderr, "walb_tracecat: cannot read '%s'\n", path.c_str());
+        return 1;
+    }
+    bool ok = false;
+    std::string error;
+    const obs::json::Value root = obs::json::parse(text, ok, error);
+    if (!ok) {
+        std::fprintf(stderr, "walb_tracecat: JSON parse error: %s\n", error.c_str());
+        return 1;
+    }
+    TraceSummary s;
+    if (!summarize(root, s, error)) {
+        std::fprintf(stderr, "walb_tracecat: invalid trace: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("trace: %s\n", path.c_str());
+    std::printf("  events: %zu (+%zu metadata), ranks/tids: %zu, span: %.3f ms\n", s.events,
+                s.metadata, s.tids.size(),
+                s.events ? (s.spanEndUs - s.spanBeginUs) / 1e3 : 0.0);
+    std::printf("  %-24s %10s %14s\n", "phase", "count", "total[ms]");
+    for (const auto& [phase, totalUs] : s.phaseTotalUs)
+        std::printf("  %-24s %10zu %14.3f\n", phase.c_str(), s.phaseCounts.at(phase),
+                    totalUs / 1e3);
+    return 0;
+}
+
+int selftest() {
+    // Record a synthetic two-rank trace with nested phases.
+    obs::TraceRecorder r0(0), r1(1);
+    for (int step = 0; step < 3; ++step) {
+        for (auto* r : {&r0, &r1}) {
+            obs::ScopedTrace step_(*r, "timeStep");
+            { obs::ScopedTrace t(*r, "communication"); }
+            { obs::ScopedTrace t(*r, "boundary"); }
+            { obs::ScopedTrace t(*r, "collideStream"); }
+        }
+    }
+    std::vector<obs::TraceEvent> events = r0.events();
+    events.insert(events.end(), r1.events().begin(), r1.events().end());
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "walb_tracecat_selftest.json").string();
+    {
+        std::ofstream os(path, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr, "walb_tracecat: cannot write '%s'\n", path.c_str());
+            return 1;
+        }
+        obs::TraceRecorder::writeChromeJson(os, events);
+    }
+    const int rc = validateFile(path);
+    if (rc != 0) return rc;
+
+    // The selftest additionally asserts the expected shape.
+    std::string text;
+    obs::readFileToString(path, text);
+    bool ok = false;
+    std::string error;
+    TraceSummary s;
+    const obs::json::Value root = obs::json::parse(text, ok, error);
+    if (!ok || !summarize(root, s, error)) {
+        std::fprintf(stderr, "walb_tracecat: selftest re-parse failed\n");
+        return 1;
+    }
+    if (s.events != 24 || s.tids.size() != 2 || s.phaseTotalUs.size() != 4) {
+        std::fprintf(stderr,
+                     "walb_tracecat: selftest shape mismatch (events=%zu tids=%zu "
+                     "phases=%zu)\n",
+                     s.events, s.tids.size(), s.phaseTotalUs.size());
+        return 1;
+    }
+    std::remove(path.c_str());
+    std::printf("selftest OK\n");
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc == 2 && std::string(argv[1]) == "--selftest") return selftest();
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: walb_tracecat <trace.json> | --selftest\n");
+        return 2;
+    }
+    return validateFile(argv[1]);
+}
