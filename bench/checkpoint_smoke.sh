@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Kill-and-restart smoke test of the checkpoint/restart leg (wired into ctest
+# as `fig6_checkpoint_restart`). Exercises the full contract end to end:
+#
+#   1. reference: an uninterrupted 30-step run -> A.json
+#   2. "killed" run: checkpoint every 8 steps, process stops after step 16
+#      (simulated process death; the last checkpoint holds step 16)
+#   3. restart: --restart-from the checkpoint, finish the remaining steps
+#      -> B.json
+#   4. verdict: state_digest and final_mass_bits in A.json and B.json must be
+#      IDENTICAL — the interrupted+restarted trajectory is bit-exact.
+#
+# Usage: checkpoint_smoke.sh <fig6_weak_dense binary> <scratch dir>
+set -u
+
+bin="$1"
+dir="$2"
+mkdir -p "$dir"
+ckpt="$dir/smoke.wckp"
+a="$dir/smoke_a.json"
+b="$dir/smoke_b.json"
+rm -f "$ckpt" "$a" "$b"
+
+fail() { echo "checkpoint_smoke: FAIL: $*" >&2; exit 1; }
+
+# Pull `"key": <integer>` out of a single-line metrics JSON.
+jint() { sed -n "s/.*\"$2\"[: ]*\([0-9][0-9]*\).*/\1/p" "$1"; }
+
+echo "== reference: uninterrupted 30-step run"
+"$bin" --steps 30 --metrics-json "$a" || fail "reference run exited nonzero"
+
+echo "== killed run: checkpoint every 8, die after step 16"
+"$bin" --steps 30 --checkpoint-every 8 --checkpoint-path "$ckpt" --stop-after 16 \
+    || fail "killed run exited nonzero"
+[ -f "$ckpt" ] || fail "no checkpoint written by the killed run"
+
+echo "== restart from the checkpoint, finish the run"
+"$bin" --steps 30 --restart-from "$ckpt" --metrics-json "$b" \
+    || fail "restart run exited nonzero"
+
+for key in state_digest final_mass_bits final_step; do
+    va=$(jint "$a" "$key")
+    vb=$(jint "$b" "$key")
+    [ -n "$va" ] || fail "key '$key' missing from $a"
+    [ -n "$vb" ] || fail "key '$key' missing from $b"
+    if [ "$va" != "$vb" ]; then
+        fail "$key differs: uninterrupted=$va restarted=$vb (restart not bit-exact)"
+    fi
+    echo "   $key: $va == $vb"
+done
+
+steps_b=$(jint "$b" steps_run)
+[ "$steps_b" = "14" ] || fail "restarted run executed $steps_b steps, expected 14 (30-16)"
+
+echo "checkpoint_smoke: PASS (restart reproduces the uninterrupted run bit-exactly)"
+exit 0

@@ -14,6 +14,7 @@
 /// models (DESIGN.md substitution 3).
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -129,6 +130,101 @@ std::vector<RunRecord> realSmallScaleRun() {
     return records;
 }
 
+/// Checkpoint/restart drill (activated by any --checkpoint-* / --restart-from
+/// / --stop-after / --steps flag): a 4-rank enclosed-box run under the
+/// sim::runWithCheckpoints contract. `--stop-after N` simulates a killed
+/// process mid-run; a later invocation with `--restart-from` resumes from the
+/// last periodic checkpoint and must reproduce the uninterrupted run
+/// bit-exactly — the exported `state_digest` / `final_mass_bits` are the
+/// evidence (compared by bench/checkpoint_smoke.sh).
+int checkpointRun(const sim::CheckpointOptions& opt, const std::string& metricsPath) {
+    constexpr int kRanks = 4;
+    bf::SetupConfig cfg;
+    cfg.domain = AABB(0, 0, 0, 24.0 * kRanks, 24, 24);
+    cfg.rootBlocksX = kRanks;
+    cfg.rootBlocksY = cfg.rootBlocksZ = 1;
+    cfg.cellsPerBlockX = cfg.cellsPerBlockY = cfg.cellsPerBlockZ = 24;
+    auto setup = bf::SetupBlockForest::create(cfg);
+    setup.balanceMorton(kRanks);
+
+    const cell_idx_t NX = 24 * kRanks;
+    auto flagInit = [&](field::FlagField& flags, const lbm::BoundaryFlags& masks,
+                        const bf::BlockForest::Block& block,
+                        const geometry::CellMapping& mapping) {
+        (void)block;
+        flags.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            const Vec3 p = mapping.cellCenter(x, y, z);
+            if (p[0] < 0 || p[1] < 0 || p[2] < 0 || p[0] > real_c(NX) || p[1] > 24 ||
+                p[2] > 24)
+                return;
+            const Cell g{cell_idx_t(p[0]), cell_idx_t(p[1]), cell_idx_t(p[2])};
+            if (g.z == 23)
+                flags.addFlag(x, y, z, masks.ubb); // moving lid: the flow evolves
+            else if (g.x == 0 || g.x == NX - 1 || g.y == 0 || g.y == 23 || g.z == 0)
+                flags.addFlag(x, y, z, masks.noSlip);
+            else
+                flags.addFlag(x, y, z, masks.fluid);
+        });
+    };
+
+    std::uint64_t stepsRun = 0, finalStep = 0, digest = 0, ckptBytes = 0;
+    double finalMass = 0.0;
+    int rc = 0;
+    vmpi::ThreadCommWorld::launch(kRanks, [&](vmpi::Comm& comm) {
+        sim::DistributedSimulation simulation(comm, setup, flagInit);
+        simulation.setWallVelocity({0.05, 0, 0}); // lid drive: state evolves
+        std::uint64_t executed = 0;
+        try {
+            executed = sim::runWithCheckpoints(simulation, opt, /*numSteps=*/30,
+                                               lbm::TRT::fromOmegaAndMagic(1.5));
+        } catch (const std::runtime_error& e) {
+            if (comm.rank() == 0) {
+                std::fprintf(stderr, "checkpoint run failed: %s\n", e.what());
+                rc = 1;
+            }
+            return;
+        }
+        const std::uint64_t d = simulation.stateDigest();
+        const double mass = double(simulation.gatherTotalMass());
+        const obs::ReducedMetrics metrics = simulation.reduceMetrics();
+        if (comm.rank() == 0) {
+            stepsRun = executed;
+            finalStep = simulation.currentStep();
+            digest = d;
+            finalMass = mass;
+            ckptBytes = counterSum(metrics, "ckpt.bytes");
+            std::printf("checkpoint run: %llu steps executed (now at step %llu), "
+                        "state digest %llu, total mass %.17g\n",
+                        (unsigned long long)stepsRun, (unsigned long long)finalStep,
+                        (unsigned long long)digest, finalMass);
+        }
+    });
+    if (rc != 0) return rc;
+
+    if (!metricsPath.empty()) {
+        std::ofstream os(metricsPath, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n", metricsPath.c_str());
+            return 1;
+        }
+        std::uint64_t massBits = 0;
+        static_assert(sizeof(massBits) == sizeof(finalMass));
+        std::memcpy(&massBits, &finalMass, sizeof(massBits));
+        obs::json::Writer w(os);
+        w.beginObject();
+        w.kv("benchmark", "fig6_checkpoint_run");
+        w.kv("ranks", std::uint64_t(kRanks));
+        w.kv("steps_run", stepsRun);
+        w.kv("final_step", finalStep);
+        w.kv("state_digest", digest);
+        w.kv("final_mass_bits", massBits);
+        w.kv("ckpt_bytes", ckptBytes);
+        w.endObject();
+        os << '\n';
+    }
+    return 0;
+}
+
 void modelCurve(const MachineSpec& machine, const NetworkParams& network,
                 const std::vector<ProcessConfig>& configs, double cellsPerCore,
                 unsigned minPow, unsigned maxPow) {
@@ -154,6 +250,10 @@ void modelCurve(const MachineSpec& machine, const NetworkParams& network,
 int main(int argc, char** argv) {
     std::printf("=== Figure 6: weak scaling on dense regular domains ===\n");
     const std::string metricsPath = obs::metricsJsonPathFromArgs(argc, argv);
+
+    // Dedicated checkpoint/restart mode (see Checkpoint.h for the flags).
+    const sim::CheckpointOptions ckptOpt = sim::CheckpointOptions::fromArgs(argc, argv);
+    if (ckptOpt.any()) return checkpointRun(ckptOpt, metricsPath);
 
     const std::vector<RunRecord> records = realSmallScaleRun();
 

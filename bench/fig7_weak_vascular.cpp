@@ -125,7 +125,8 @@ struct RealRunRecord {
     obs::ReducedMetrics metrics;
 };
 
-RealRunRecord realRun(const geometry::DistanceFunction& phi, int ranks) {
+RealRunRecord realRun(const geometry::DistanceFunction& phi, int ranks,
+                      const sim::CheckpointOptions& ckptOpt = {}) {
     auto search =
         bf::findWeakScalingPartition(phi, AABB(0, 0, 0, 1, 1, 1), kCellsPerBlockEdge,
                                      uint_t(ranks) * 16);
@@ -152,8 +153,15 @@ RealRunRecord realRun(const geometry::DistanceFunction& phi, int ranks) {
     RealRunRecord record;
     vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
         sim::DistributedSimulation simulation(comm, search.forest, flagInit);
-        const uint_t steps = 20;
-        simulation.run(steps, lbm::TRT::fromOmegaAndMagic(1.5));
+        uint_t steps = 20;
+        if (ckptOpt.any()) {
+            // Checkpoint/restart contract (see sim/Checkpoint.h): restart,
+            // periodic saves, simulated kill via --stop-after.
+            steps = uint_t(sim::runWithCheckpoints(simulation, ckptOpt, steps,
+                                                   lbm::TRT::fromOmegaAndMagic(1.5)));
+        } else {
+            simulation.run(steps, lbm::TRT::fromOmegaAndMagic(1.5));
+        }
         // Collectives: every rank must participate.
         const double fluid = double(simulation.globalFluidCells());
         const obs::ReducedTimingPool reduced = simulation.reduceTiming();
@@ -187,7 +195,13 @@ int main(int argc, char** argv) {
     std::printf("%6s %9s %12s %11s %8s\n", "ranks", "blocks", "fluid cells",
                 "MFLUPS/rank", "comm%");
     std::vector<RealRunRecord> records;
-    for (int ranks : {2, 4, 8}) records.push_back(realRun(*phi, ranks));
+    // Under a checkpoint/restart drill only the largest world runs (the
+    // checkpoint file is per-invocation; three worlds would clobber it).
+    const sim::CheckpointOptions ckptOpt = sim::CheckpointOptions::fromArgs(argc, argv);
+    if (ckptOpt.any())
+        records.push_back(realRun(*phi, 8, ckptOpt));
+    else
+        for (int ranks : {2, 4, 8}) records.push_back(realRun(*phi, ranks));
 
     std::printf("\nexact partitionings across scales (fluid fraction rises with the "
                 "block fit):\n");

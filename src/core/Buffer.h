@@ -8,6 +8,7 @@
 
 #include <cstring>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -16,6 +17,26 @@
 #include "core/Types.h"
 
 namespace walb {
+
+/// Typed failure of a RecvBuffer read: the message ended before the
+/// requested bytes (truncated transmission) or a length field decoded to
+/// more data than the message carries (corruption). Unlike WALB_ASSERT this
+/// is an *unconditional runtime error in every build type* — a corrupted or
+/// truncated message must fail loudly in Release, not stream garbage. The
+/// communication layer (BufferSystem / PdfCommScheme) converts BufferError
+/// into a structured vmpi::CommError naming the peer and tag.
+class BufferError : public std::runtime_error {
+public:
+    BufferError(std::size_t requestedBytes, std::size_t availableBytes)
+        : std::runtime_error("buffer underflow: " + std::to_string(requestedBytes) +
+                             " bytes requested, " + std::to_string(availableBytes) +
+                             " available (truncated or corrupted message)"),
+          requested(requestedBytes),
+          available(availableBytes) {}
+
+    std::size_t requested; ///< bytes the read needed
+    std::size_t available; ///< bytes left in the buffer
+};
 
 namespace detail {
 
@@ -129,13 +150,23 @@ public:
     std::size_t size() const { return data_.size(); }
 
     void getBytes(void* dst, std::size_t n) {
-        WALB_ASSERT(pos_ + n <= data_.size(), "buffer underflow");
+        if (n > data_.size() - pos_) throw BufferError(n, remaining());
         std::memcpy(dst, data_.data() + pos_, n);
         pos_ += n;
     }
 
+    /// Advances past `n` bytes without copying them (e.g. another rank's
+    /// payload inside a shared file). Same bounds contract as getBytes.
+    void skip(std::size_t n) {
+        if (n > data_.size() - pos_) throw BufferError(n, remaining());
+        pos_ += n;
+    }
+
+    /// Pointer to the next unread byte (valid for remaining() bytes).
+    const std::uint8_t* cursor() const { return data_.data() + pos_; }
+
     std::uint64_t getCompact(unsigned nBytes) {
-        WALB_ASSERT(pos_ + nBytes <= data_.size(), "buffer underflow");
+        if (nBytes > data_.size() - pos_) throw BufferError(nBytes, remaining());
         const std::uint64_t v = detail::getLE(data_.data() + pos_, nBytes);
         pos_ += nBytes;
         return v;
@@ -157,6 +188,10 @@ public:
     RecvBuffer& operator>>(std::string& s) {
         std::uint32_t n = 0;
         *this >> n;
+        // Validate the decoded length against the bytes actually present
+        // *before* allocating: a corrupted length field must raise a
+        // BufferError, not an allocation of attacker-controlled size.
+        if (n > remaining()) throw BufferError(n, remaining());
         s.resize(n);
         getBytes(s.data(), n);
         return *this;
@@ -166,10 +201,16 @@ public:
     RecvBuffer& operator>>(std::vector<T>& v) {
         std::uint64_t n = 0;
         *this >> n;
-        v.resize(n);
+        // Every element consumes at least one byte in serialized form, so a
+        // count beyond remaining() is provably corrupt — reject it before
+        // the resize() allocates.
+        if (n > remaining()) throw BufferError(std::size_t(n), remaining());
         if constexpr (detail::TriviallySerializable<T> && !std::is_integral_v<T>) {
+            if (n > remaining() / sizeof(T)) throw BufferError(std::size_t(n) * sizeof(T), remaining());
+            v.resize(n);
             getBytes(v.data(), n * sizeof(T));
         } else {
+            v.resize(n);
             for (auto& e : v) *this >> e;
         }
         return *this;

@@ -1,0 +1,47 @@
+#pragma once
+/// \file Crc32.h
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges.
+/// Used by the checkpoint format to detect bit rot / truncation of the
+/// per-block field payloads, and by the fault-tolerance tests to fingerprint
+/// the full simulation state ("state digest") for bit-exact restart checks.
+///
+/// The 256-entry table is computed at compile time; crc32() itself is
+/// constexpr-capable so tests can verify reference values statically.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace walb {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> makeCrc32Table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/// CRC-32 of `n` bytes. Pass the previous return value as `seed` to chain
+/// several ranges into one running checksum (seed 0 starts a fresh CRC).
+constexpr std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                              std::uint32_t seed = 0) {
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = detail::kCrc32Table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0) {
+    return crc32(static_cast<const std::uint8_t*>(data), n, seed);
+}
+
+} // namespace walb

@@ -22,6 +22,7 @@
 
 #include "blockforest/BlockForest.h"
 #include "core/BinaryIO.h"
+#include "core/Logging.h"
 #include "core/Timer.h"
 #include "lbm/Boundary.h"
 #include "lbm/Communication.h"
@@ -31,6 +32,8 @@
 #include "obs/Metrics.h"
 #include "obs/TimingReduction.h"
 #include "obs/Trace.h"
+#include "sim/Checkpoint.h"
+#include "sim/Health.h"
 #include "sim/SingleBlockSimulation.h"
 #include "vmpi/BufferSystem.h"
 
@@ -81,20 +84,28 @@ public:
         bytesLastExchange_ = bufferSystem_.totalSendBytes();
         bufferSystem_.exchange();
 
-        for (auto& [rank, buf] : bufferSystem_.recvBuffers()) {
+        // Drain through the BufferSystem's guarded iteration: a truncated or
+        // corrupted payload (BufferError) surfaces as CommError{Corrupt}
+        // naming the peer, exactly like a deadline miss — no silent garbage.
+        bufferSystem_.forEachRecvBuffer([&](int rank, RecvBuffer& buf) {
             while (!buf.atEnd()) {
                 const bf::BlockID senderId = deserializeBlockId(buf);
                 std::uint8_t senderDir = 0;
                 buf >> senderDir;
+                if (senderDir >= 26)
+                    throw makeCorruptError(rank, "ghost message names invalid direction " +
+                                                std::to_string(int(senderDir)));
                 const auto it = remoteSources_.find({senderId, senderDir});
-                WALB_ASSERT(it != remoteSources_.end(), "unexpected ghost message");
+                if (it == remoteSources_.end())
+                    throw makeCorruptError(rank, "ghost message for a block this rank "
+                                            "does not border (corrupt block id?)");
                 lbm::PdfField& dst = forest_.getData<lbm::PdfField>(it->second, srcId_);
                 // Receiver-side direction: toward the sender block.
                 const auto& sd = lbm::neighborhood26[senderDir];
                 const std::array<int, 3> d = {-sd[0], -sd[1], -sd[2]};
                 lbm::unpackPdfs<M>(dst, d, buf, fullPdfSet_);
             }
-        }
+        });
     }
 
     std::size_t bytesLastExchange() const { return bytesLastExchange_; }
@@ -114,6 +125,11 @@ public:
     }
 
 private:
+    vmpi::CommError makeCorruptError(int rank, const std::string& detail) const {
+        return vmpi::CommError(vmpi::CommError::Kind::Corrupt, rank, /*tag=*/77, 0.0,
+                               detail);
+    }
+
     static void serializeBlockId(SendBuffer& buf, const bf::BlockID& id) {
         buf << id.rootIndex() << std::uint8_t(id.level()) << id.path();
     }
@@ -177,10 +193,41 @@ public:
     }
 
     bf::BlockForest& forest() { return forest_; }
+    const bf::BlockForest& forest() const { return forest_; }
     const lbm::BoundaryFlags& masks() const { return masks_; }
     TimingPool& timing() { return timing_; }
     obs::MetricsRegistry& metrics() { return metrics_; }
     obs::TraceRecorder& trace() { return trace_; }
+    vmpi::Comm& comm() { return comm_; }
+
+    /// Direct access to the per-block fields (checkpointing, health scans).
+    lbm::PdfField& pdfField(std::size_t block) {
+        return forest_.getData<lbm::PdfField>(block, srcId_);
+    }
+    field::FlagField& flagField(std::size_t block) {
+        return forest_.getData<field::FlagField>(block, flagId_);
+    }
+
+    /// Global time-step counter: incremented by run(), restored by
+    /// checkpointLoad() so a resumed simulation continues its numbering.
+    std::uint64_t currentStep() const { return currentStep_; }
+    void setCurrentStep(std::uint64_t step) { currentStep_ = step; }
+
+    /// Invoked at the top of every time step with the global step index.
+    /// Fault drills hook FaultyComm::beginStep here; anything thrown
+    /// propagates out of run() like a communication failure.
+    void setPreStepCallback(std::function<void(std::uint64_t)> cb) {
+        preStep_ = std::move(cb);
+    }
+
+    /// Enables the periodic health guard: every policy.checkEvery steps the
+    /// run loop allreduces NaN/Inf counts and total mass; on violation it
+    /// emergency-checkpoints, logs an ERROR diagnosis and throws HealthError
+    /// on all ranks (see sim/Health.h).
+    void attachHealthMonitor(const HealthPolicy& policy) {
+        health_ = std::make_unique<HealthMonitor>(policy);
+    }
+    HealthMonitor* healthMonitor() { return health_.get(); }
 
     void setWallVelocity(const Vec3& u) {
         for (auto& b : boundaries_) b->setWallVelocity(u);
@@ -211,10 +258,17 @@ public:
         Timer wall;
         wall.start();
         for (uint_t step = 0; step < numSteps; ++step) {
-            {
+            if (preStep_) preStep_(currentStep_);
+            try {
                 ScopedTimer t(timing_["communication"]);
                 obs::ScopedTrace tr(trace_, "communication");
                 comm_scheme_->communicate();
+            } catch (const vmpi::CommError& e) {
+                if (e.kind == vmpi::CommError::Kind::DeadlineExceeded)
+                    metrics_.counter("comm.deadline_misses").inc();
+                WALB_LOG_ERROR("step " << currentStep_
+                                       << ": ghost exchange failed: " << e.what());
+                throw;
             }
             bytesSent.inc(bs.lastSendBytes());
             bytesRecv.inc(bs.lastRecvBytes());
@@ -249,6 +303,10 @@ public:
                 }
             }
             steps.inc();
+            ++currentStep_;
+            if (health_ && health_->policy().checkEvery > 0 &&
+                currentStep_ % health_->policy().checkEvery == 0)
+                health_->check(*this, currentStep_);
         }
         wall.stop();
         if (wall.total() > 0)
@@ -325,77 +383,34 @@ public:
 
     std::size_t bytesLastExchange() const { return comm_scheme_->bytesLastExchange(); }
 
-    /// Collective checkpoint: every rank contributes its blocks' PDF fields
-    /// (gathered on rank 0, written as one compact binary file, mirroring
-    /// the paper's one-writer file strategy). Returns success on rank 0;
-    /// other ranks return true.
-    bool saveCheckpoint(const std::string& path) {
-        SendBuffer mine;
-        mine << std::uint32_t(forest_.blocks().size());
-        for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
-            const auto& id = forest_.blocks()[b].id;
-            mine << id.rootIndex() << std::uint8_t(id.level()) << id.path();
-            const auto& src = forest_.getData<lbm::PdfField>(b, srcId_);
-            mine << std::uint64_t(src.allocCells());
-            mine.putBytes(src.data(), src.allocCells() * sizeof(real_t));
-        }
-        const auto all =
-            comm_.gatherv(std::span<const std::uint8_t>(mine.data(), mine.size()), 0);
-        if (comm_.rank() != 0) return true;
-        SendBuffer file;
-        file << std::uint32_t(0x57434b50); // "WCKP"
-        file << std::uint32_t(all.size());
-        for (const auto& bytes : all) file << bytes;
-        return writeFile(path, file);
+    /// Collective checkpoint of the full simulation state (PDF + flag
+    /// fields, current step). Thin member wrapper over sim::checkpointSave
+    /// (see sim/Checkpoint.h for the format) that feeds the obs metrics
+    /// `ckpt.bytes` (counter) and `ckpt.seconds` (cumulative gauge). All
+    /// ranks return the same success flag.
+    bool saveCheckpoint(const std::string& path, std::string* error = nullptr) {
+        Timer t;
+        t.start();
+        std::size_t bytes = 0;
+        const bool ok = checkpointSave(*this, path, currentStep_, &bytes, error);
+        t.stop();
+        metrics_.counter("ckpt.bytes").inc(bytes);
+        ckptSeconds_ += t.total();
+        metrics_.gauge("ckpt.seconds").set(ckptSeconds_);
+        return ok;
     }
 
-    /// Collective restart: rank 0 reads the file with a single read
-    /// operation and broadcasts it; every rank extracts its own blocks.
-    bool loadCheckpoint(const std::string& path) {
-        std::vector<std::uint8_t> bytes;
-        bool ok = true;
-        if (comm_.rank() == 0) ok = readFile(path, bytes);
-        comm_.broadcast(bytes, 0);
-        if (bytes.empty()) return false;
-        RecvBuffer file(std::move(bytes));
-        std::uint32_t magic = 0, numRanks = 0;
-        file >> magic >> numRanks;
-        if (magic != 0x57434b50) return false;
-
-        std::size_t restored = 0;
-        for (std::uint32_t r = 0; r < numRanks; ++r) {
-            std::vector<std::uint8_t> contribution;
-            file >> contribution;
-            RecvBuffer rb(std::move(contribution));
-            std::uint32_t numBlocks = 0;
-            rb >> numBlocks;
-            for (std::uint32_t b = 0; b < numBlocks; ++b) {
-                std::uint32_t root = 0;
-                std::uint8_t level = 0;
-                std::uint64_t pathBits = 0, cells = 0;
-                rb >> root >> level >> pathBits >> cells;
-                // Find a matching local block (linear scan: block counts
-                // per rank are small by the distributed-memory invariant).
-                std::int32_t local = -1;
-                for (std::size_t i = 0; i < forest_.blocks().size(); ++i)
-                    if (forest_.blocks()[i].id.rootIndex() == root &&
-                        forest_.blocks()[i].id.level() == level &&
-                        forest_.blocks()[i].id.path() == pathBits)
-                        local = std::int32_t(i);
-                if (local >= 0) {
-                    auto& src = forest_.getData<lbm::PdfField>(std::size_t(local), srcId_);
-                    WALB_ASSERT(src.allocCells() == cells, "checkpoint geometry mismatch");
-                    rb.getBytes(src.data(), cells * sizeof(real_t));
-                    ++restored;
-                } else {
-                    // Skip another rank's payload.
-                    std::vector<real_t> skip(cells);
-                    rb.getBytes(skip.data(), cells * sizeof(real_t));
-                }
-            }
-        }
-        return restored == forest_.blocks().size();
+    /// Collective restart from a checkpoint written by saveCheckpoint().
+    /// Restores the PDF/flag fields of this rank's blocks (CRC-verified)
+    /// and the simulation's step counter; returns false with a diagnosis
+    /// instead of throwing on a missing/corrupt file.
+    bool loadCheckpoint(const std::string& path, std::string* error = nullptr) {
+        return checkpointLoad(*this, path, nullptr, error);
     }
+
+    /// Order-independent fingerprint of the complete distributed PDF state
+    /// (collective). Equal digests <=> bit-exact equal states.
+    std::uint64_t stateDigest() { return checkpointDigest(*this); }
 
 private:
     vmpi::Comm& comm_;
@@ -411,6 +426,60 @@ private:
     TimingPool timing_;
     obs::MetricsRegistry metrics_;
     obs::TraceRecorder trace_;
+    std::function<void(std::uint64_t)> preStep_;
+    std::unique_ptr<HealthMonitor> health_;
+    std::uint64_t currentStep_ = 0;
+    double ckptSeconds_ = 0.0;
 };
+
+/// Drives a simulation under the CheckpointOptions command-line contract:
+/// optionally restarts from `opt.restartFrom`, then advances to `numSteps`
+/// total steps (or `opt.steps` when given), saving a checkpoint every
+/// `opt.every` steps and at the end, and stopping early after
+/// `opt.stopAfter` steps (simulated process death — no final checkpoint
+/// beyond the last periodic one). Returns the number of steps executed in
+/// this process. Throws std::runtime_error if a requested restart file
+/// cannot be loaded.
+template <typename Op>
+std::uint64_t runWithCheckpoints(DistributedSimulation& sim, const CheckpointOptions& opt,
+                                 uint_t numSteps, const Op& op) {
+    if (opt.steps > 0) numSteps = uint_t(opt.steps);
+    if (!opt.restartFrom.empty()) {
+        std::string err;
+        if (!sim.loadCheckpoint(opt.restartFrom, &err))
+            throw std::runtime_error("restart from '" + opt.restartFrom + "' failed: " + err);
+        WALB_LOG_INFO("restarted from '" << opt.restartFrom << "' at step "
+                                         << sim.currentStep());
+    }
+
+    const std::uint64_t target =
+        opt.stopAfter > 0 ? std::min<std::uint64_t>(numSteps, opt.stopAfter)
+                          : std::uint64_t(numSteps);
+    std::uint64_t executed = 0;
+    while (sim.currentStep() < target) {
+        // Next stop: the upcoming checkpoint boundary or the target.
+        std::uint64_t next = target;
+        if (opt.every > 0) {
+            const std::uint64_t boundary =
+                (sim.currentStep() / opt.every + 1) * opt.every;
+            next = std::min(next, boundary);
+        }
+        const uint_t chunk = uint_t(next - sim.currentStep());
+        sim.run(chunk, op);
+        executed += chunk;
+        const bool atPeriodicBoundary =
+            opt.every > 0 && sim.currentStep() % opt.every == 0;
+        const bool atEnd = sim.currentStep() >= target;
+        if (atPeriodicBoundary || (atEnd && opt.every > 0)) {
+            std::string err;
+            if (!sim.saveCheckpoint(opt.path, &err))
+                WALB_LOG_ERROR("checkpoint save to '" << opt.path << "' failed: " << err);
+            else
+                WALB_LOG_INFO("checkpoint written to '" << opt.path << "' at step "
+                                                        << sim.currentStep());
+        }
+    }
+    return executed;
+}
 
 } // namespace walb::sim

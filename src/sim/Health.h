@@ -1,0 +1,177 @@
+#pragma once
+/// \file Health.h
+/// Simulation health guards: at trillion-cell scale a diverging simulation
+/// (NaN/Inf creeping through the lattice) or a mass leak (broken boundary
+/// handling, corrupted ghost exchange) can burn millions of core hours
+/// streaming garbage before anyone looks at the output. The HealthMonitor
+/// runs every K steps, allreduces the world-wide non-finite cell count and
+/// the total fluid mass, and on violation (a) writes an emergency
+/// checkpoint, (b) logs a WALB_LOG_ERROR diagnosis, and (c) throws
+/// HealthError on every rank so the world shuts down cleanly and together.
+///
+/// Reported obs metrics: gauges `health.nan_cells` and `health.mass_drift`
+/// (every check), counter `health.violations`.
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/Logging.h"
+#include "field/FlagField.h"
+#include "lbm/PdfField.h"
+#include "sim/Checkpoint.h"
+
+namespace walb::sim {
+
+/// What the monitor enforces. checkEvery = 0 disables periodic checking.
+struct HealthPolicy {
+    uint_t checkEvery = 16;       ///< run a check every K time steps
+    bool checkNonFinite = true;   ///< any NaN/Inf fluid cell is a violation
+    double maxMassDrift = 1e-6;   ///< |mass/baseline - 1| bound (<0 disables)
+    bool emergencyCheckpoint = true;
+    std::string emergencyPath = "walb_emergency.wckp";
+    bool abortOnViolation = true; ///< throw HealthError (vs. report only)
+};
+
+/// Result of one collective health check (identical on every rank).
+struct HealthReport {
+    std::uint64_t step = 0;
+    std::uint64_t nonFiniteCells = 0; ///< fluid cells with any NaN/Inf PDF
+    double mass = 0.0;                ///< total fluid mass over all ranks
+    double baselineMass = 0.0;        ///< mass at the first check
+    double drift = 0.0;               ///< (mass - baseline) / baseline
+    bool ok = true;
+
+    std::string describe() const {
+        return "step=" + std::to_string(step) +
+               " nonFiniteCells=" + std::to_string(nonFiniteCells) +
+               " mass=" + std::to_string(mass) +
+               " baseline=" + std::to_string(baselineMass) +
+               " drift=" + std::to_string(drift) + (ok ? " [ok]" : " [VIOLATION]");
+    }
+};
+
+/// Thrown (on all ranks simultaneously — the verdict derives from
+/// allreduced values) when a health check fails and the policy says abort.
+class HealthError : public std::runtime_error {
+public:
+    explicit HealthError(const HealthReport& r)
+        : std::runtime_error("sim::HealthError: " + r.describe()), report(r) {}
+
+    HealthReport report;
+};
+
+/// Counts interior fluid cells carrying at least one non-finite PDF value.
+template <typename M>
+std::uint64_t countNonFiniteCells(const lbm::PdfField& pdf, const field::FlagField& flags,
+                                  field::flag_t fluidMask) {
+    std::uint64_t n = 0;
+    flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+        if (!(flags.get(x, y, z) & fluidMask)) return;
+        for (uint_t a = 0; a < M::Q; ++a) {
+            if (!std::isfinite(pdf.get(x, y, z, cell_idx_c(a)))) {
+                ++n;
+                return;
+            }
+        }
+    });
+    return n;
+}
+
+/// Periodic watchdog over a DistributedSimulation (passed as a template so
+/// this header stays independent of the simulation driver's definition).
+class HealthMonitor {
+public:
+    explicit HealthMonitor(HealthPolicy policy) : policy_(std::move(policy)) {}
+
+    const HealthPolicy& policy() const { return policy_; }
+    bool hasBaseline() const { return haveBaseline_; }
+    double baselineMass() const { return baselineMass_; }
+
+    /// Records the current total mass as the drift reference. Collective.
+    /// Optional — the first check() captures a baseline automatically.
+    template <typename Sim>
+    void captureBaseline(Sim& sim) {
+        const auto [nonFinite, mass] = measure(sim);
+        (void)nonFinite;
+        baselineMass_ = mass;
+        haveBaseline_ = true;
+    }
+
+    /// One collective health check at time step `step`. Updates the obs
+    /// gauges, and on violation emergency-checkpoints, logs an ERROR
+    /// diagnosis and throws HealthError (policy permitting). Every rank
+    /// reaches the same verdict because it is computed from allreduced
+    /// quantities only.
+    template <typename Sim>
+    HealthReport check(Sim& sim, std::uint64_t step) {
+        const auto [nonFinite, mass] = measure(sim);
+        if (!haveBaseline_) {
+            baselineMass_ = mass;
+            haveBaseline_ = true;
+        }
+
+        HealthReport report;
+        report.step = step;
+        report.nonFiniteCells = nonFinite;
+        report.mass = mass;
+        report.baselineMass = baselineMass_;
+        report.drift =
+            baselineMass_ != 0.0 ? (mass - baselineMass_) / baselineMass_ : 0.0;
+
+        const bool nanViolation = policy_.checkNonFinite && nonFinite > 0;
+        const bool massViolation =
+            !std::isfinite(mass) ||
+            (policy_.maxMassDrift >= 0.0 && std::isfinite(report.drift) &&
+             std::abs(report.drift) > policy_.maxMassDrift);
+        report.ok = !(nanViolation || massViolation);
+
+        sim.metrics().gauge("health.nan_cells").set(double(nonFinite));
+        sim.metrics().gauge("health.mass_drift").set(report.drift);
+
+        if (!report.ok) {
+            sim.metrics().counter("health.violations").inc();
+            if (policy_.emergencyCheckpoint) {
+                std::string err;
+                if (checkpointSave(sim, policy_.emergencyPath, step, nullptr, &err)) {
+                    WALB_LOG_ERROR("health: emergency checkpoint written to '"
+                                   << policy_.emergencyPath << "'");
+                } else {
+                    WALB_LOG_ERROR("health: emergency checkpoint FAILED: " << err);
+                }
+            }
+            WALB_LOG_ERROR("health violation, aborting all ranks: " << report.describe()
+                                                                    << (nanViolation
+                                                                            ? " [non-finite PDFs]"
+                                                                            : " [mass drift]"));
+            if (policy_.abortOnViolation) throw HealthError(report);
+        }
+        return report;
+    }
+
+private:
+    /// Local scan + one combined allreduce: {non-finite cells, total mass}.
+    template <typename Sim>
+    std::pair<std::uint64_t, double> measure(Sim& sim) {
+        using M = typename Sim::M;
+        double vals[2] = {0.0, 0.0};
+        for (std::size_t b = 0; b < sim.forest().numLocalBlocks(); ++b) {
+            const lbm::PdfField& pdf = sim.pdfField(b);
+            const field::FlagField& flags = sim.flagField(b);
+            vals[0] +=
+                double(countNonFiniteCells<M>(pdf, flags, sim.masks().fluid));
+            flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+                if (flags.get(x, y, z) & sim.masks().fluid)
+                    vals[1] += lbm::cellDensity<M>(pdf, x, y, z);
+            });
+        }
+        sim.comm().allreduce(std::span<double>(vals, 2), vmpi::ReduceOp::Sum);
+        return {std::uint64_t(vals[0]), vals[1]};
+    }
+
+    HealthPolicy policy_;
+    double baselineMass_ = 0.0;
+    bool haveBaseline_ = false;
+};
+
+} // namespace walb::sim

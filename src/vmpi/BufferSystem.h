@@ -35,6 +35,11 @@ public:
     /// Ships all send buffers and receives one buffer from every rank in the
     /// receiver set. Send buffers are cleared afterwards so the system can
     /// be reused every time step.
+    ///
+    /// Failure semantics: when the comm has a recv deadline configured and a
+    /// peer never delivers, the underlying CommError{DeadlineExceeded} is
+    /// counted (deadlineMisses()) and rethrown — the exchange fails as one
+    /// structured diagnosis instead of hanging the world on a dead rank.
     void exchange() {
         lastSendBytes_ = 0;
         lastSendMessages_ = 0;
@@ -49,7 +54,13 @@ public:
         lastRecvBytes_ = 0;
         lastRecvMessages_ = 0;
         for (int src : recvFrom_) {
-            auto bytes = comm_.recv(src, tag_);
+            std::vector<std::uint8_t> bytes;
+            try {
+                bytes = comm_.recv(src, tag_);
+            } catch (const CommError& e) {
+                if (e.kind == CommError::Kind::DeadlineExceeded) ++deadlineMisses_;
+                throw;
+            }
             lastRecvBytes_ += bytes.size();
             ++lastRecvMessages_;
             recvBuffers_.emplace(src, RecvBuffer(std::move(bytes)));
@@ -62,6 +73,25 @@ public:
 
     /// Received buffers of the last exchange, keyed by source rank.
     std::map<int, RecvBuffer>& recvBuffers() { return recvBuffers_; }
+
+    /// Drains the received buffers through `fn(srcRank, RecvBuffer&)`,
+    /// converting any BufferError raised while deserializing (truncated or
+    /// corrupted payload) into CommError{Corrupt, peer, tag} — the same
+    /// structured error path a deadline miss takes, so callers handle both
+    /// failure classes uniformly.
+    template <typename Fn>
+    void forEachRecvBuffer(Fn&& fn) {
+        for (auto& [rank, buf] : recvBuffers_) {
+            try {
+                fn(rank, buf);
+            } catch (const BufferError& e) {
+                throw CommError(CommError::Kind::Corrupt, rank, tag_, 0.0, e.what());
+            }
+        }
+    }
+
+    /// Number of receives that ran into the comm's deadline (and threw).
+    std::uint64_t deadlineMisses() const { return deadlineMisses_; }
 
     /// Bytes currently staged for sending (call before exchange()); after
     /// an exchange the staged buffers are empty and this returns 0 — use
@@ -104,6 +134,7 @@ private:
     std::vector<int> recvFrom_;
     std::size_t lastSendBytes_ = 0, lastRecvBytes_ = 0;
     std::size_t lastSendMessages_ = 0, lastRecvMessages_ = 0;
+    std::uint64_t deadlineMisses_ = 0;
     std::uint64_t cumulativeSendBytes_ = 0, cumulativeRecvBytes_ = 0;
     std::uint64_t cumulativeSendMessages_ = 0, cumulativeRecvMessages_ = 0;
 };

@@ -17,8 +17,11 @@
 /// the message arrives. This makes naive "send all, then receive all"
 /// exchange patterns deadlock-free.
 
+#include <chrono>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/Buffer.h"
@@ -28,6 +31,53 @@ namespace walb::vmpi {
 
 enum class ReduceOp { Sum, Min, Max };
 
+/// Structured, catchable communication failure. Real MPI would either hang
+/// or hard-abort the job when a peer dies or a message is mangled; walb's
+/// fault-tolerant runtime instead surfaces a CommError naming the peer, the
+/// tag and the elapsed wait so the driver can diagnose, emergency-checkpoint
+/// and shut the world down cleanly (see DESIGN.md "Fault model").
+class CommError : public std::runtime_error {
+public:
+    enum class Kind {
+        DeadlineExceeded, ///< recv() waited past the configured deadline
+        Corrupt,          ///< message payload failed to deserialize (BufferError)
+        RankKilled        ///< this rank was killed by a FaultPlan
+    };
+
+    CommError(Kind k, int peerRank, int msgTag, double elapsedSeconds,
+              const std::string& detail = "")
+        : std::runtime_error(describe(k, peerRank, msgTag, elapsedSeconds, detail)),
+          kind(k),
+          peer(peerRank),
+          tag(msgTag),
+          elapsed(elapsedSeconds) {}
+
+    Kind kind;
+    int peer;       ///< the rank on the other end (or self for RankKilled)
+    int tag;        ///< message tag, -1 when not tag-specific
+    double elapsed; ///< seconds spent waiting / in the operation
+
+    static const char* kindName(Kind k) {
+        switch (k) {
+            case Kind::DeadlineExceeded: return "recv deadline exceeded";
+            case Kind::Corrupt: return "corrupt message";
+            case Kind::RankKilled: return "rank killed";
+        }
+        return "unknown";
+    }
+
+private:
+    static std::string describe(Kind k, int peer, int tag, double elapsed,
+                                const std::string& detail) {
+        std::string s = "vmpi::CommError: ";
+        s += kindName(k);
+        s += " [peer=" + std::to_string(peer) + " tag=" + std::to_string(tag) +
+             " elapsed=" + std::to_string(elapsed) + "s]";
+        if (!detail.empty()) s += ": " + detail;
+        return s;
+    }
+};
+
 class Comm {
 public:
     virtual ~Comm() = default;
@@ -35,10 +85,21 @@ public:
     virtual int rank() const = 0;
     virtual int size() const = 0;
 
+    /// Maximum time a blocking recv() may wait for a matching message before
+    /// it throws CommError{DeadlineExceeded} instead of hanging the world on
+    /// a dead or wedged peer. Zero (the default) waits forever — the classic
+    /// MPI behavior. Per-rank setting (each rank owns its Comm handle).
+    virtual void setRecvDeadline(std::chrono::milliseconds deadline) {
+        recvDeadline_ = deadline;
+    }
+    std::chrono::milliseconds recvDeadline() const { return recvDeadline_; }
+
     /// Buffered non-blocking send of a byte message to dest with a tag.
     virtual void send(int dest, int tag, std::vector<std::uint8_t> data) = 0;
 
     /// Blocking receive of the next message from src with the given tag.
+    /// Honors recvDeadline(): when a positive deadline is configured and no
+    /// matching message arrives in time, throws CommError{DeadlineExceeded}.
     virtual std::vector<std::uint8_t> recv(int src, int tag) = 0;
 
     /// Returns true and fills `out` if a message from src/tag is pending;
@@ -63,6 +124,9 @@ public:
     /// Concatenation on root only; other ranks receive an empty result.
     virtual std::vector<std::vector<std::uint8_t>> gatherv(std::span<const std::uint8_t> mine,
                                                            int root) = 0;
+
+protected:
+    std::chrono::milliseconds recvDeadline_{0};
 };
 
 // ---- typed convenience wrappers ------------------------------------------

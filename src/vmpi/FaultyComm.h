@@ -1,0 +1,279 @@
+#pragma once
+/// \file FaultyComm.h
+/// Deterministic fault injection for the virtual message-passing layer.
+///
+/// Trillion-cell runs live in a regime where node failure mid-run is
+/// expected; this decorator lets every failure mode be *rehearsed* in a
+/// ctest under ThreadComm. A FaultyComm wraps any Comm and applies a
+/// FaultPlan to outgoing messages:
+///
+///   * Drop      — the message is silently discarded (lost packet / dead
+///                 NIC). The receiver's recv() runs into its deadline and
+///                 throws CommError{DeadlineExceeded}.
+///   * Delay     — the message is held back for N subsequent send() calls
+///                 (out-of-order arrival / congested link).
+///   * Duplicate — the message is delivered twice (retransmission bug).
+///   * Truncate  — only a prefix of the payload is delivered (torn write /
+///                 corrupted frame). Deserialization raises BufferError,
+///                 which the exchange path converts into
+///                 CommError{Corrupt}.
+///   * KillRank  — beginStep(k) throws CommError{RankKilled} on the doomed
+///                 rank, simulating a node loss at time step k.
+///
+/// Plans are either written explicitly or generated from a seed
+/// (FaultPlan::randomized), so every failure scenario is replayable
+/// bit-for-bit. Injections are counted per instance and, when a
+/// MetricsRegistry is attached, reported live through the obs layer as
+/// `comm.faults_injected`.
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "core/Random.h"
+#include "obs/Metrics.h"
+#include "vmpi/Comm.h"
+
+namespace walb::vmpi {
+
+/// Declarative description of the faults to inject, shared (read-only) by
+/// all ranks' FaultyComm handles of one world.
+struct FaultPlan {
+    enum class Action : std::uint8_t { Drop, Delay, Duplicate, Truncate };
+
+    static const char* actionName(Action a) {
+        switch (a) {
+            case Action::Drop: return "drop";
+            case Action::Delay: return "delay";
+            case Action::Duplicate: return "duplicate";
+            case Action::Truncate: return "truncate";
+        }
+        return "?";
+    }
+
+    /// One message-level fault rule. A rule fires on the `matchIndex`-th
+    /// send (0-based, counted per rule) that matches its src/dest/tag
+    /// filters; -1 filters match anything.
+    struct MessageFault {
+        Action action = Action::Drop;
+        int srcRank = -1;              ///< sender to fault (-1: any)
+        int destRank = -1;             ///< destination filter (-1: any)
+        int tag = -1;                  ///< tag filter (-1: any)
+        std::uint64_t matchIndex = 0;  ///< fire on the N-th matching send
+        std::size_t truncateToBytes = 0;   ///< Truncate: bytes kept
+        std::uint64_t delayBySends = 1;    ///< Delay: held back this many sends
+    };
+
+    std::vector<MessageFault> messageFaults;
+
+    int killRank = -1;            ///< rank to kill (-1: nobody)
+    std::uint64_t killAtStep = 0; ///< beginStep() index at which it dies
+
+    bool empty() const { return messageFaults.empty() && killRank < 0; }
+
+    /// Deterministically generates `numFaults` message faults for a world of
+    /// `worldSize` ranks from a seed: the same seed always reproduces the
+    /// same failure scenario, which is what makes fault drills debuggable.
+    static FaultPlan randomized(std::uint64_t seed, int worldSize,
+                                std::size_t numFaults) {
+        Random rng(seed);
+        FaultPlan plan;
+        plan.messageFaults.reserve(numFaults);
+        for (std::size_t i = 0; i < numFaults; ++i) {
+            MessageFault f;
+            f.action = Action(rng.uniformInt(4));
+            f.srcRank = int(rng.uniformInt(std::uint64_t(worldSize)));
+            f.matchIndex = rng.uniformInt(4);
+            f.truncateToBytes = std::size_t(rng.uniformInt(8));
+            f.delayBySends = 1 + rng.uniformInt(2);
+            plan.messageFaults.push_back(f);
+        }
+        return plan;
+    }
+};
+
+/// Per-instance tally of what was injected (also mirrored into the obs
+/// counters when a registry is attached).
+struct FaultCounts {
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t killed = 0;
+    std::uint64_t total() const {
+        return dropped + delayed + duplicated + truncated + killed;
+    }
+};
+
+/// Decorator over any Comm that executes a FaultPlan. Each rank wraps its
+/// own handle; rules filter on srcRank so one shared plan drives the whole
+/// world deterministically.
+class FaultyComm final : public Comm {
+public:
+    FaultyComm(Comm& inner, const FaultPlan& plan,
+               obs::MetricsRegistry* metrics = nullptr)
+        : inner_(inner),
+          plan_(plan),
+          matchCounts_(plan.messageFaults.size(), 0),
+          metrics_(metrics) {}
+
+    int rank() const override { return inner_.rank(); }
+    int size() const override { return inner_.size(); }
+
+    /// Forwards the deadline to the wrapped comm (recv() delegates there).
+    void setRecvDeadline(std::chrono::milliseconds deadline) override {
+        Comm::setRecvDeadline(deadline);
+        inner_.setRecvDeadline(deadline);
+    }
+
+    /// Called by the driver at the top of time step `step` (see
+    /// DistributedSimulation::setPreStepCallback). Throws
+    /// CommError{RankKilled} on the doomed rank at the planned step — the
+    /// rank stops dead mid-run; its peers subsequently observe deadline
+    /// misses.
+    void beginStep(std::uint64_t step) {
+        if (plan_.killRank == rank() && step == plan_.killAtStep) {
+            ++counts_.killed;
+            noteInjection("kill");
+            throw CommError(CommError::Kind::RankKilled, rank(), -1, 0.0,
+                            "fault plan killed rank " + std::to_string(rank()) +
+                                " at step " + std::to_string(step));
+        }
+    }
+
+    void send(int dest, int tag, std::vector<std::uint8_t> data) override {
+        // Only messages queued by *previous* send() calls age on this call;
+        // a message delayed right now must survive at least until after the
+        // next send, otherwise Delay would never reorder anything.
+        const std::size_t preExisting = delayed_.size();
+        const FaultPlan::MessageFault* fault = matchNext(dest, tag);
+        if (!fault) {
+            inner_.send(dest, tag, std::move(data));
+        } else {
+            switch (fault->action) {
+                case FaultPlan::Action::Drop:
+                    ++counts_.dropped;
+                    noteInjection("drop");
+                    break; // the message simply never leaves this rank
+                case FaultPlan::Action::Delay:
+                    ++counts_.delayed;
+                    noteInjection("delay");
+                    delayed_.push_back(
+                        {dest, tag, std::move(data), fault->delayBySends});
+                    break;
+                case FaultPlan::Action::Duplicate:
+                    ++counts_.duplicated;
+                    noteInjection("duplicate");
+                    inner_.send(dest, tag, data);
+                    inner_.send(dest, tag, std::move(data));
+                    break;
+                case FaultPlan::Action::Truncate: {
+                    ++counts_.truncated;
+                    noteInjection("truncate");
+                    data.resize(std::min(data.size(), fault->truncateToBytes));
+                    inner_.send(dest, tag, std::move(data));
+                    break;
+                }
+            }
+        }
+        tickDelayed(preExisting);
+    }
+
+    std::vector<std::uint8_t> recv(int src, int tag) override {
+        return inner_.recv(src, tag);
+    }
+    bool tryRecv(int src, int tag, std::vector<std::uint8_t>& out) override {
+        return inner_.tryRecv(src, tag, out);
+    }
+
+    /// Collectives pass through unchanged; barrier() additionally flushes
+    /// any still-delayed messages (a barrier orders everything anyway).
+    void barrier() override {
+        flushDelayed();
+        inner_.barrier();
+    }
+    void broadcast(std::vector<std::uint8_t>& data, int root) override {
+        inner_.broadcast(data, root);
+    }
+    void allreduce(std::span<double> inout, ReduceOp op) override {
+        inner_.allreduce(inout, op);
+    }
+    void allreduce(std::span<std::uint64_t> inout, ReduceOp op) override {
+        inner_.allreduce(inout, op);
+    }
+    std::vector<std::vector<std::uint8_t>> allgatherv(
+        std::span<const std::uint8_t> mine) override {
+        return inner_.allgatherv(mine);
+    }
+    std::vector<std::vector<std::uint8_t>> gatherv(std::span<const std::uint8_t> mine,
+                                                   int root) override {
+        return inner_.gatherv(mine, root);
+    }
+
+    /// Releases every still-held Delay message immediately.
+    void flushDelayed() {
+        while (!delayed_.empty()) {
+            auto msg = std::move(delayed_.front());
+            delayed_.pop_front();
+            inner_.send(msg.dest, msg.tag, std::move(msg.data));
+        }
+    }
+
+    const FaultCounts& counts() const { return counts_; }
+    std::uint64_t faultsInjected() const { return counts_.total(); }
+    const FaultPlan& plan() const { return plan_; }
+    Comm& inner() { return inner_; }
+
+private:
+    struct DelayedMessage {
+        int dest;
+        int tag;
+        std::vector<std::uint8_t> data;
+        std::uint64_t remainingSends; ///< released when this reaches zero
+    };
+
+    /// Returns the first rule whose filters match this send and whose
+    /// per-rule match counter equals its matchIndex (counting is
+    /// deterministic: purely a function of this rank's send sequence).
+    const FaultPlan::MessageFault* matchNext(int dest, int tag) {
+        for (std::size_t i = 0; i < plan_.messageFaults.size(); ++i) {
+            const auto& f = plan_.messageFaults[i];
+            if (f.srcRank >= 0 && f.srcRank != rank()) continue;
+            if (f.destRank >= 0 && f.destRank != dest) continue;
+            if (f.tag >= 0 && f.tag != tag) continue;
+            if (matchCounts_[i]++ == f.matchIndex) return &f;
+        }
+        return nullptr;
+    }
+
+    /// Ages the first `limit` queue entries by one send and releases those
+    /// whose countdown reaches zero (in queue order, after the current
+    /// message went out — that is what produces the reordering).
+    void tickDelayed(std::size_t limit) {
+        std::vector<DelayedMessage> release;
+        for (std::size_t i = 0; i < limit && i < delayed_.size();) {
+            if (--delayed_[i].remainingSends == 0) {
+                release.push_back(std::move(delayed_[i]));
+                delayed_.erase(delayed_.begin() + std::ptrdiff_t(i));
+                --limit;
+            } else {
+                ++i;
+            }
+        }
+        for (auto& msg : release) inner_.send(msg.dest, msg.tag, std::move(msg.data));
+    }
+
+    void noteInjection(const char* what) {
+        (void)what;
+        if (metrics_) metrics_->counter("comm.faults_injected").inc();
+    }
+
+    Comm& inner_;
+    FaultPlan plan_;
+    std::vector<std::uint64_t> matchCounts_;
+    std::deque<DelayedMessage> delayed_;
+    FaultCounts counts_;
+    obs::MetricsRegistry* metrics_;
+};
+
+} // namespace walb::vmpi

@@ -31,7 +31,11 @@ public:
                 return data;
             }
         }
-        WALB_ABORT("SerialComm::recv would deadlock: no message with tag " << tag);
+        // In a single-rank world a message that is not already queued can
+        // never arrive — an instant deadline miss, reported structurally
+        // like any other recv failure instead of hard-aborting the process.
+        throw CommError(CommError::Kind::DeadlineExceeded, 0, tag, 0.0,
+                        "SerialComm::recv would deadlock: no queued message");
     }
 
     bool tryRecv(int src, int tag, std::vector<std::uint8_t>& out) override {

@@ -57,9 +57,11 @@ void ThreadCommWorld::deliver(int dest, Message msg) {
     mb.cv.notify_all();
 }
 
-std::vector<std::uint8_t> ThreadCommWorld::receive(int self, int src, int tag) {
+std::vector<std::uint8_t> ThreadCommWorld::receive(int self, int src, int tag,
+                                                   std::chrono::milliseconds deadline) {
     WALB_ASSERT(src >= 0 && src < numRanks_, "invalid source rank " << src);
     Mailbox& mb = *mailboxes_[uint_c(self)];
+    const auto start = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(mb.mutex);
     for (;;) {
         auto it = std::find_if(mb.messages.begin(), mb.messages.end(),
@@ -69,7 +71,22 @@ std::vector<std::uint8_t> ThreadCommWorld::receive(int self, int src, int tag) {
             mb.messages.erase(it);
             return data;
         }
-        mb.cv.wait(lock);
+        if (deadline.count() <= 0) {
+            mb.cv.wait(lock); // unbounded: classic MPI blocking receive
+            continue;
+        }
+        // Bounded wait, robust against spurious wakeups: recompute the
+        // remaining budget every iteration; the matching check above runs
+        // again after every wakeup.
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        if (elapsed >= deadline) {
+            throw CommError(CommError::Kind::DeadlineExceeded, src, tag,
+                            std::chrono::duration<double>(elapsed).count(),
+                            "rank " + std::to_string(self) +
+                                " gave up waiting (peer dead, message dropped, or "
+                                "deadline too tight)");
+        }
+        mb.cv.wait_for(lock, deadline - elapsed);
     }
 }
 
@@ -93,7 +110,7 @@ void ThreadComm::send(int dest, int tag, std::vector<std::uint8_t> data) {
 }
 
 std::vector<std::uint8_t> ThreadComm::recv(int src, int tag) {
-    return world_->receive(rank_, src, tag);
+    return world_->receive(rank_, src, tag, recvDeadline());
 }
 
 bool ThreadComm::tryRecv(int src, int tag, std::vector<std::uint8_t>& out) {

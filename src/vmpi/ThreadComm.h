@@ -31,7 +31,15 @@ public:
     int size() const override;
 
     void send(int dest, int tag, std::vector<std::uint8_t> data) override;
+    /// Blocks until a matching message arrives. With a positive
+    /// recvDeadline() the wait is bounded (cv.wait_for, resilient against
+    /// spurious wakeups) and exceeding it throws CommError{DeadlineExceeded,
+    /// peer, tag, elapsed} — a dead peer can no longer hang the world.
     std::vector<std::uint8_t> recv(int src, int tag) override;
+    /// Non-blocking contract: returns immediately in all cases — true with
+    /// `out` filled when a matching message was already queued, false
+    /// otherwise. Never waits, never throws on an empty mailbox, and is
+    /// unaffected by recvDeadline().
     bool tryRecv(int src, int tag, std::vector<std::uint8_t>& out) override;
 
     void barrier() override;
@@ -88,7 +96,8 @@ private:
     };
 
     void deliver(int dest, Message msg);
-    std::vector<std::uint8_t> receive(int self, int src, int tag);
+    std::vector<std::uint8_t> receive(int self, int src, int tag,
+                                      std::chrono::milliseconds deadline);
     bool tryReceive(int self, int src, int tag, std::vector<std::uint8_t>& out);
 
     int numRanks_;

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "vmpi/BufferSystem.h"
 #include "vmpi/SerialComm.h"
@@ -86,6 +88,39 @@ TEST_P(ThreadCommTest, MessagesWithSameTagArriveFifo) {
         } else if (comm.rank() == 1) {
             for (std::uint64_t i = 0; i < 50; ++i)
                 EXPECT_EQ(recvObject<std::uint64_t>(comm, 0, 7), i);
+        }
+    });
+}
+
+TEST_P(ThreadCommTest, TryRecvIsNonBlocking) {
+    // Documented contract: tryRecv returns immediately in all cases — false
+    // on an empty mailbox (no wait, no throw, regardless of any configured
+    // recvDeadline), true with the payload once the message is queued.
+    const int n = GetParam();
+    if (n < 2) GTEST_SKIP();
+    ThreadCommWorld::launch(n, [&](Comm& comm) {
+        if (comm.rank() == 1) {
+            comm.setRecvDeadline(std::chrono::milliseconds(1));
+            std::vector<std::uint8_t> out;
+            const auto t0 = std::chrono::steady_clock::now();
+            EXPECT_FALSE(comm.tryRecv(0, 42, out)); // nothing sent yet: instant
+            const double waited =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                    .count();
+            EXPECT_LT(waited, 0.5); // returned immediately, did not block
+            comm.barrier();         // release rank 0's send
+            // The message may still be in flight; poll (each call non-blocking).
+            while (!comm.tryRecv(0, 42, out)) std::this_thread::yield();
+            RecvBuffer rb(std::move(out));
+            std::uint64_t v = 0;
+            rb >> v;
+            EXPECT_EQ(v, 99u);
+        } else {
+            // The barrier comes FIRST: rank 1's empty-mailbox probe above must
+            // run before any message exists, so the send happens only after
+            // every rank (including rank 1, post-probe) reached the barrier.
+            comm.barrier();
+            if (comm.rank() == 0) sendObject(comm, 1, 42, std::uint64_t(99));
         }
     });
 }
