@@ -21,6 +21,7 @@
 #include "geometry/CoronaryTree.h"
 #include "obs/Report.h"
 #include "perf/Scaling.h"
+#include "rebalance_drill.h"
 #include "sim/DistributedSimulation.h"
 #include "vmpi/ThreadComm.h"
 
@@ -133,22 +134,7 @@ RealRunRecord realRun(const geometry::DistanceFunction& phi, int ranks,
     search.forest.assignFluidCellWorkload(phi);
     search.forest.balanceGraph(std::uint32_t(ranks));
 
-    const auto* phiPtr = &phi;
-    auto flagInit = [phiPtr](field::FlagField& flags, const lbm::BoundaryFlags& masks,
-                             const bf::BlockForest::Block& block,
-                             const geometry::CellMapping& mapping) {
-        (void)block;
-        geometry::voxelize(*phiPtr, flags, mapping, masks.fluid);
-        const field::flag_t hull = flags.registerFlag("hull");
-        lbm::markBoundaryHull<lbm::D3Q19>(flags, masks.fluid, 0, hull);
-        // All-wall boundaries suffice for the performance measurement.
-        flags.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
-            if (flags.isFlagSet(x, y, z, hull)) {
-                flags.removeFlag(x, y, z, hull);
-                flags.addFlag(x, y, z, masks.noSlip);
-            }
-        });
-    };
+    const auto flagInit = bench::vascularFlagInit(&phi);
 
     RealRunRecord record;
     vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
@@ -189,6 +175,44 @@ int main(int argc, char** argv) {
     const auto phi = tree.implicitDistance();
     std::printf("synthetic tree: %zu segments, bbox fluid fraction %.2f%%\n",
                 tree.segments().size(), 100.0 * tree.boundingBoxFluidFraction());
+
+    // Rebalance drill (--rebalance-every N [--rebalance-policy ...]): skewed
+    // 4-rank assignment, reference vs live-rebalanced run, digest-invariance
+    // and imbalance trajectory — see bench/rebalance_drill.h.
+    const rebalance::RebalanceOptions rbOpt =
+        rebalance::RebalanceOptions::fromArgs(argc, argv);
+    if (rbOpt.any()) {
+        const int drillRanks = 4;
+        auto search = bf::findWeakScalingPartition(*phi, AABB(0, 0, 0, 1, 1, 1),
+                                                   kCellsPerBlockEdge,
+                                                   uint_t(drillRanks) * 16);
+        search.forest.assignFluidCellWorkload(*phi);
+        search.forest.balanceMorton(std::uint32_t(drillRanks));
+        bench::skewAssignment(search.forest, std::uint32_t(drillRanks));
+        const uint_t drillSteps = 4 * uint_t(rbOpt.every);
+        const auto drill = bench::runRebalanceDrill(search.forest, search.blocks, *phi,
+                                                    drillRanks, rbOpt, drillSteps);
+        if (!metricsPath.empty()) {
+            {
+                std::ofstream os(metricsPath, std::ios::binary);
+                if (!os) {
+                    std::fprintf(stderr, "cannot open '%s' for writing\n",
+                                 metricsPath.c_str());
+                    return 1;
+                }
+                obs::json::Writer w(os);
+                w.beginObject();
+                w.kv("benchmark", "fig7_weak_vascular");
+                bench::writeRebalanceJson(w, drill, rbOpt);
+                w.endObject();
+                os << '\n';
+            }
+            if (!obs::validateMetricsJson(metricsPath, {"benchmark", "rebalance"}))
+                return 1;
+            std::printf("wrote metrics JSON: %s\n", metricsPath.c_str());
+        }
+        return 0;
+    }
 
     std::printf("\nreal virtual-rank runs (target 2 blocks/rank, %u^3 blocks, TRT):\n",
                 kCellsPerBlockEdge);

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Rebalance smoke test (wired into ctest as `fig7_rebalance_smoke`): the fig7
+# driver runs its rebalance drill — a deliberately skewed 4-virtual-rank
+# assignment of the vascular tree, one reference run that never migrates and
+# one live-rebalanced run — and prints one parseable `rebalance drill:` line.
+# This script asserts the two acceptance criteria of the walb::rebalance
+# subsystem from that line plus the exported metrics JSON:
+#
+#   1. digest_reference == digest_migrated — live block migration is
+#      bit-exact (the interior state digest is invariant), and
+#   2. imbalance_last < imbalance_first — the measured imbalance factor
+#      strictly falls from the skewed starting point.
+#
+# Usage: rebalance_smoke.sh <fig7_weak_vascular binary> <scratch dir>
+set -u
+
+bin="$1"
+dir="$2"
+mkdir -p "$dir"
+json="$dir/rebalance_smoke.json"
+log="$dir/rebalance_smoke.log"
+rm -f "$json" "$log"
+
+fail() { echo "rebalance_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== fig7 rebalance drill: 4 virtual ranks, skewed assignment, epoch every 5"
+"$bin" --rebalance-every 5 --metrics-json "$json" | tee "$log" \
+    || fail "drill run exited nonzero"
+
+line=$(grep 'rebalance drill:' "$log") || fail "no 'rebalance drill:' line printed"
+
+# Pull `key=value` tokens out of the drill line.
+kv() { echo "$line" | sed -n "s/.*$1=\([0-9.][0-9.]*\).*/\1/p"; }
+
+ref=$(kv digest_reference)
+mig=$(kv digest_migrated)
+first=$(kv imbalance_first)
+last=$(kv imbalance_last)
+moved=$(kv blocks_moved)
+for v in ref mig first last moved; do
+    eval "val=\$$v"
+    [ -n "$val" ] || fail "field '$v' missing from drill line: $line"
+done
+
+[ "$ref" = "$mig" ] \
+    || fail "digests differ: reference=$ref migrated=$mig (migration not bit-exact)"
+echo "   digest: $ref == $mig"
+
+awk "BEGIN { exit !($last < $first) }" \
+    || fail "imbalance did not fall: first=$first last=$last"
+echo "   imbalance: $first -> $last (strictly lower)"
+
+[ "$moved" != "0" ] || fail "no blocks migrated despite the skewed assignment"
+echo "   blocks moved: $moved"
+
+# The metrics JSON must carry the rebalance observability fields.
+[ -f "$json" ] || fail "no metrics JSON written"
+for key in rebalance digest_reference digest_migrated metric_imbalance; do
+    grep -q "\"$key\"" "$json" || fail "key '$key' missing from $json"
+done
+echo "   metrics JSON: ok ($json)"
+
+echo "rebalance_smoke: PASS (migration bit-exact, measured imbalance reduced)"
+exit 0

@@ -23,10 +23,16 @@ std::uint64_t spreadBits3(std::uint64_t v) {
     return v;
 }
 
-std::uint64_t mortonCode(const Cell& c) {
+} // namespace
+
+std::uint64_t mortonCode3D(const Cell& c) {
     return spreadBits3(uint_c(c.x)) | (spreadBits3(uint_c(c.y)) << 1) |
            (spreadBits3(uint_c(c.z)) << 2);
 }
+
+namespace {
+
+std::uint64_t mortonCode(const Cell& c) { return mortonCode3D(c); }
 
 /// Evaluates whether the block at the given box is part of the simulation:
 /// fast sphere-based classification first, per-cell check only for blocks
@@ -208,6 +214,20 @@ std::uint64_t SetupBlockForest::totalWorkload() const {
     return t;
 }
 
+void SetupBlockForest::shuffleBlocks(std::uint64_t seed) {
+    Random rng(seed);
+    // Fisher-Yates over the block storage; the dense grid map must follow
+    // the permutation or blockAt()/neighborsOf() would dangle.
+    for (std::size_t i = blocks_.size(); i > 1; --i) {
+        const std::size_t j = std::size_t(rng.uniformInt(i));
+        std::swap(blocks_[i - 1], blocks_[j]);
+    }
+    for (std::size_t g = 0; g < gridToBlock_.size(); ++g) gridToBlock_[g] = kNoBlock;
+    for (std::size_t b = 0; b < blocks_.size(); ++b)
+        gridToBlock_[gridIndex(blocks_[b].gridPos.x, blocks_[b].gridPos.y,
+                               blocks_[b].gridPos.z)] = std::uint32_t(b);
+}
+
 void SetupBlockForest::balanceMorton(std::uint32_t numProcesses) {
     WALB_ASSERT(numProcesses >= 1);
     numProcesses_ = numProcesses;
@@ -234,9 +254,21 @@ void SetupBlockForest::balanceGraph(std::uint32_t numProcesses, std::uint64_t se
     numProcesses_ = numProcesses;
     if (blocks_.empty()) return;
 
+    // Canonical vertex numbering, sorted by BlockID: the partition result
+    // must be a function of the logical forest, not of the storage order of
+    // blocks_ (which differs e.g. between create() and loadFromFile() after
+    // editing, or under the shuffleBlocks() test seam).
+    std::vector<std::uint32_t> canon(blocks_.size());
+    std::iota(canon.begin(), canon.end(), 0u);
+    std::sort(canon.begin(), canon.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return blocks_[a].id < blocks_[b].id;
+    });
+    std::vector<std::uint32_t> vertexOf(blocks_.size());
+    for (std::uint32_t v = 0; v < canon.size(); ++v) vertexOf[canon[v]] = v;
+
     partition::Graph graph(blocks_.size());
-    for (std::uint32_t i = 0; i < blocks_.size(); ++i)
-        graph.setVertexWeight(i, std::max<std::uint64_t>(1, blocks_[i].workload));
+    for (std::uint32_t v = 0; v < blocks_.size(); ++v)
+        graph.setVertexWeight(v, std::max<std::uint64_t>(1, blocks_[canon[v]].workload));
 
     // Communication volume between face neighbors: 5 of 19 PDFs per
     // interface cell; edge neighbors: 1 PDF per cell; corners: none (D3Q19).
@@ -255,13 +287,15 @@ void SetupBlockForest::balanceGraph(std::uint32_t numProcesses, std::uint64_t se
         return 0; // D3Q19 has no corner links
     };
 
-    for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
-        const Cell& p = blocks_[i].gridPos;
+    for (std::uint32_t v = 0; v < blocks_.size(); ++v) {
+        const Cell& p = blocks_[canon[v]].gridPos;
         for (const auto& d : lbm::neighborhood26) {
             const auto n = blockAt(p.x + d[0], p.y + d[1], p.z + d[2]);
-            if (!n || *n <= i) continue; // each undirected edge once
+            if (!n) continue;
+            const std::uint32_t u = vertexOf[*n];
+            if (u <= v) continue; // each undirected edge once
             const std::uint64_t w = commWeight(d);
-            if (w > 0) graph.addEdge(i, *n, w);
+            if (w > 0) graph.addEdge(v, u, w);
         }
     }
     graph.finalize();
@@ -270,7 +304,8 @@ void SetupBlockForest::balanceGraph(std::uint32_t numProcesses, std::uint64_t se
     options.numParts = numProcesses;
     options.seed = seed;
     const auto result = partition::partitionGraph(graph, options);
-    for (std::uint32_t i = 0; i < blocks_.size(); ++i) blocks_[i].process = result.part[i];
+    for (std::uint32_t v = 0; v < blocks_.size(); ++v)
+        blocks_[canon[v]].process = result.part[v];
 }
 
 SetupBlockForest::BalanceStats SetupBlockForest::balanceStats() const {

@@ -25,6 +25,11 @@
 
 namespace walb::bf {
 
+/// 3D Morton (Z-order) code of a grid position: the lower 21 bits of each
+/// coordinate interleaved. The curve ordering behind balanceMorton() and
+/// the rebalance subsystem's SFC re-split policy.
+std::uint64_t mortonCode3D(const Cell& c);
+
 struct SetupBlock {
     BlockID id;
     Cell gridPos;              ///< position in the (refined) block grid
@@ -105,6 +110,12 @@ public:
     BalanceStats balanceStats() const;
 
     std::uint64_t totalWorkload() const;
+
+    /// Test seam: deterministically permutes the block storage order (the
+    /// logical forest — ids, positions, workloads, assignment — is
+    /// unchanged; the grid map is rebuilt). Balancers must produce the
+    /// identical block -> process assignment regardless of storage order.
+    void shuffleBlocks(std::uint64_t seed);
 
     /// Compact, endian-independent binary serialization (paper §2.2: only
     /// the low-order bytes that carry information are stored; e.g. 2-byte

@@ -171,8 +171,12 @@ void refineBisection(const Graph& g, std::vector<std::uint8_t>& side, std::uint6
                 boundary = side[g.neighbor(e)] != side[v];
             if (boundary) candidates.push_back({moveGain(g, side, v), v});
         }
-        std::sort(candidates.begin(), candidates.end(),
-                  [](const auto& a, const auto& b) { return a.first > b.first; });
+        // Gain descending; ties broken by vertex number so the refinement
+        // order (and therefore the final partition) is a deterministic
+        // function of the graph, not of incidental candidate ordering.
+        std::sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
+            return a.first != b.first ? a.first > b.first : a.second < b.second;
+        });
 
         for (const auto& [gainAtScan, v] : candidates) {
             const std::int64_t gain = moveGain(g, side, v); // may have changed

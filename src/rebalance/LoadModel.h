@@ -1,0 +1,59 @@
+#pragma once
+/// \file LoadModel.h
+/// Measurement layer of `walb::rebalance` (paper §2.3 balances *statically*
+/// from estimated fluid-cell counts; this layer supplies what the static
+/// balancer never sees: the measured cost of each block). The model is fed
+/// the per-block sweep seconds accumulated by DistributedSimulation between
+/// rebalance epochs and keeps an EWMA per BlockID so one noisy epoch cannot
+/// trigger a migration storm. gatherGlobal() allgathers every rank's
+/// smoothed values into one weight vector aligned with the setup-forest
+/// block index — identical on every rank, which is what makes the
+/// downstream policy decisions collectively deterministic.
+
+#include <unordered_map>
+#include <vector>
+
+#include "blockforest/BlockForest.h"
+#include "blockforest/BlockID.h"
+#include "blockforest/SetupBlockForest.h"
+
+namespace walb::vmpi {
+class Comm;
+}
+
+namespace walb::rebalance {
+
+class LoadModel {
+public:
+    /// `alpha` is the EWMA weight of the newest epoch: smoothed value
+    /// becomes alpha*measured + (1-alpha)*previous. 1.0 = no smoothing.
+    explicit LoadModel(double alpha = 0.5) : alpha_(alpha) {}
+
+    double alpha() const { return alpha_; }
+
+    /// Folds one epoch of measured sweep seconds (indexed like
+    /// forest.blocks()) into the per-BlockID EWMA. Entries for blocks this
+    /// rank no longer owns are dropped — after a migration the new owner is
+    /// the single source of truth for a block's cost.
+    void recordEpoch(const bf::BlockForest& forest, const std::vector<double>& sweepSeconds);
+
+    /// Smoothed seconds of one block; 0 when never measured here.
+    double smoothed(const bf::BlockID& id) const;
+
+    std::size_t numTracked() const { return ewma_.size(); }
+
+    /// Collective: every rank contributes its smoothed values, every rank
+    /// receives the identical global weight vector indexed like
+    /// setup.blocks(). Blocks no rank has measured yet are filled with a
+    /// weight proportional to their static workload (scaled to the measured
+    /// cost per workload unit when any measurement exists), so one epoch
+    /// with partial coverage still yields comparable weights.
+    std::vector<double> gatherGlobal(vmpi::Comm& comm,
+                                     const bf::SetupBlockForest& setup) const;
+
+private:
+    double alpha_;
+    std::unordered_map<bf::BlockID, double, bf::BlockIDHash> ewma_;
+};
+
+} // namespace walb::rebalance

@@ -1,0 +1,54 @@
+#pragma once
+/// \file Migrator.h
+/// Migration layer of `walb::rebalance`: applies a new block -> rank
+/// assignment to a *running* DistributedSimulation, moving live field
+/// state over the virtual-MPI layer.
+///
+/// Protocol (collective; every rank derives the identical move list from
+/// the old/new owner vectors, so no negotiation messages are needed):
+///   1. pack each departing block into one tagged message per destination
+///      rank: BlockID + the interiors of both PDF buffers and the flag
+///      field, CRC-protected. Interiors are the complete physical state —
+///      ghost layers are exchange scratch that is re-filled afterwards;
+///   2. stash the full field contents of blocks that stay local;
+///   3. sends are buffered and non-blocking (vmpi contract), so the
+///      structure can be rebuilt immediately: applyBlockAssignment()
+///      replaces the BlockForest, its per-block data and the BufferSystem
+///      exchange plan;
+///   4. restore stashed blocks, receive + CRC-verify + unpack incoming
+///      blocks (flag interiors are overlaid too, although the rebuilt
+///      fields already re-derived them — flags are a pure function of
+///      global position);
+///   5. one ghost-layer exchange re-fills the ghost layers under the new
+///      neighborhood plan.
+///
+/// checkpointDigest() (interior-only by design) is invariant across
+/// migrate(): the bit pattern of every interior cell is preserved.
+
+#include <cstdint>
+#include <vector>
+
+namespace walb::sim {
+class DistributedSimulation;
+}
+
+namespace walb::rebalance {
+
+/// The message tag of block-migration traffic (ghost exchange uses 77).
+inline constexpr int kMigrationTag = 91;
+
+struct MigrationStats {
+    std::size_t blocksMoved = 0;   ///< global: blocks that changed rank
+    std::size_t bytesSent = 0;     ///< this rank's outgoing payload bytes
+    std::size_t bytesReceived = 0; ///< this rank's incoming payload bytes
+    double seconds = 0.0;          ///< wall time of the whole epoch, this rank
+};
+
+/// Collective live migration to `newOwner` (indexed like
+/// sim.setup().blocks(); identical on every rank — asserted via an
+/// allreduced assignment hash). No-op moves (newOwner == current owner
+/// everywhere) still rebuild and re-fill, keeping the path exercised.
+MigrationStats migrate(sim::DistributedSimulation& sim,
+                       const std::vector<std::uint32_t>& newOwner);
+
+} // namespace walb::rebalance

@@ -1,0 +1,126 @@
+#include "rebalance/Policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/Debug.h"
+
+namespace walb::rebalance {
+
+namespace {
+
+std::vector<double> rankLoads(const std::vector<std::uint32_t>& owner,
+                              const std::vector<double>& weights,
+                              std::uint32_t numRanks) {
+    WALB_ASSERT(owner.size() == weights.size(), "owner/weight size mismatch");
+    std::vector<double> load(numRanks, 0.0);
+    for (std::size_t i = 0; i < owner.size(); ++i) {
+        WALB_ASSERT(owner[i] < numRanks, "block owned by rank " << owner[i]);
+        load[owner[i]] += weights[i];
+    }
+    return load;
+}
+
+} // namespace
+
+double imbalanceFactor(const std::vector<std::uint32_t>& owner,
+                       const std::vector<double>& weights, std::uint32_t numRanks) {
+    if (numRanks == 0 || owner.empty()) return 1.0;
+    const std::vector<double> load = rankLoads(owner, weights, numRanks);
+    const double total = std::accumulate(load.begin(), load.end(), 0.0);
+    if (total <= 0.0) return 1.0;
+    const double avg = total / double(numRanks);
+    return *std::max_element(load.begin(), load.end()) / avg;
+}
+
+double imbalanceFactor(const bf::SetupBlockForest& setup,
+                       const std::vector<double>& weights, std::uint32_t numRanks) {
+    std::vector<std::uint32_t> owner(setup.numBlocks());
+    for (std::size_t i = 0; i < setup.numBlocks(); ++i)
+        owner[i] = setup.blocks()[i].process;
+    return imbalanceFactor(owner, weights, numRanks);
+}
+
+std::vector<std::uint32_t> MortonPolicy::propose(const RebalanceContext& ctx) const {
+    const auto& blocks = ctx.setup.blocks();
+    WALB_ASSERT(ctx.weights.size() == blocks.size(), "weight vector size mismatch");
+
+    std::vector<std::uint32_t> order(blocks.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const std::uint64_t ma = bf::mortonCode3D(blocks[a].gridPos);
+        const std::uint64_t mb = bf::mortonCode3D(blocks[b].gridPos);
+        return ma != mb ? ma < mb : blocks[a].id < blocks[b].id;
+    });
+
+    // Walk the curve, cutting whenever the running measured weight passes
+    // the next ideal boundary — balanceMorton() with seconds for workloads.
+    double total = 0.0;
+    for (double w : ctx.weights) total += std::max(w, 0.0);
+    if (total <= 0.0) total = 1.0;
+
+    std::vector<std::uint32_t> owner(blocks.size(), 0);
+    double acc = 0.0;
+    for (std::uint32_t idx : order) {
+        const double mid = acc + std::max(ctx.weights[idx], 0.0) * 0.5;
+        acc += std::max(ctx.weights[idx], 0.0);
+        std::uint32_t p = std::uint32_t(mid / total * double(ctx.numRanks));
+        owner[idx] = std::min(p, ctx.numRanks - 1);
+    }
+    return owner;
+}
+
+std::vector<std::uint32_t> DiffusionPolicy::propose(const RebalanceContext& ctx) const {
+    const auto& blocks = ctx.setup.blocks();
+    WALB_ASSERT(ctx.weights.size() == blocks.size(), "weight vector size mismatch");
+
+    std::vector<std::uint32_t> owner(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) owner[i] = blocks[i].process;
+    if (ctx.numRanks < 2 || blocks.empty()) return owner;
+
+    std::vector<double> load = rankLoads(owner, ctx.weights, ctx.numRanks);
+    for (std::uint32_t move = 0; move < maxMoves_; ++move) {
+        // Most- and least-loaded rank; ties to the lowest rank number.
+        std::uint32_t hi = 0, lo = 0;
+        for (std::uint32_t r = 1; r < ctx.numRanks; ++r) {
+            if (load[r] > load[hi]) hi = r;
+            if (load[r] < load[lo]) lo = r;
+        }
+        if (hi == lo) break;
+
+        // The donor block minimizing the resulting pairwise maximum
+        // (optimum is a weight near half the load difference); ties broken
+        // by BlockID so the choice is independent of storage order.
+        std::int64_t best = -1;
+        double bestMax = std::max(load[hi], load[lo]);
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            if (owner[i] != hi) continue;
+            const double w = std::max(ctx.weights[i], 0.0);
+            if (w <= 0.0) continue;
+            const double pairMax = std::max(load[hi] - w, load[lo] + w);
+            const bool better =
+                pairMax < bestMax ||
+                (best >= 0 && pairMax == bestMax &&
+                 blocks[i].id < blocks[std::size_t(best)].id);
+            if (better) {
+                best = std::int64_t(i);
+                bestMax = pairMax;
+            }
+        }
+        if (best < 0) break; // no move improves the pair — converged
+        const auto i = std::size_t(best);
+        load[hi] -= std::max(ctx.weights[i], 0.0);
+        load[lo] += std::max(ctx.weights[i], 0.0);
+        owner[i] = lo;
+    }
+    return owner;
+}
+
+std::unique_ptr<RebalancePolicy> makePolicy(const std::string& name,
+                                            std::uint32_t maxMoves) {
+    if (name == "morton") return std::make_unique<MortonPolicy>();
+    if (name == "diffusion") return std::make_unique<DiffusionPolicy>(maxMoves);
+    return nullptr;
+}
+
+} // namespace walb::rebalance

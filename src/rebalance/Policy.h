@@ -1,0 +1,80 @@
+#pragma once
+/// \file Policy.h
+/// Policy layer of `walb::rebalance`: pluggable strategies that turn the
+/// measured global weight vector into a new block -> rank assignment.
+///
+/// Two policies, mirroring the two static balancers of §2.3 but driven by
+/// *measured* weights instead of estimated fluid-cell counts:
+///   * MortonPolicy   — re-splits the Morton space-filling curve into
+///                      contiguous chunks of near-equal measured weight
+///                      (paper-faithful; may move many blocks at once);
+///   * DiffusionPolicy — bounded greedy diffusion, moving at most
+///                      `maxMoves` blocks per epoch from the most- to the
+///                      least-loaded rank (cheap, incremental, bounds the
+///                      migration traffic of any one epoch).
+///
+/// Every policy must be a *deterministic function of its context* — the
+/// context is identical on all ranks (the weight vector is allgathered),
+/// so each rank computes the same assignment without further
+/// communication. Ties are broken by BlockID, never by storage order.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blockforest/SetupBlockForest.h"
+
+namespace walb::rebalance {
+
+struct RebalanceContext {
+    const bf::SetupBlockForest& setup;  ///< current (pre-epoch) assignment
+    const std::vector<double>& weights; ///< measured weight per setup index
+    std::uint32_t numRanks;
+};
+
+/// Imbalance factor max/avg of per-rank weight sums under `owner` (1.0 =
+/// perfectly balanced; the paper's Figure 7 stalls scale with this number).
+/// Empty ranks are counted in the average — an idle rank *is* imbalance.
+double imbalanceFactor(const std::vector<std::uint32_t>& owner,
+                       const std::vector<double>& weights, std::uint32_t numRanks);
+
+/// Imbalance factor of the assignment currently stored in the setup forest.
+double imbalanceFactor(const bf::SetupBlockForest& setup,
+                       const std::vector<double>& weights, std::uint32_t numRanks);
+
+class RebalancePolicy {
+public:
+    virtual ~RebalancePolicy() = default;
+    virtual std::string name() const = 0;
+    /// New owner per setup index. Must be deterministic given the context.
+    virtual std::vector<std::uint32_t> propose(const RebalanceContext& ctx) const = 0;
+};
+
+/// Weighted re-split of the Morton curve (measured-weight analogue of
+/// SetupBlockForest::balanceMorton).
+class MortonPolicy final : public RebalancePolicy {
+public:
+    std::string name() const override { return "morton"; }
+    std::vector<std::uint32_t> propose(const RebalanceContext& ctx) const override;
+};
+
+/// Bounded greedy diffusion: repeatedly move the best-fitting block from
+/// the most-loaded to the least-loaded rank, at most `maxMoves` blocks per
+/// epoch, stopping early when no move lowers the pairwise maximum.
+class DiffusionPolicy final : public RebalancePolicy {
+public:
+    explicit DiffusionPolicy(std::uint32_t maxMoves = 8) : maxMoves_(maxMoves) {}
+    std::string name() const override { return "diffusion"; }
+    std::uint32_t maxMoves() const { return maxMoves_; }
+    std::vector<std::uint32_t> propose(const RebalanceContext& ctx) const override;
+
+private:
+    std::uint32_t maxMoves_;
+};
+
+/// Factory for the --rebalance-policy CLI contract ("morton" or
+/// "diffusion"); returns nullptr for an unknown name.
+std::unique_ptr<RebalancePolicy> makePolicy(const std::string& name,
+                                            std::uint32_t maxMoves = 8);
+
+} // namespace walb::rebalance

@@ -1,0 +1,96 @@
+#include "rebalance/Rebalancer.h"
+
+#include "core/Debug.h"
+#include "core/Logging.h"
+#include "rebalance/Migrator.h"
+#include "sim/DistributedSimulation.h"
+
+namespace walb::rebalance {
+
+Rebalancer::Rebalancer(sim::DistributedSimulation& sim, RebalanceOptions opt)
+    : sim_(sim), opt_(std::move(opt)),
+      policy_(makePolicy(opt_.policy, opt_.maxMoves)) {
+    WALB_ASSERT(policy_ != nullptr, "unknown rebalance policy '" << opt_.policy << "'");
+}
+
+void Rebalancer::install() {
+    sim_.setStepHook([this](std::uint64_t step) { maybeRebalance(step); });
+}
+
+void Rebalancer::maybeRebalance(std::uint64_t step) {
+    if (!opt_.any() || step == 0 || step % opt_.every != 0) return;
+    model_.recordEpoch(sim_.forest(), sim_.blockSweepSeconds());
+    sim_.resetBlockSweepSeconds();
+    const std::vector<double> weights = model_.gatherGlobal(sim_.comm(), sim_.setup());
+    runEpoch(step, weights);
+}
+
+bool Rebalancer::runEpoch(std::uint64_t step, const std::vector<double>& weights) {
+    const auto numRanks = std::uint32_t(sim_.comm().size());
+    EpochRecord rec;
+    rec.step = step;
+    rec.imbalanceBefore = imbalanceFactor(sim_.setup(), weights, numRanks);
+    rec.imbalanceAfter = rec.imbalanceBefore;
+    sim_.metrics().gauge("rebalance.imbalance").set(rec.imbalanceBefore);
+
+    // Hysteresis: a healthy assignment never migrates.
+    if (rec.imbalanceBefore < opt_.imbalanceThreshold) {
+        history_.push_back(rec);
+        return false;
+    }
+
+    const RebalanceContext ctx{sim_.setup(), weights, numRanks};
+    const std::vector<std::uint32_t> proposed = policy_->propose(ctx);
+    const double proposedImbalance = imbalanceFactor(proposed, weights, numRanks);
+    // Migrate only on strict improvement — paying migration cost for an
+    // equal (or worse) assignment would make epochs oscillate.
+    if (proposedImbalance >= rec.imbalanceBefore) {
+        history_.push_back(rec);
+        return false;
+    }
+
+    const MigrationStats stats = migrate(sim_, proposed);
+    rec.imbalanceAfter = proposedImbalance;
+    rec.blocksMoved = stats.blocksMoved;
+    rec.bytesMoved = stats.bytesSent + stats.bytesReceived;
+    rec.seconds = stats.seconds;
+    rec.migrated = true;
+    history_.push_back(rec);
+
+    sim_.metrics().gauge("rebalance.imbalance").set(rec.imbalanceAfter);
+    sim_.metrics().counter("rebalance.blocks_moved").inc(stats.blocksMoved);
+    sim_.metrics().counter("rebalance.bytes_moved").inc(rec.bytesMoved);
+    cumulativeSeconds_ += stats.seconds;
+    sim_.metrics().gauge("rebalance.seconds").set(cumulativeSeconds_);
+    if (sim_.comm().rank() == 0)
+        WALB_LOG_INFO("rebalance @" << step << " [" << policy_->name()
+                                    << "]: imbalance " << rec.imbalanceBefore << " -> "
+                                    << rec.imbalanceAfter << ", moved "
+                                    << stats.blocksMoved << " blocks");
+    return true;
+}
+
+RebalanceOptions RebalanceOptions::fromArgs(int argc, char** argv) {
+    auto valueOf = [&](const std::string& flag, int i) -> std::string {
+        const std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc) return argv[i + 1];
+        const std::string prefix = flag + "=";
+        if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+        return "";
+    };
+    RebalanceOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (!(v = valueOf("--rebalance-every", i)).empty())
+            opt.every = std::stoull(v);
+        else if (!(v = valueOf("--rebalance-policy", i)).empty())
+            opt.policy = v;
+        else if (!(v = valueOf("--imbalance-threshold", i)).empty())
+            opt.imbalanceThreshold = std::stod(v);
+        else if (!(v = valueOf("--rebalance-max-moves", i)).empty())
+            opt.maxMoves = std::uint32_t(std::stoul(v));
+    }
+    return opt;
+}
+
+} // namespace walb::rebalance

@@ -232,7 +232,19 @@ std::uint64_t checkpointDigest(DistributedSimulation& sim) {
     std::uint64_t local = 0;
     for (std::size_t b = 0; b < sim.forest().numLocalBlocks(); ++b) {
         const lbm::PdfField& pdf = sim.pdfField(b);
-        local += crc32(pdf.data(), pdf.allocCells() * sizeof(real_t));
+        // Interior cells only: ghost slots are transient exchange scratch
+        // (refilled from neighbor interiors every step), so hashing them
+        // would make the digest depend on exchange history rather than on
+        // the physical state. Interior-only hashing is what lets a block
+        // migration — which moves interiors and re-fills ghosts — be
+        // digest-invariant. fzyx layout: each interior x-row is contiguous.
+        std::uint32_t crc = 0;
+        for (cell_idx_t f = 0; f < cell_idx_t(pdf.fSize()); ++f)
+            for (cell_idx_t z = 0; z < pdf.zSize(); ++z)
+                for (cell_idx_t y = 0; y < pdf.ySize(); ++y)
+                    crc = crc32(pdf.dataAt(0, y, z, f),
+                                std::size_t(pdf.xSize()) * sizeof(real_t), crc);
+        local += crc;
     }
     return vmpi::allreduceSum(sim.comm(), local);
 }

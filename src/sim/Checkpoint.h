@@ -68,9 +68,13 @@ bool checkpointLoad(DistributedSimulation& sim, const std::string& path,
 bool checkpointPeek(const std::string& path, CheckpointHeader& out,
                     std::string* error = nullptr);
 
-/// Collective: order-independent fingerprint of the complete PDF state
-/// (sum over blocks of each block's CRC32, allreduced). Two runs are
-/// bit-exact iff their digests match.
+/// Collective: order-independent fingerprint of the physical PDF state
+/// (sum over blocks of each block's interior-cell CRC32, allreduced).
+/// Interior cells are the complete physical state — ghost slots are
+/// exchange scratch refilled from neighbor interiors every step — so two
+/// runs with equal digests have bit-exact equal fields everywhere that is
+/// ever read, and the digest is invariant across a rebalance migration
+/// (which moves interiors and re-fills ghosts).
 std::uint64_t checkpointDigest(DistributedSimulation& sim);
 
 // ---- driver wiring ---------------------------------------------------------

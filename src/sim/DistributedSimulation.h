@@ -166,31 +166,47 @@ public:
     DistributedSimulation(vmpi::Comm& comm, const bf::SetupBlockForest& setup,
                           const FlagInitializer& initFlags,
                           KernelTier tier = KernelTier::Simd)
-        : comm_(comm), forest_(setup, std::uint32_t(comm.rank())), tier_(tier) {
-        const cell_idx_t cx = forest_.cellsX(), cy = forest_.cellsY(), cz = forest_.cellsZ();
-        srcId_ = forest_.addBlockData<lbm::PdfField>([&](const auto&) {
-            return std::make_unique<lbm::PdfField>(lbm::makePdfField<M>(cx, cy, cz));
-        });
-        dstId_ = forest_.addBlockData<lbm::PdfField>([&](const auto&) {
-            return std::make_unique<lbm::PdfField>(lbm::makePdfField<M>(cx, cy, cz));
-        });
-        flagId_ = forest_.addBlockData<field::FlagField>([&](const bf::BlockForest::Block& b) {
-            auto ff = std::make_unique<field::FlagField>(cx, cy, cz, 1);
-            masks_ = lbm::BoundaryFlags::registerOn(*ff);
-            initFlags(*ff, masks_, b, geometry::CellMapping{b.aabb, forest_.dx()});
-            return ff;
-        });
-        for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
-            auto& flags = forest_.getData<field::FlagField>(b, flagId_);
-            boundaries_.push_back(std::make_unique<lbm::BoundaryHandling<M>>(flags, masks_));
-            runs_.push_back(lbm::buildFluidRuns(flags, masks_.fluid));
-            cellLists_.push_back(lbm::buildFluidCellList(flags, masks_.fluid));
-            lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, srcId_), 1.0, {0, 0, 0});
-            lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, dstId_), 1.0, {0, 0, 0});
-        }
-        comm_scheme_ = std::make_unique<PdfCommScheme>(forest_, comm_, srcId_);
+        : comm_(comm), setup_(setup), initFlags_(initFlags),
+          forest_(setup_, std::uint32_t(comm.rank())), tier_(tier) {
+        buildBlockData();
         trace_.setRank(comm.rank());
     }
+
+    /// The global setup structure this simulation was built from. The stored
+    /// copy tracks live migrations: applyBlockAssignment() updates its
+    /// process fields, so it is always the authoritative block -> rank map.
+    const bf::SetupBlockForest& setup() const { return setup_; }
+
+    /// Live re-assignment of blocks to ranks (walb::rebalance migration
+    /// layer). Rebuilds the rank-local BlockForest, all per-block data
+    /// (fields re-initialized to equilibrium, flags re-derived through the
+    /// stored flag initializer — flags are a pure function of global
+    /// position), boundary handlings, fluid runs and the ghost-exchange
+    /// BufferSystem plan. Carries *no* PDF state over: callers (the
+    /// migrator) stash/transfer field payloads around this call. Must be
+    /// invoked with the identical `ownerBySetupIndex` on every rank.
+    void applyBlockAssignment(const std::vector<std::uint32_t>& ownerBySetupIndex) {
+        WALB_ASSERT(ownerBySetupIndex.size() == setup_.numBlocks(),
+                    "assignment covers " << ownerBySetupIndex.size() << " of "
+                                         << setup_.numBlocks() << " blocks");
+        auto& blocks = setup_.blocks();
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            WALB_ASSERT(ownerBySetupIndex[i] < std::uint32_t(comm_.size()),
+                        "block assigned to rank " << ownerBySetupIndex[i] << " of "
+                                                  << comm_.size());
+            blocks[i].process = ownerBySetupIndex[i];
+        }
+        forest_ = bf::BlockForest(setup_, std::uint32_t(comm_.rank()));
+        boundaries_.clear();
+        runs_.clear();
+        cellLists_.clear();
+        buildBlockData();
+    }
+
+    /// One ghost-layer exchange outside the step loop — the migration
+    /// epilogue that re-fills the ghost layers of the (rebuilt) forest from
+    /// the current interiors. Collective.
+    void refillGhostLayers() { comm_scheme_->communicate(); }
 
     bf::BlockForest& forest() { return forest_; }
     const bf::BlockForest& forest() const { return forest_; }
@@ -204,8 +220,22 @@ public:
     lbm::PdfField& pdfField(std::size_t block) {
         return forest_.getData<lbm::PdfField>(block, srcId_);
     }
+    /// The destination PDF field (post-swap history buffer). Migration must
+    /// move it along with pdfField(): boundary handling writes into whichever
+    /// buffer is src each step, so both buffers carry live state.
+    lbm::PdfField& pdfDstField(std::size_t block) {
+        return forest_.getData<lbm::PdfField>(block, dstId_);
+    }
     field::FlagField& flagField(std::size_t block) {
         return forest_.getData<field::FlagField>(block, flagId_);
+    }
+
+    /// Measured sweep (collide+stream) seconds per local block, accumulated
+    /// since the last reset — the feed of the rebalance LoadModel. Indexed
+    /// like forest().blocks().
+    const std::vector<double>& blockSweepSeconds() const { return blockSweepSeconds_; }
+    void resetBlockSweepSeconds() {
+        std::fill(blockSweepSeconds_.begin(), blockSweepSeconds_.end(), 0.0);
     }
 
     /// Global time-step counter: incremented by run(), restored by
@@ -220,6 +250,14 @@ public:
         preStep_ = std::move(cb);
     }
 
+    /// Structural hook invoked between time steps (after preStep, before the
+    /// ghost exchange). Unlike preStep it is *allowed to mutate the block
+    /// structure* — the rebalance subsystem runs its migration epochs here.
+    /// Must behave identically (collectively) on every rank.
+    void setStepHook(std::function<void(std::uint64_t)> hook) {
+        stepHook_ = std::move(hook);
+    }
+
     /// Enables the periodic health guard: every policy.checkEvery steps the
     /// run loop allreduces NaN/Inf counts and total mass; on violation it
     /// emergency-checkpoints, logs an ERROR diagnosis and throws HealthError
@@ -229,10 +267,15 @@ public:
     }
     HealthMonitor* healthMonitor() { return health_.get(); }
 
+    /// Boundary parameters are stored here as well as pushed into the live
+    /// boundary handlings: applyBlockAssignment() rebuilds the handlings
+    /// from scratch, and the rebuilt ones must keep the configured values.
     void setWallVelocity(const Vec3& u) {
+        wallVelocity_ = u;
         for (auto& b : boundaries_) b->setWallVelocity(u);
     }
     void setPressureDensity(real_t rho) {
+        pressureDensity_ = rho;
         for (auto& b : boundaries_) b->setPressureDensity(rho);
     }
 
@@ -253,12 +296,15 @@ public:
         obs::Counter& bytesRecv = metrics_.counter("comm.bytesReceived");
         obs::Counter& msgsSent = metrics_.counter("comm.messagesSent");
         obs::Counter& msgsRecv = metrics_.counter("comm.messagesReceived");
-        const vmpi::BufferSystem& bs = comm_scheme_->bufferSystem();
 
         Timer wall;
         wall.start();
         for (uint_t step = 0; step < numSteps; ++step) {
             if (preStep_) preStep_(currentStep_);
+            // The structural hook may replace forest_/comm_scheme_ (block
+            // migration), so per-step state is re-read below, never cached
+            // across iterations.
+            if (stepHook_) stepHook_(currentStep_);
             try {
                 ScopedTimer t(timing_["communication"]);
                 obs::ScopedTrace tr(trace_, "communication");
@@ -270,6 +316,7 @@ public:
                                        << ": ghost exchange failed: " << e.what());
                 throw;
             }
+            const vmpi::BufferSystem& bs = comm_scheme_->bufferSystem();
             bytesSent.inc(bs.lastSendBytes());
             bytesRecv.inc(bs.lastRecvBytes());
             msgsSent.inc(bs.lastSendMessages());
@@ -286,6 +333,7 @@ public:
                 for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
                     auto& src = forest_.getData<lbm::PdfField>(b, srcId_);
                     auto& dst = forest_.getData<lbm::PdfField>(b, dstId_);
+                    const auto sweepBegin = std::chrono::steady_clock::now();
                     switch (tier_) {
                         case KernelTier::Generic:
                             lbm::streamCollideGeneric<M>(
@@ -299,6 +347,9 @@ public:
                             lbm::streamCollideIntervals(src, dst, runs_[b], op, simdKernel_);
                             break;
                     }
+                    blockSweepSeconds_[b] += std::chrono::duration<double>(
+                                                 std::chrono::steady_clock::now() - sweepBegin)
+                                                 .count();
                     src.swapDataWith(dst);
                 }
             }
@@ -413,7 +464,47 @@ public:
     std::uint64_t stateDigest() { return checkpointDigest(*this); }
 
 private:
+    /// Configured boundary parameters, reapplied whenever the per-block
+    /// boundary handlings are rebuilt (defaults match lbm::BoundaryHandling).
+    Vec3 wallVelocity_{0, 0, 0};
+    real_t pressureDensity_ = real_c(1);
+
+    /// (Re)creates every per-block datum of the current forest_: PDF fields
+    /// (equilibrium-initialized), flag fields (derived through initFlags_),
+    /// boundary handlings, fluid runs/cell lists, the ghost-exchange scheme
+    /// and the per-block sweep-time accumulators. Shared by the constructor
+    /// and applyBlockAssignment().
+    void buildBlockData() {
+        const cell_idx_t cx = forest_.cellsX(), cy = forest_.cellsY(), cz = forest_.cellsZ();
+        srcId_ = forest_.addBlockData<lbm::PdfField>([&](const auto&) {
+            return std::make_unique<lbm::PdfField>(lbm::makePdfField<M>(cx, cy, cz));
+        });
+        dstId_ = forest_.addBlockData<lbm::PdfField>([&](const auto&) {
+            return std::make_unique<lbm::PdfField>(lbm::makePdfField<M>(cx, cy, cz));
+        });
+        flagId_ = forest_.addBlockData<field::FlagField>([&](const bf::BlockForest::Block& b) {
+            auto ff = std::make_unique<field::FlagField>(cx, cy, cz, 1);
+            masks_ = lbm::BoundaryFlags::registerOn(*ff);
+            initFlags_(*ff, masks_, b, geometry::CellMapping{b.aabb, forest_.dx()});
+            return ff;
+        });
+        for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
+            auto& flags = forest_.getData<field::FlagField>(b, flagId_);
+            boundaries_.push_back(std::make_unique<lbm::BoundaryHandling<M>>(flags, masks_));
+            boundaries_.back()->setWallVelocity(wallVelocity_);
+            boundaries_.back()->setPressureDensity(pressureDensity_);
+            runs_.push_back(lbm::buildFluidRuns(flags, masks_.fluid));
+            cellLists_.push_back(lbm::buildFluidCellList(flags, masks_.fluid));
+            lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, srcId_), 1.0, {0, 0, 0});
+            lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, dstId_), 1.0, {0, 0, 0});
+        }
+        comm_scheme_ = std::make_unique<PdfCommScheme>(forest_, comm_, srcId_);
+        blockSweepSeconds_.assign(forest_.blocks().size(), 0.0);
+    }
+
     vmpi::Comm& comm_;
+    bf::SetupBlockForest setup_; ///< global structure, kept current by migrations
+    FlagInitializer initFlags_;  ///< retained: migration re-derives flag fields
     bf::BlockForest forest_;
     KernelTier tier_;
     lbm::BoundaryFlags masks_{};
@@ -427,7 +518,9 @@ private:
     obs::MetricsRegistry metrics_;
     obs::TraceRecorder trace_;
     std::function<void(std::uint64_t)> preStep_;
+    std::function<void(std::uint64_t)> stepHook_;
     std::unique_ptr<HealthMonitor> health_;
+    std::vector<double> blockSweepSeconds_;
     std::uint64_t currentStep_ = 0;
     double ckptSeconds_ = 0.0;
 };

@@ -1,30 +1,85 @@
 /// walb_blockinfo — inspect a block-structure file (paper §2.2 format).
 ///
-/// Usage: walb_blockinfo <forest.walb>
+/// Usage: walb_blockinfo [--loads] <forest.walb>
 ///
 /// Prints the domain, grid configuration, per-process workload statistics
 /// and the level histogram, without loading any cell data — the file holds
 /// only the metadata needed to reconstruct the distributed forest.
+///
+/// --loads switches to the per-rank load table: block count and weight sum
+/// of every process plus the imbalance factor max/avg — the offline view
+/// of the assignment the rebalance subsystem acts on at runtime.
 
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <vector>
 
 #include "blockforest/SetupBlockForest.h"
 
+namespace {
+
+/// Per-rank block counts, workload sums and the max/avg imbalance factor.
+int printLoads(const walb::bf::SetupBlockForest& forest, const char* path) {
+    using namespace walb;
+    const std::uint32_t ranks = forest.numProcesses();
+    std::vector<std::uint64_t> work(ranks, 0);
+    std::vector<uint_t> count(ranks, 0);
+    for (const auto& b : forest.blocks()) {
+        if (b.process >= ranks) {
+            std::fprintf(stderr, "error: block assigned to process %u of %u\n", b.process,
+                         ranks);
+            return 1;
+        }
+        work[b.process] += b.workload;
+        ++count[b.process];
+    }
+    const double total = double(forest.totalWorkload());
+    const double avg = ranks > 0 ? total / double(ranks) : 0.0;
+
+    std::printf("per-rank loads: %s\n", path);
+    std::printf("%8s %10s %16s %10s\n", "rank", "blocks", "weight", "share");
+    std::uint64_t maxWork = 0;
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+        std::printf("%8u %10llu %16llu %9.2f%%\n", r, (unsigned long long)count[r],
+                    (unsigned long long)work[r],
+                    total > 0 ? 100.0 * double(work[r]) / total : 0.0);
+        maxWork = std::max(maxWork, work[r]);
+    }
+    std::printf("total workload   %llu over %u rank(s)\n",
+                (unsigned long long)forest.totalWorkload(), ranks);
+    std::printf("imbalance factor %.4f (max/avg)\n",
+                avg > 0 ? double(maxWork) / avg : 1.0);
+    return 0;
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
     using namespace walb;
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: %s <forest.walb>\n", argv[0]);
+    bool loads = false;
+    const char* path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--loads") == 0)
+            loads = true;
+        else if (!path)
+            path = argv[i];
+        else
+            path = ""; // more than one positional argument -> usage error
+    }
+    if (!path || path[0] == '\0') {
+        std::fprintf(stderr, "usage: %s [--loads] <forest.walb>\n", argv[0]);
         return 2;
     }
-    const auto forest = bf::SetupBlockForest::loadFromFile(argv[1]);
+    const auto forest = bf::SetupBlockForest::loadFromFile(path);
     if (!forest) {
-        std::fprintf(stderr, "error: cannot read '%s'\n", argv[1]);
+        std::fprintf(stderr, "error: cannot read '%s'\n", path);
         return 1;
     }
+    if (loads) return printLoads(*forest, path);
 
     const auto& cfg = forest->config();
-    std::printf("walb block structure: %s\n", argv[1]);
+    std::printf("walb block structure: %s\n", path);
     std::printf("  domain           [%g %g %g] .. [%g %g %g]\n", cfg.domain.min()[0],
                 cfg.domain.min()[1], cfg.domain.min()[2], cfg.domain.max()[0],
                 cfg.domain.max()[1], cfg.domain.max()[2]);
