@@ -13,6 +13,7 @@
 /// (b) the machine-scale curves come from the calibrated ECM + network
 /// models (DESIGN.md substitution 3).
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +23,7 @@
 #include "obs/Report.h"
 #include "perf/Scaling.h"
 #include "sim/DistributedSimulation.h"
+#include "vmpi/FaultyComm.h"
 #include "vmpi/ThreadComm.h"
 
 using namespace walb;
@@ -45,6 +47,11 @@ std::uint64_t counterSum(const obs::ReducedMetrics& m, const std::string& name) 
     return it == m.counters.end() ? 0 : it->second.sum;
 }
 
+double gaugeAvg(const obs::ReducedMetrics& m, const std::string& name) {
+    auto it = m.gauges.find(name);
+    return it == m.gauges.end() ? 0.0 : it->second.avg();
+}
+
 void writeRunJson(obs::json::Writer& w, const RunRecord& r) {
     w.beginObject();
     w.kv("ranks", r.ranks).kv("steps", std::uint64_t(r.steps));
@@ -56,6 +63,9 @@ void writeRunJson(obs::json::Writer& w, const RunRecord& r) {
     w.kv("bytes_received", counterSum(r.metrics, "comm.bytesReceived"));
     w.kv("messages_sent", counterSum(r.metrics, "comm.messagesSent"));
     w.kv("messages_received", counterSum(r.metrics, "comm.messagesReceived"));
+    w.kv("comm.hidden_seconds", gaugeAvg(r.metrics, "comm.hidden_seconds"));
+    w.kv("comm.exposed_seconds", gaugeAvg(r.metrics, "comm.exposed_seconds"));
+    w.kv("comm.hidden_fraction", gaugeAvg(r.metrics, "comm.hidden_fraction"));
     w.key("phases");
     obs::writePhasesJson(w, r.phases);
     w.endObject();
@@ -65,9 +75,10 @@ void writeRunJson(obs::json::Writer& w, const RunRecord& r) {
 /// a periodic-free enclosed box. On this one-core host the ranks timeshare
 /// (so MLUPS/core is not expected to stay flat); what this validates is the
 /// full comm stack and the compute/communication split accounting.
-std::vector<RunRecord> realSmallScaleRun() {
+std::vector<RunRecord> realSmallScaleRun(bool overlap) {
     std::vector<RunRecord> records;
-    std::printf("\nlocal virtual-rank runs (24^3 cells/rank, enclosed box, TRT):\n");
+    std::printf("\nlocal virtual-rank runs (24^3 cells/rank, enclosed box, TRT%s):\n",
+                overlap ? ", overlapped comm schedule" : "");
     std::printf("%6s %12s %8s\n", "ranks", "MLUPS/rank", "comm%");
     for (int ranks : {1, 2, 4, 8}) {
         bf::SetupConfig cfg;
@@ -101,6 +112,7 @@ std::vector<RunRecord> realSmallScaleRun() {
         RunRecord record;
         vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
             sim::DistributedSimulation simulation(comm, setup, flagInit);
+            simulation.setOverlapCommunication(overlap);
             const uint_t steps = 30;
             simulation.run(steps, lbm::TRT::fromOmegaAndMagic(1.5));
             // Collectives: every rank must participate.
@@ -225,6 +237,170 @@ int checkpointRun(const sim::CheckpointOptions& opt, const std::string& metricsP
     return 0;
 }
 
+/// One schedule leg of the overlap smoke: a 4-rank moving-lid cavity run,
+/// optionally behind a FaultyComm slow link that holds every message for
+/// `delayMs` of wall-clock time.
+struct ScheduleResult {
+    std::uint64_t digest = 0;
+    double exposedSeconds = 0;  ///< avg per rank, whole run
+    double hiddenSeconds = 0;
+    double hiddenFraction = 0;
+    double beginSeconds = 0;  ///< pack/post share of exposed (overlap only)
+    double finishSeconds = 0; ///< blocking-drain share of exposed (overlap only)
+    double mlupsTotal = 0;
+};
+
+/// Overlap validation drill (activated by --overlap-smoke): the same
+/// geometry is stepped with the synchronous and the overlapped schedule —
+/// with and without an injected per-message delay — and the state digests
+/// must agree bit-exactly across all four legs. The delayed legs quantify
+/// how much of the slow link the core sweep hides: with blocks large enough
+/// that the interior sweep outlasts the delay, the overlapped schedule's
+/// exposed communication time collapses to the pack/unpack cost. The
+/// numbers land in the metrics JSON consumed by bench/overlap_smoke.sh
+/// (committed as BENCH_overlap.json).
+int overlapSmokeRun(const std::string& metricsPath, int delayMs) {
+    constexpr int kRanks = 4;
+    constexpr uint_t kSteps = 40;
+    // Two large blocks per rank: large messages keep the pack cost low, the
+    // chunked core sweep polls for arrivals several times per step, and the
+    // 2x2x2 arrangement gives every rank enough distinct messages that the
+    // serial-link delay dominates the synchronous schedule's exposed time.
+    constexpr cell_idx_t kCells = 32; // per block edge
+    constexpr cell_idx_t kBx = 2, kBy = 2, kBz = 2; // 8 blocks, 2 per rank
+
+    bf::SetupConfig cfg;
+    cfg.domain = AABB(0, 0, 0, double(kBx * kCells), double(kBy * kCells),
+                      double(kBz * kCells));
+    cfg.rootBlocksX = uint_t(kBx);
+    cfg.rootBlocksY = uint_t(kBy);
+    cfg.rootBlocksZ = uint_t(kBz);
+    cfg.cellsPerBlockX = cfg.cellsPerBlockY = cfg.cellsPerBlockZ = uint_t(kCells);
+    auto setup = bf::SetupBlockForest::create(cfg);
+    setup.balanceMorton(kRanks);
+
+    const cell_idx_t NX = kBx * kCells, NY = kBy * kCells, NZ = kBz * kCells;
+    auto flagInit = [&](field::FlagField& flags, const lbm::BoundaryFlags& masks,
+                        const bf::BlockForest::Block& block,
+                        const geometry::CellMapping& mapping) {
+        (void)block;
+        flags.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            const Vec3 p = mapping.cellCenter(x, y, z);
+            if (p[0] < 0 || p[1] < 0 || p[2] < 0 || p[0] > real_c(NX) ||
+                p[1] > real_c(NY) || p[2] > real_c(NZ))
+                return;
+            const Cell g{cell_idx_t(p[0]), cell_idx_t(p[1]), cell_idx_t(p[2])};
+            if (g.z == NZ - 1)
+                flags.addFlag(x, y, z, masks.ubb); // moving lid: the flow evolves
+            else if (g.x == 0 || g.x == NX - 1 || g.y == 0 || g.y == NY - 1 || g.z == 0)
+                flags.addFlag(x, y, z, masks.noSlip);
+            else
+                flags.addFlag(x, y, z, masks.fluid);
+        });
+    };
+
+    auto runSchedule = [&](bool overlap, int legDelayMs) {
+        ScheduleResult res;
+        vmpi::ThreadCommWorld::launch(kRanks, [&](vmpi::Comm& comm) {
+            const vmpi::FaultPlan noFaults; // latency only, no message faults
+            vmpi::FaultyComm slowLink(comm, noFaults);
+            vmpi::Comm* active = &comm;
+            if (legDelayMs > 0) {
+                slowLink.setMessageLatency(std::chrono::milliseconds(legDelayMs));
+                active = &slowLink;
+            }
+            sim::DistributedSimulation simulation(*active, setup, flagInit);
+            simulation.setWallVelocity({0.05, 0, 0});
+            simulation.setOverlapCommunication(overlap);
+            simulation.run(kSteps, lbm::TRT::fromOmegaAndMagic(1.5));
+            const std::uint64_t d = simulation.stateDigest();
+            const double cells = double(simulation.globalFluidCells());
+            const obs::ReducedTimingPool reduced = simulation.reduceTiming();
+            const obs::ReducedMetrics metrics = simulation.reduceMetrics();
+            if (comm.rank() == 0) {
+                res.digest = d;
+                res.exposedSeconds = gaugeAvg(metrics, "comm.exposed_seconds");
+                res.hiddenSeconds = gaugeAvg(metrics, "comm.hidden_seconds");
+                res.hiddenFraction = gaugeAvg(metrics, "comm.hidden_fraction");
+                res.beginSeconds = gaugeAvg(metrics, "comm.begin_seconds");
+                res.finishSeconds = gaugeAvg(metrics, "comm.finish_seconds");
+                const double seconds = reduced.grandTotalAvg();
+                res.mlupsTotal = seconds > 0 ? cells * double(kSteps) / seconds / 1e6 : 0;
+            }
+        });
+        return res;
+    };
+
+    std::printf("\noverlap smoke: %d ranks, %dx%dx%d blocks of %d^3, moving lid, "
+                "%u steps, delay %d ms\n",
+                kRanks, int(kBx), int(kBy), int(kBz), int(kCells), unsigned(kSteps),
+                delayMs);
+    const ScheduleResult sync0 = runSchedule(false, 0);
+    const ScheduleResult over0 = runSchedule(true, 0);
+    ScheduleResult syncD = sync0, overD = over0;
+    if (delayMs > 0) {
+        syncD = runSchedule(false, delayMs);
+        overD = runSchedule(true, delayMs);
+    }
+
+    const bool digestsEqual = sync0.digest == over0.digest &&
+                              sync0.digest == syncD.digest && sync0.digest == overD.digest;
+    const double exposedRatio =
+        overD.exposedSeconds > 0 ? syncD.exposedSeconds / overD.exposedSeconds : 0.0;
+    std::printf("overlap smoke: digest_sync %llu digest_overlap %llu digests_equal %d "
+                "exposed_sync %.6f exposed_overlap %.6f exposed_ratio %.2f "
+                "hidden_fraction %.4f mlups_sync %.2f mlups_overlap %.2f\n",
+                (unsigned long long)syncD.digest, (unsigned long long)overD.digest,
+                digestsEqual ? 1 : 0, syncD.exposedSeconds, overD.exposedSeconds,
+                exposedRatio, overD.hiddenFraction, sync0.mlupsTotal, over0.mlupsTotal);
+    std::printf("overlap smoke: overlap exposed split: begin %.6f s, finish %.6f s\n",
+                overD.beginSeconds, overD.finishSeconds);
+    if (!digestsEqual) {
+        std::fprintf(stderr,
+                     "overlap smoke FAILED: schedules disagree (sync %llu, overlap %llu, "
+                     "sync+delay %llu, overlap+delay %llu)\n",
+                     (unsigned long long)sync0.digest, (unsigned long long)over0.digest,
+                     (unsigned long long)syncD.digest, (unsigned long long)overD.digest);
+        return 1;
+    }
+
+    if (!metricsPath.empty()) {
+        {
+        std::ofstream os(metricsPath, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n", metricsPath.c_str());
+            return 1;
+        }
+        obs::json::Writer w(os);
+        w.beginObject();
+        w.kv("benchmark", "fig6_overlap_smoke");
+        w.kv("ranks", std::uint64_t(kRanks));
+        w.kv("steps", std::uint64_t(kSteps));
+        w.kv("cells_per_block", std::uint64_t(kCells * kCells * kCells));
+        w.kv("delay_ms", std::uint64_t(delayMs));
+        w.kv("digest_sync", syncD.digest);
+        w.kv("digest_overlap", overD.digest);
+        w.kv("digests_equal", std::uint64_t(digestsEqual ? 1 : 0));
+        w.kv("mlups_sync", sync0.mlupsTotal);
+        w.kv("mlups_overlap", over0.mlupsTotal);
+        w.kv("exposed_sync_seconds", syncD.exposedSeconds);
+        w.kv("exposed_overlap_seconds", overD.exposedSeconds);
+        w.kv("exposed_ratio", exposedRatio);
+        w.kv("hidden_overlap_seconds", overD.hiddenSeconds);
+        w.kv("comm.hidden_fraction", overD.hiddenFraction);
+        w.endObject();
+        os << '\n';
+        }
+        if (!obs::validateMetricsJson(metricsPath,
+                                      {"benchmark", "digest_sync", "digest_overlap",
+                                       "exposed_sync_seconds", "exposed_overlap_seconds",
+                                       "comm.hidden_fraction"}))
+            return 1;
+        std::printf("wrote metrics JSON: %s\n", metricsPath.c_str());
+    }
+    return 0;
+}
+
 void modelCurve(const MachineSpec& machine, const NetworkParams& network,
                 const std::vector<ProcessConfig>& configs, double cellsPerCore,
                 unsigned minPow, unsigned maxPow) {
@@ -255,7 +431,17 @@ int main(int argc, char** argv) {
     const sim::CheckpointOptions ckptOpt = sim::CheckpointOptions::fromArgs(argc, argv);
     if (ckptOpt.any()) return checkpointRun(ckptOpt, metricsPath);
 
-    const std::vector<RunRecord> records = realSmallScaleRun();
+    bool overlap = false, overlapSmoke = false;
+    int delayMs = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--overlap") overlap = true;
+        else if (arg == "--overlap-smoke") overlapSmoke = true;
+        else if (arg == "--delay-ms" && i + 1 < argc) delayMs = std::atoi(argv[++i]);
+    }
+    if (overlapSmoke) return overlapSmokeRun(metricsPath, delayMs);
+
+    const std::vector<RunRecord> records = realSmallScaleRun(overlap);
 
     modelCurve(superMUCSocket(), prunedTreeNetwork(),
                {{16, 1}, {4, 4}, {2, 8}}, 3.43e6, 5, 17);
@@ -300,6 +486,7 @@ int main(int argc, char** argv) {
             w.beginObject();
             w.kv("benchmark", "fig6_weak_dense");
             w.kv("cells_per_rank", std::uint64_t(24 * 24 * 24));
+            w.kv("overlap", std::uint64_t(overlap ? 1 : 0));
             w.key("runs").beginArray();
             for (const RunRecord& r : records) writeRunJson(w, r);
             w.endArray();

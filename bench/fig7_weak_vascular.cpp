@@ -126,7 +126,7 @@ struct RealRunRecord {
     obs::ReducedMetrics metrics;
 };
 
-RealRunRecord realRun(const geometry::DistanceFunction& phi, int ranks,
+RealRunRecord realRun(const geometry::DistanceFunction& phi, int ranks, bool overlap,
                       const sim::CheckpointOptions& ckptOpt = {}) {
     auto search =
         bf::findWeakScalingPartition(phi, AABB(0, 0, 0, 1, 1, 1), kCellsPerBlockEdge,
@@ -139,6 +139,7 @@ RealRunRecord realRun(const geometry::DistanceFunction& phi, int ranks,
     RealRunRecord record;
     vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
         sim::DistributedSimulation simulation(comm, search.forest, flagInit);
+        simulation.setOverlapCommunication(overlap);
         uint_t steps = 20;
         if (ckptOpt.any()) {
             // Checkpoint/restart contract (see sim/Checkpoint.h): restart,
@@ -176,6 +177,10 @@ int main(int argc, char** argv) {
     std::printf("synthetic tree: %zu segments, bbox fluid fraction %.2f%%\n",
                 tree.segments().size(), 100.0 * tree.boundingBoxFluidFraction());
 
+    bool overlap = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--overlap") overlap = true;
+
     // Rebalance drill (--rebalance-every N [--rebalance-policy ...]): skewed
     // 4-rank assignment, reference vs live-rebalanced run, digest-invariance
     // and imbalance trajectory — see bench/rebalance_drill.h.
@@ -191,7 +196,7 @@ int main(int argc, char** argv) {
         bench::skewAssignment(search.forest, std::uint32_t(drillRanks));
         const uint_t drillSteps = 4 * uint_t(rbOpt.every);
         const auto drill = bench::runRebalanceDrill(search.forest, search.blocks, *phi,
-                                                    drillRanks, rbOpt, drillSteps);
+                                                    drillRanks, rbOpt, drillSteps, overlap);
         if (!metricsPath.empty()) {
             {
                 std::ofstream os(metricsPath, std::ios::binary);
@@ -214,8 +219,8 @@ int main(int argc, char** argv) {
         return 0;
     }
 
-    std::printf("\nreal virtual-rank runs (target 2 blocks/rank, %u^3 blocks, TRT):\n",
-                kCellsPerBlockEdge);
+    std::printf("\nreal virtual-rank runs (target 2 blocks/rank, %u^3 blocks, TRT%s):\n",
+                kCellsPerBlockEdge, overlap ? ", overlapped comm schedule" : "");
     std::printf("%6s %9s %12s %11s %8s\n", "ranks", "blocks", "fluid cells",
                 "MFLUPS/rank", "comm%");
     std::vector<RealRunRecord> records;
@@ -223,9 +228,9 @@ int main(int argc, char** argv) {
     // checkpoint file is per-invocation; three worlds would clobber it).
     const sim::CheckpointOptions ckptOpt = sim::CheckpointOptions::fromArgs(argc, argv);
     if (ckptOpt.any())
-        records.push_back(realRun(*phi, 8, ckptOpt));
+        records.push_back(realRun(*phi, 8, overlap, ckptOpt));
     else
-        for (int ranks : {2, 4, 8}) records.push_back(realRun(*phi, ranks));
+        for (int ranks : {2, 4, 8}) records.push_back(realRun(*phi, ranks, overlap));
 
     std::printf("\nexact partitionings across scales (fluid fraction rises with the "
                 "block fit):\n");

@@ -121,6 +121,10 @@ int main(int argc, char** argv) {
     const auto tree = makeTree();
     const auto phi = tree.implicitDistance();
 
+    bool overlap = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--overlap") overlap = true;
+
     // Rebalance drill on a real strong-scaling partitioning: fixed problem
     // size, skewed 4-rank assignment, reference vs live-rebalanced run (the
     // strong-scaling case is where measured-load rebalancing matters most —
@@ -137,7 +141,7 @@ int main(int argc, char** argv) {
         bench::skewAssignment(search.forest, std::uint32_t(drillRanks));
         const uint_t drillSteps = 4 * uint_t(rbOpt.every);
         const auto drill = bench::runRebalanceDrill(search.forest, search.blocks, *phi,
-                                                    drillRanks, rbOpt, drillSteps);
+                                                    drillRanks, rbOpt, drillSteps, overlap);
         if (!metricsPath.empty()) {
             {
                 std::ofstream os(metricsPath, std::ios::binary);

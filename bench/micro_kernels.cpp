@@ -22,6 +22,8 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "partition/Partitioner.h"
+#include "vmpi/BufferSystem.h"
+#include "vmpi/SerialComm.h"
 
 namespace {
 
@@ -214,6 +216,74 @@ void BM_Pack_FullPdfSet(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_Pack_FullPdfSet)->Unit(benchmark::kMillisecond);
+
+// ---- fluid-run construction and the core/shell split ------------------------
+
+void BM_BuildFluidRuns_RowPointer(benchmark::State& state) {
+    SparseFixture fx;
+    for (auto _ : state) {
+        const auto runs = buildFluidRuns(fx.flags, fx.fluid);
+        benchmark::DoNotOptimize(runs.fluidCells);
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+}
+BENCHMARK(BM_BuildFluidRuns_RowPointer)->Unit(benchmark::kMillisecond);
+
+void BM_BuildFluidRuns_Naive(benchmark::State& state) {
+    SparseFixture fx;
+    for (auto _ : state) {
+        const auto runs = buildFluidRunsNaive(fx.flags, fx.fluid);
+        benchmark::DoNotOptimize(runs.fluidCells);
+    }
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+}
+BENCHMARK(BM_BuildFluidRuns_Naive)->Unit(benchmark::kMillisecond);
+
+void BM_SplitFluidRuns_CoreShell(benchmark::State& state) {
+    SparseFixture fx;
+    const auto runs = buildFluidRuns(fx.flags, fx.fluid);
+    // Realistic mask: every ghost region with an x component is backed by a
+    // remote neighbor (a block in the middle of an x-pencil decomposition).
+    std::array<bool, 26> remote{};
+    for (std::size_t i = 0; i < 26; ++i)
+        if (neighborhood26[i][0] != 0) remote[i] = true;
+    for (auto _ : state) {
+        const auto split = splitFluidRuns<D3Q19>(runs, kN, kN, kN, remote);
+        benchmark::DoNotOptimize(split.core.fluidCells + split.shell.fluidCells);
+    }
+    state.SetItemsProcessed(state.iterations() * runs.fluidCells);
+}
+BENCHMARK(BM_SplitFluidRuns_CoreShell)->Unit(benchmark::kMillisecond);
+
+// ---- buffer recycling --------------------------------------------------------
+
+/// Steady-state neighbor exchange through the BufferSystem on a single-rank
+/// comm. After a warmup exchange has sized the send buffer, repacking the
+/// same payload every step must recycle the drained receive storage and
+/// perform **zero** further send-buffer allocations — the acceptance bar of
+/// the buffer-recycling work, enforced here via sendBufferAllocations().
+void BM_BufferSystem_SteadyState(benchmark::State& state) {
+    vmpi::SerialComm comm;
+    vmpi::BufferSystem bs(comm, /*tag=*/9);
+    bs.setReceiverInfo({0});
+    const std::vector<std::uint8_t> payload(64 * 1024, 0xab);
+    auto oneExchange = [&] {
+        bs.sendBuffer(0).putBytes(payload.data(), payload.size());
+        bs.beginExchange();
+        bs.finishExchange([](int, RecvBuffer& buf) { buf.skip(buf.remaining()); });
+    };
+    oneExchange(); // sizes the buffer; all later rounds reuse its storage
+    const std::uint64_t allocsAfterWarmup = bs.sendBufferAllocations();
+    for (auto _ : state) {
+        oneExchange();
+        benchmark::DoNotOptimize(bs.cumulativeRecvBytes());
+    }
+    if (bs.sendBufferAllocations() != allocsAfterWarmup)
+        state.SkipWithError("steady-state exchange allocated send-buffer storage");
+    state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(payload.size()));
+}
+BENCHMARK(BM_BufferSystem_SteadyState)->Unit(benchmark::kMicrosecond);
 
 // ---- geometry ----------------------------------------------------------------
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Communication-hiding smoke test (wired into ctest as `fig6_overlap_smoke`):
+# the fig6 driver's --overlap-smoke mode runs the same 4-virtual-rank cavity
+# four times — synchronous and overlapped schedule, each without and with a
+# 2 ms per-message slow-link delay (FaultyComm store-and-forward model) — and
+# prints one parseable `overlap smoke:` line. This script asserts the
+# acceptance criteria of the overlap tentpole:
+#
+#   1. all four runs produce the same state digest — the overlapped
+#      schedule (and the injected latency) are bit-exact, and
+#   2. under the injected delay the overlapped schedule's exposed
+#      communication time is lower than the synchronous schedule's by at
+#      least the CI floor below.
+#
+# The committed BENCH_overlap.json artifact documents the >= 2x headline
+# ratio measured for the acceptance run; the CI floor is deliberately looser
+# (the 4 virtual ranks timeshare one core on this machine, so individual
+# runs see multi-ms scheduler noise) — it guards against the overlap path
+# regressing to "no better than synchronous" without flaking the suite.
+#
+# Usage: overlap_smoke.sh <fig6_weak_dense binary> <scratch dir>
+set -u
+
+ci_ratio_floor=1.25
+
+bin="$1"
+dir="$2"
+mkdir -p "$dir"
+json="$dir/overlap_smoke.json"
+log="$dir/overlap_smoke.log"
+rm -f "$json" "$log"
+
+fail() { echo "overlap_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== fig6 overlap smoke: 4 virtual ranks, sync vs overlapped, 2 ms slow link"
+"$bin" --overlap-smoke --delay-ms 2 --metrics-json "$json" | tee "$log" \
+    || fail "overlap smoke run exited nonzero"
+
+line=$(grep 'digests_equal' "$log") || fail "no parseable 'overlap smoke:' line"
+
+# Pull space-separated `key value` tokens out of the smoke line.
+kv() { echo "$line" | sed -n "s/.* $1 \([0-9.][0-9.]*\).*/\1/p"; }
+
+dsync=$(kv digest_sync)
+dover=$(kv digest_overlap)
+ratio=$(kv exposed_ratio)
+hidden=$(kv hidden_fraction)
+for v in dsync dover ratio hidden; do
+    eval "val=\$$v"
+    [ -n "$val" ] || fail "field '$v' missing from smoke line: $line"
+done
+
+[ "$dsync" = "$dover" ] \
+    || fail "digests differ: sync=$dsync overlap=$dover (overlap not bit-exact)"
+echo "   digest: $dsync == $dover"
+
+awk "BEGIN { exit !($ratio >= $ci_ratio_floor) }" \
+    || fail "exposed ratio $ratio below CI floor $ci_ratio_floor"
+echo "   exposed ratio: $ratio (floor $ci_ratio_floor; headline artifact: BENCH_overlap.json)"
+
+# The metrics JSON must carry the overlap observability fields.
+[ -f "$json" ] || fail "no metrics JSON written"
+for key in digest_sync digest_overlap exposed_sync_seconds \
+           exposed_overlap_seconds exposed_ratio comm.hidden_fraction; do
+    grep -q "\"$key\"" "$json" || fail "key '$key' missing from $json"
+done
+echo "   metrics JSON: ok ($json)"
+
+echo "overlap_smoke: PASS (overlap bit-exact, exposed communication reduced)"
+exit 0

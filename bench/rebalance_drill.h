@@ -82,13 +82,16 @@ struct RebalanceDrillRecord {
 
 /// Runs the drill on `forest` (expected pre-skewed): reference run without
 /// rebalancing, then an identical run with the rebalancer installed, both
-/// for `steps` steps from the same initial state.
+/// for `steps` steps from the same initial state. With `overlap` both runs
+/// use the overlapped communication schedule — digest equality then also
+/// certifies that live migration rebuilds the core/shell split plans
+/// correctly.
 inline RebalanceDrillRecord runRebalanceDrill(const bf::SetupBlockForest& forest,
                                               uint_t numBlocks,
                                               const geometry::DistanceFunction& phi,
                                               int ranks,
                                               const rebalance::RebalanceOptions& rbOpt,
-                                              uint_t steps) {
+                                              uint_t steps, bool overlap = false) {
     const auto flagInit = vascularFlagInit(&phi);
     RebalanceDrillRecord rec;
     rec.ranks = ranks;
@@ -96,6 +99,7 @@ inline RebalanceDrillRecord runRebalanceDrill(const bf::SetupBlockForest& forest
 
     vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
         sim::DistributedSimulation simulation(comm, forest, flagInit);
+        simulation.setOverlapCommunication(overlap);
         simulation.run(steps, lbm::TRT::fromOmegaAndMagic(1.5));
         const std::uint64_t digest = simulation.stateDigest();
         if (comm.rank() == 0) rec.digestReference = digest;
@@ -103,6 +107,7 @@ inline RebalanceDrillRecord runRebalanceDrill(const bf::SetupBlockForest& forest
 
     vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
         sim::DistributedSimulation simulation(comm, forest, flagInit);
+        simulation.setOverlapCommunication(overlap);
         rebalance::Rebalancer rebalancer(simulation, rbOpt);
         rebalancer.install();
         simulation.run(steps, lbm::TRT::fromOmegaAndMagic(1.5));

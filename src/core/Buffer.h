@@ -75,14 +75,32 @@ public:
     void clear() { data_.clear(); }
     bool empty() const { return data_.empty(); }
     std::size_t size() const { return data_.size(); }
+    std::size_t capacity() const { return data_.capacity(); }
     const std::uint8_t* data() const { return data_.data(); }
     std::vector<std::uint8_t> release() { return std::move(data_); }
     void reserve(std::size_t n) { data_.reserve(n); }
+
+    /// Re-arms the buffer with recycled storage: the vector's contents are
+    /// discarded but its capacity is kept, so a steady-state exchange that
+    /// cycles buffers through send/receive/reclaim performs no allocations.
+    void adopt(std::vector<std::uint8_t> storage) {
+        data_ = std::move(storage);
+        data_.clear();
+    }
 
     /// Raw byte append.
     void putBytes(const void* src, std::size_t n) {
         const auto* p = static_cast<const std::uint8_t*>(src);
         data_.insert(data_.end(), p, p + n);
+    }
+
+    /// Appends n uninitialized bytes and returns a pointer to fill them —
+    /// bulk serialization without per-element append overhead. The pointer
+    /// is invalidated by any subsequent append.
+    std::uint8_t* grow(std::size_t n) {
+        const std::size_t off = data_.size();
+        data_.resize(off + n);
+        return data_.data() + off;
     }
 
     /// Appends an unsigned value using exactly nBytes little-endian bytes.
@@ -143,6 +161,14 @@ public:
     void assign(std::vector<std::uint8_t> data) {
         data_ = std::move(data);
         pos_ = 0;
+    }
+
+    /// Surrenders the underlying storage (typically after the payload has
+    /// been fully deserialized) so the exchange layer can recycle it as a
+    /// send buffer. The buffer is left empty.
+    std::vector<std::uint8_t> release() {
+        pos_ = 0;
+        return std::move(data_);
     }
 
     std::size_t remaining() const { return data_.size() - pos_; }

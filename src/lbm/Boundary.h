@@ -88,14 +88,63 @@ public:
         return noSlipLinks_.size() + ubbLinks_.size() + pressureLinks_.size();
     }
 
+    /// Splits the link lists for the overlapped communication schedule.
+    /// `isShell(boundaryCell)` must return true when the boundary cell lies
+    /// in a ghost slice that a remote halo message overwrites (unpack would
+    /// clobber the written PDF slot): those links form the *shell* set and
+    /// are applied after finishExchange; everything else is *core* and can
+    /// be applied as soon as the local neighbor copies are done. A shell
+    /// link's unique reader (the fluid cell pulling through it) provably
+    /// reads a remote-backed ghost region, i.e. is itself a shell cell —
+    /// so applying shell links late never starves the core sweep.
+    template <typename Pred>
+    void partitionForOverlap(Pred&& isShell) {
+        auto split = [&](const std::vector<Link>& all, std::vector<Link>& core,
+                         std::vector<Link>& shell) {
+            core.clear();
+            shell.clear();
+            for (const Link& l : all) (isShell(l.boundary) ? shell : core).push_back(l);
+        };
+        split(noSlipLinks_, coreNoSlip_, shellNoSlip_);
+        split(ubbLinks_, coreUbb_, shellUbb_);
+        split(pressureLinks_, corePressure_, shellPressure_);
+        partitioned_ = true;
+    }
+
+    bool partitioned() const { return partitioned_; }
+    std::size_t numShellLinks() const {
+        return shellNoSlip_.size() + shellUbb_.size() + shellPressure_.size();
+    }
+    std::size_t numCoreLinks() const {
+        return coreNoSlip_.size() + coreUbb_.size() + corePressure_.size();
+    }
+
+    /// Applies only the core (resp. shell) partition; together they perform
+    /// exactly the writes of apply(), each link exactly once.
+    void applyCore(PdfField& src) const {
+        WALB_DASSERT(partitioned_);
+        applyLinks(src, coreNoSlip_, coreUbb_, corePressure_);
+    }
+    void applyShell(PdfField& src) const {
+        WALB_DASSERT(partitioned_);
+        applyLinks(src, shellNoSlip_, shellUbb_, shellPressure_);
+    }
+
     /// Writes boundary values into the boundary-cell PDF slots of src.
     /// Must run after communication and before the stream-collide sweep.
     void apply(PdfField& src) const {
-        for (const Link& l : noSlipLinks_) {
+        applyLinks(src, noSlipLinks_, ubbLinks_, pressureLinks_);
+    }
+
+private:
+    void applyLinks(PdfField& src, const std::vector<Link>& noSlipLinks,
+                    const std::vector<Link>& ubbLinks,
+                    const std::vector<Link>& pressureLinks) const {
+        for (const Link& l : noSlipLinks) {
             const Cell f = fluidCell(l);
             src.get(l.boundary, cell_idx_c(l.dir)) = src.get(f, cell_idx_c(M::inv[l.dir]));
         }
-        for (const Link& l : ubbLinks_) {
+        for (const Link& l : ubbLinks) {
             const Cell f = fluidCell(l);
             const Vec3 uw = uWallProfile_ ? uWallProfile_(l.boundary) : uWall_;
             const real_t eu = real_c(M::c[l.dir][0]) * uw[0] +
@@ -104,7 +153,7 @@ public:
             src.get(l.boundary, cell_idx_c(l.dir)) =
                 src.get(f, cell_idx_c(M::inv[l.dir])) + real_c(6) * M::w[l.dir] * rho0_ * eu;
         }
-        for (const Link& l : pressureLinks_) {
+        for (const Link& l : pressureLinks) {
             const Cell f = fluidCell(l);
             // Velocity extrapolated from the adjacent fluid cell.
             const auto pdfs = getPdfs<M>(src, f.x, f.y, f.z);
@@ -118,7 +167,6 @@ public:
         }
     }
 
-private:
     Cell fluidCell(const Link& l) const {
         return {l.boundary.x + M::c[l.dir][0], l.boundary.y + M::c[l.dir][1],
                 l.boundary.z + M::c[l.dir][2]};
@@ -127,6 +175,9 @@ private:
     const field::FlagField& flags_;
     BoundaryFlags masks_;
     std::vector<Link> noSlipLinks_, ubbLinks_, pressureLinks_;
+    std::vector<Link> coreNoSlip_, coreUbb_, corePressure_;
+    std::vector<Link> shellNoSlip_, shellUbb_, shellPressure_;
+    bool partitioned_ = false;
     std::function<Vec3(const Cell&)> uWallProfile_;
     Vec3 uWall_{0, 0, 0};
     real_t rhoWall_ = real_c(1);

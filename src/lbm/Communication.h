@@ -13,6 +13,7 @@
 ///    baseline for the communication-volume ablation benchmark.
 
 #include <array>
+#include <cstring>
 #include <vector>
 
 #include "core/Buffer.h"
@@ -42,6 +43,57 @@ inline constexpr std::array<std::size_t, 26> neighborhood26Inv = [] {
                 r[a] = b;
     return r;
 }();
+
+/// O(1) index of direction d in neighborhood26. The table enumerates x
+/// fastest, skipping the center, so the index is a base-3 digit expansion
+/// with the center's slot (13) removed.
+inline constexpr std::size_t dirIndex26(const std::array<int, 3>& d) {
+    const int linear = (d[0] + 1) + 3 * (d[1] + 1) + 9 * (d[2] + 1);
+    // linear == 13 is the center — not a neighbor direction; callers only
+    // pass unit block offsets.
+    return std::size_t(linear > 13 ? linear - 1 : linear);
+}
+
+/// Which cells of a fluid run at fixed (y, z) read a *marked* ghost region
+/// under a stream-pull sweep of model M — the geometric core/shell
+/// predicate of the communication-hiding schedule.
+///
+/// A pull update of cell (x, y, z) reads f_a from (x, y, z) - c_a. That
+/// source lands in the ghost region toward block direction g exactly when,
+/// on every axis, the cell sits at the matching boundary and c_a points
+/// *into* the block (c_a[axis] == -g[axis]) — on g's zero axes the source
+/// stays interior. Given the run's y/z boundary situation this classifies
+/// every cell of the run with three bits:
+///
+///   * row — the region reached by the y/z components alone is marked:
+///           every cell of the run reads it (any x);
+///   * xLo / xHi — additionally, the run's x == 0 (resp. x == xSize-1)
+///           endpoint cell reads a marked region through a velocity with
+///           c_x == +1 (resp. -1).
+///
+/// So a run splits into at most three segments: the two endpoint cells and
+/// the middle. `marked` is indexed by dirIndex26 (typically: ghost regions
+/// backed by a remote neighbor).
+struct RunGhostReach {
+    bool row = false;
+    bool xLo = false;
+    bool xHi = false;
+};
+
+template <LatticeModel M>
+RunGhostReach runGhostReach(bool yLo, bool yHi, bool zLo, bool zHi,
+                            const std::array<bool, 26>& marked) {
+    RunGhostReach r;
+    for (uint_t a = 0; a < M::Q; ++a) {
+        const int cx = M::c[a][0], cy = M::c[a][1], cz = M::c[a][2];
+        const int gy = (cy == 1 && yLo) ? -1 : (cy == -1 && yHi) ? 1 : 0;
+        const int gz = (cz == 1 && zLo) ? -1 : (cz == -1 && zHi) ? 1 : 0;
+        if ((gy != 0 || gz != 0) && marked[dirIndex26({0, gy, gz})]) r.row = true;
+        if (cx == 1 && marked[dirIndex26({-1, gy, gz})]) r.xLo = true;
+        if (cx == -1 && marked[dirIndex26({1, gy, gz})]) r.xHi = true;
+    }
+    return r;
+}
 
 /// PDFs of model M that stream across an interface with normal direction d:
 /// every axis on which d is nonzero must match the PDF velocity component.
@@ -88,21 +140,52 @@ CellInterval recvInterval(const field::Field<T>& f, const std::array<int, 3>& d)
     return ci;
 }
 
+namespace detail {
+template <LatticeModel M>
+std::vector<uint_t> allDirections() {
+    std::vector<uint_t> all;
+    for (uint_t a = 0; a < M::Q; ++a) all.push_back(a);
+    return all;
+}
+} // namespace detail
+
 /// Serializes the PDFs streaming toward neighbor direction d into buf.
+///
+/// Wire order: PDF direction outermost, then z, y, x — for a fixed PDF
+/// index the x-row of an fzyx field is contiguous in memory, so each row is
+/// one bulk byte copy instead of per-cell accessor calls. unpackPdfs must
+/// mirror this order exactly.
 template <LatticeModel M>
 void packPdfs(const PdfField& f, const std::array<int, 3>& d, SendBuffer& buf,
               bool fullPdfSet = false) {
     const CellInterval ci = sendInterval(f, d);
     const std::vector<uint_t> dirs =
-        fullPdfSet ? [] { std::vector<uint_t> all; for (uint_t a = 0; a < M::Q; ++a) all.push_back(a); return all; }()
-                   : commDirections<M>(d);
-    ci.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
-        for (uint_t a : dirs) buf << f.get(x, y, z, cell_idx_c(a));
-    });
+        fullPdfSet ? detail::allDirections<M>() : commDirections<M>(d);
+    if (dirs.empty()) return;
+    const std::size_t rowBytes =
+        std::size_t(ci.max().x - ci.min().x + 1) * sizeof(real_t);
+    if (f.xStride() == 1) {
+        // One resize for the whole payload, then row-wise bulk copies.
+        const std::size_t rows =
+            std::size_t(ci.max().y - ci.min().y + 1) * std::size_t(ci.max().z - ci.min().z + 1);
+        std::uint8_t* out = buf.grow(dirs.size() * rows * rowBytes);
+        for (uint_t a : dirs)
+            for (cell_idx_t z = ci.min().z; z <= ci.max().z; ++z)
+                for (cell_idx_t y = ci.min().y; y <= ci.max().y; ++y) {
+                    std::memcpy(out, f.dataAt(ci.min().x, y, z, cell_idx_c(a)), rowBytes);
+                    out += rowBytes;
+                }
+        return;
+    }
+    for (uint_t a : dirs)
+        for (cell_idx_t z = ci.min().z; z <= ci.max().z; ++z)
+            for (cell_idx_t y = ci.min().y; y <= ci.max().y; ++y)
+                for (cell_idx_t x = ci.min().x; x <= ci.max().x; ++x)
+                    buf << f.get(x, y, z, cell_idx_c(a));
 }
 
 /// Deserializes PDFs received from the neighbor in direction d into the
-/// ghost slice facing that neighbor. Must mirror packPdfs' cell/PDF order.
+/// ghost slice facing that neighbor. Must mirror packPdfs' PDF/cell order.
 template <LatticeModel M>
 void unpackPdfs(PdfField& f, const std::array<int, 3>& d, RecvBuffer& buf,
                 bool fullPdfSet = false) {
@@ -111,16 +194,35 @@ void unpackPdfs(PdfField& f, const std::array<int, 3>& d, RecvBuffer& buf,
     // subset is determined by the *sender's* direction.
     const std::array<int, 3> senderDir = {-d[0], -d[1], -d[2]};
     const std::vector<uint_t> dirs =
-        fullPdfSet ? [] { std::vector<uint_t> all; for (uint_t a = 0; a < M::Q; ++a) all.push_back(a); return all; }()
-                   : commDirections<M>(senderDir);
-    ci.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
-        for (uint_t a : dirs) buf >> f.get(x, y, z, cell_idx_c(a));
-    });
+        fullPdfSet ? detail::allDirections<M>() : commDirections<M>(senderDir);
+    if (dirs.empty()) return;
+    const std::size_t rowBytes =
+        std::size_t(ci.max().x - ci.min().x + 1) * sizeof(real_t);
+    if (f.xStride() == 1) {
+        const std::size_t rows =
+            std::size_t(ci.max().y - ci.min().y + 1) * std::size_t(ci.max().z - ci.min().z + 1);
+        const std::size_t total = dirs.size() * rows * rowBytes;
+        const std::uint8_t* in = buf.cursor();
+        buf.skip(total); // bounds-checked; throws BufferError on short payload
+        for (uint_t a : dirs)
+            for (cell_idx_t z = ci.min().z; z <= ci.max().z; ++z)
+                for (cell_idx_t y = ci.min().y; y <= ci.max().y; ++y) {
+                    std::memcpy(f.dataAt(ci.min().x, y, z, cell_idx_c(a)), in, rowBytes);
+                    in += rowBytes;
+                }
+        return;
+    }
+    for (uint_t a : dirs)
+        for (cell_idx_t z = ci.min().z; z <= ci.max().z; ++z)
+            for (cell_idx_t y = ci.min().y; y <= ci.max().y; ++y)
+                for (cell_idx_t x = ci.min().x; x <= ci.max().x; ++x)
+                    buf >> f.get(x, y, z, cell_idx_c(a));
 }
 
 /// Direct block-to-block copy for neighbors living on the same process
 /// ("fast local communication", paper §2.3): the ghost slice of `to` facing
 /// direction d is filled from the interior slice of `from` facing -d.
+/// Contiguous x-rows are bulk-copied like in packPdfs.
 template <LatticeModel M>
 void copyPdfsLocal(const PdfField& from, PdfField& to, const std::array<int, 3>& d) {
     const std::array<int, 3> senderDir = {-d[0], -d[1], -d[2]};
@@ -131,11 +233,24 @@ void copyPdfsLocal(const PdfField& from, PdfField& to, const std::array<int, 3>&
 
     WALB_DASSERT(srcCi.numCells() == dstCi.numCells());
     const Cell offset = srcCi.min() - dstCi.min();
-    dstCi.forEach([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
-        for (uint_t a : dirs)
-            to.get(x, y, z, cell_idx_c(a)) =
-                from.get(x + offset.x, y + offset.y, z + offset.z, cell_idx_c(a));
-    });
+    const bool contiguous = from.xStride() == 1 && to.xStride() == 1;
+    const std::size_t rowBytes =
+        std::size_t(dstCi.max().x - dstCi.min().x + 1) * sizeof(real_t);
+    for (uint_t a : dirs)
+        for (cell_idx_t z = dstCi.min().z; z <= dstCi.max().z; ++z)
+            for (cell_idx_t y = dstCi.min().y; y <= dstCi.max().y; ++y) {
+                if (contiguous) {
+                    std::memcpy(to.dataAt(dstCi.min().x, y, z, cell_idx_c(a)),
+                                from.dataAt(dstCi.min().x + offset.x, y + offset.y,
+                                            z + offset.z, cell_idx_c(a)),
+                                rowBytes);
+                } else {
+                    for (cell_idx_t x = dstCi.min().x; x <= dstCi.max().x; ++x)
+                        to.get(x, y, z, cell_idx_c(a)) =
+                            from.get(x + offset.x, y + offset.y, z + offset.z,
+                                     cell_idx_c(a));
+                }
+            }
 }
 
 /// Generic whole-slot slice copy for any field type: the ghost slice of

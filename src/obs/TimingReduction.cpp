@@ -83,13 +83,21 @@ void ReducedTimingPool::print(std::ostream& os) const {
 }
 
 void printFigure6Report(std::ostream& os, const ReducedTimingPool& reduced,
-                        const std::string& commPhase, double mlupsPerRank) {
+                        const std::string& commPhase, double mlupsPerRank,
+                        double commHiddenSeconds, double commExposedSeconds) {
     os << "-- per-phase timings reduced over " << reduced.worldSize << " rank"
        << (reduced.worldSize == 1 ? "" : "s") << " " << std::string(28, '-') << '\n';
     reduced.print(os);
     os << std::fixed << std::setprecision(1);
     os << "communication fraction (paper Fig. 6, '% of time spent for MPI'): "
        << 100.0 * reduced.fraction(commPhase) << "%\n";
+    if (commHiddenSeconds >= 0.0 && commExposedSeconds >= 0.0) {
+        const double total = commHiddenSeconds + commExposedSeconds;
+        os << std::setprecision(4) << "communication hiding: " << commHiddenSeconds
+           << " s hidden behind the core sweep, " << commExposedSeconds
+           << " s exposed" << std::setprecision(1) << " (hidden fraction "
+           << (total > 0 ? 100.0 * commHiddenSeconds / total : 0.0) << "%)\n";
+    }
     if (mlupsPerRank > 0.0) {
         os << std::setprecision(2) << "MLUP/s per rank: " << mlupsPerRank << '\n';
     }

@@ -69,9 +69,13 @@ ReducedTimingPool reduceTimingPool(vmpi::Comm& comm, const TimingPool& pool);
 /// Emits the comm-fraction table the paper reports in Figure 6: per-phase
 /// min/avg/max across ranks, the grand total, and the percentage of time
 /// spent in the communication phase (`commPhase`). If `mlupsPerRank` > 0 it
-/// is printed alongside, mirroring the figure's left axis.
+/// is printed alongside, mirroring the figure's left axis. When
+/// `commHiddenSeconds` >= 0 a communication-hiding line is added: how much
+/// of the ghost-exchange latency the overlapped schedule covered with the
+/// core sweep (hidden) vs. left on the critical path (exposed).
 void printFigure6Report(std::ostream& os, const ReducedTimingPool& reduced,
                         const std::string& commPhase = "communication",
-                        double mlupsPerRank = 0.0);
+                        double mlupsPerRank = 0.0, double commHiddenSeconds = -1.0,
+                        double commExposedSeconds = -1.0);
 
 } // namespace walb::obs

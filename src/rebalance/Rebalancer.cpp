@@ -62,11 +62,19 @@ bool Rebalancer::runEpoch(std::uint64_t step, const std::vector<double>& weights
     sim_.metrics().counter("rebalance.bytes_moved").inc(rec.bytesMoved);
     cumulativeSeconds_ += stats.seconds;
     sim_.metrics().gauge("rebalance.seconds").set(cumulativeSeconds_);
+    // The migration rebuilt the block neighborhoods, and with them every
+    // core/shell split plan of the overlapped communication schedule —
+    // record the new shell share so load traces explain comm-hiding shifts.
+    const double localCells = double(sim_.localFluidCells());
+    const double shellFraction =
+        localCells > 0 ? double(sim_.localShellCells()) / localCells : 0.0;
+    sim_.metrics().gauge("rebalance.shell_fraction").set(shellFraction);
     if (sim_.comm().rank() == 0)
         WALB_LOG_INFO("rebalance @" << step << " [" << policy_->name()
                                     << "]: imbalance " << rec.imbalanceBefore << " -> "
                                     << rec.imbalanceAfter << ", moved "
-                                    << stats.blocksMoved << " blocks");
+                                    << stats.blocksMoved << " blocks (rank 0 shell share now "
+                                    << shellFraction << ")");
     return true;
 }
 

@@ -57,55 +57,83 @@ public:
                     remoteSources_[{n.id, inverseDirIndex(n.dir)}] = b;
     }
 
-    /// Performs one full ghost-layer synchronization of the src fields.
-    void communicate() {
-        bytesLastExchange_ = 0;
+    /// Direct ghost copies between same-rank neighbor blocks. Pure local
+    /// memory traffic — no message leaves the rank — so the drivers account
+    /// it separately from the exposed communication time. Must complete
+    /// before any cell whose stencil reads a locally-backed ghost slice is
+    /// swept (such cells are *core* in the overlap split, so this runs
+    /// before the core sweep).
+    void copyLocalGhosts() {
         const auto& blocks = forest_.blocks();
-
-        // Local neighbors: direct copy. Remote neighbors: pack.
         for (std::size_t b = 0; b < blocks.size(); ++b) {
             lbm::PdfField& src = forest_.getData<lbm::PdfField>(b, srcId_);
             for (const auto& n : blocks[b].neighbors) {
-                if (n.localIndex >= 0) {
-                    lbm::PdfField& dst =
-                        forest_.getData<lbm::PdfField>(std::size_t(n.localIndex), srcId_);
-                    // The neighbor's ghost slice facing us is in direction
-                    // -n.dir from its perspective.
-                    const std::array<int, 3> toMe = {-n.dir[0], -n.dir[1], -n.dir[2]};
-                    lbm::copyPdfsLocal<M>(src, dst, toMe);
-                } else {
-                    SendBuffer& buf = bufferSystem_.sendBuffer(int(n.process));
-                    serializeBlockId(buf, blocks[b].id);
-                    buf << std::uint8_t(dirIndex(n.dir));
-                    lbm::packPdfs<M>(src, n.dir, buf, fullPdfSet_);
-                }
+                if (n.localIndex < 0) continue;
+                lbm::PdfField& dst =
+                    forest_.getData<lbm::PdfField>(std::size_t(n.localIndex), srcId_);
+                // The neighbor's ghost slice facing us is in direction
+                // -n.dir from its perspective.
+                const std::array<int, 3> toMe = {-n.dir[0], -n.dir[1], -n.dir[2]};
+                lbm::copyPdfsLocal<M>(src, dst, toMe);
+            }
+        }
+    }
+
+    /// Packs one message per remote neighbor rank, ships them all and
+    /// starts expecting the incoming ones — the network half of phase 1.
+    void packAndPost() {
+        bytesLastExchange_ = 0;
+        const auto& blocks = forest_.blocks();
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            lbm::PdfField& src = forest_.getData<lbm::PdfField>(b, srcId_);
+            for (const auto& n : blocks[b].neighbors) {
+                if (n.localIndex >= 0) continue;
+                SendBuffer& buf = bufferSystem_.sendBuffer(int(n.process));
+                serializeBlockId(buf, blocks[b].id);
+                buf << std::uint8_t(dirIndex(n.dir));
+                lbm::packPdfs<M>(src, n.dir, buf, fullPdfSet_);
             }
         }
         bytesLastExchange_ = bufferSystem_.totalSendBytes();
-        bufferSystem_.exchange();
+        bufferSystem_.beginExchange();
+    }
 
-        // Drain through the BufferSystem's guarded iteration: a truncated or
-        // corrupted payload (BufferError) surfaces as CommError{Corrupt}
-        // naming the peer, exactly like a deadline miss — no silent garbage.
-        bufferSystem_.forEachRecvBuffer([&](int rank, RecvBuffer& buf) {
-            while (!buf.atEnd()) {
-                const bf::BlockID senderId = deserializeBlockId(buf);
-                std::uint8_t senderDir = 0;
-                buf >> senderDir;
-                if (senderDir >= 26)
-                    throw makeCorruptError(rank, "ghost message names invalid direction " +
-                                                std::to_string(int(senderDir)));
-                const auto it = remoteSources_.find({senderId, senderDir});
-                if (it == remoteSources_.end())
-                    throw makeCorruptError(rank, "ghost message for a block this rank "
-                                            "does not border (corrupt block id?)");
-                lbm::PdfField& dst = forest_.getData<lbm::PdfField>(it->second, srcId_);
-                // Receiver-side direction: toward the sender block.
-                const auto& sd = lbm::neighborhood26[senderDir];
-                const std::array<int, 3> d = {-sd[0], -sd[1], -sd[2]};
-                lbm::unpackPdfs<M>(dst, d, buf, fullPdfSet_);
-            }
-        });
+    /// Phase 1 of the split exchange: local ghost copies, then pack + ship
+    /// one message per remote neighbor rank and start expecting the
+    /// incoming ones. After this call the *core* cells (stencil never
+    /// reaches a remote-backed ghost slice) are ready to sweep; shell cells
+    /// must wait for finishExchange().
+    void beginExchange() {
+        copyLocalGhosts();
+        packAndPost();
+    }
+
+    /// Non-blocking: unpacks whatever ghost messages have already arrived
+    /// (each message writes only its own remote-backed ghost slices, which
+    /// core cells never read — safe to call between core sweeps). Returns
+    /// the number of messages drained.
+    std::size_t progress() {
+        return bufferSystem_.progress(
+            [&](int rank, RecvBuffer& buf) { unpackMessage(rank, buf); });
+    }
+
+    /// Blocks until every outstanding ghost message has arrived and is
+    /// unpacked (arrival order; BufferError and deadline misses surface as
+    /// structured CommErrors, see BufferSystem::finishExchange).
+    void finishExchange() {
+        bufferSystem_.finishExchange(
+            [&](int rank, RecvBuffer& buf) { unpackMessage(rank, buf); });
+    }
+
+    std::size_t pendingReceives() const { return bufferSystem_.pendingReceives(); }
+    bool exchangeInProgress() const { return bufferSystem_.exchangeInProgress(); }
+
+    /// Performs one full (synchronous) ghost-layer synchronization of the
+    /// src fields. Message unpacks are disjoint per sender, so draining in
+    /// arrival order is bit-identical to any fixed order.
+    void communicate() {
+        beginExchange();
+        finishExchange();
     }
 
     std::size_t bytesLastExchange() const { return bytesLastExchange_; }
@@ -125,6 +153,32 @@ public:
     }
 
 private:
+    /// Unpacks one rank's ghost message into the ghost slices of the
+    /// receiving blocks. A truncated or corrupted payload (BufferError)
+    /// surfaces as CommError{Corrupt} naming the peer, exactly like a
+    /// deadline miss — no silent garbage (conversion done by the
+    /// BufferSystem's guarded delivery; the structural checks here throw
+    /// CommError directly).
+    void unpackMessage(int rank, RecvBuffer& buf) {
+        while (!buf.atEnd()) {
+            const bf::BlockID senderId = deserializeBlockId(buf);
+            std::uint8_t senderDir = 0;
+            buf >> senderDir;
+            if (senderDir >= 26)
+                throw makeCorruptError(rank, "ghost message names invalid direction " +
+                                                 std::to_string(int(senderDir)));
+            const auto it = remoteSources_.find({senderId, senderDir});
+            if (it == remoteSources_.end())
+                throw makeCorruptError(rank, "ghost message for a block this rank "
+                                             "does not border (corrupt block id?)");
+            lbm::PdfField& dst = forest_.getData<lbm::PdfField>(it->second, srcId_);
+            // Receiver-side direction: toward the sender block.
+            const auto& sd = lbm::neighborhood26[senderDir];
+            const std::array<int, 3> d = {-sd[0], -sd[1], -sd[2]};
+            lbm::unpackPdfs<M>(dst, d, buf, fullPdfSet_);
+        }
+    }
+
     vmpi::CommError makeCorruptError(int rank, const std::string& detail) const {
         return vmpi::CommError(vmpi::CommError::Kind::Corrupt, rank, /*tag=*/77, 0.0,
                                detail);
@@ -189,6 +243,8 @@ public:
         WALB_ASSERT(ownerBySetupIndex.size() == setup_.numBlocks(),
                     "assignment covers " << ownerBySetupIndex.size() << " of "
                                          << setup_.numBlocks() << " blocks");
+        WALB_ASSERT(!comm_scheme_ || !comm_scheme_->exchangeInProgress(),
+                    "block migration while a ghost exchange is in flight");
         auto& blocks = setup_.blocks();
         for (std::size_t i = 0; i < blocks.size(); ++i) {
             WALB_ASSERT(ownerBySetupIndex[i] < std::uint32_t(comm_.size()),
@@ -200,6 +256,8 @@ public:
         boundaries_.clear();
         runs_.clear();
         cellLists_.clear();
+        coreShellRuns_.clear();
+        coreShellCells_.clear();
         buildBlockData();
     }
 
@@ -288,6 +346,36 @@ public:
         return vmpi::allreduceSum(comm_, std::uint64_t(localFluidCells()));
     }
 
+    /// Selects the communication-hiding step schedule: ghost sends are
+    /// posted first, core cells (stencil never reaches a remote-backed
+    /// ghost slice) are swept while the halos are in flight, and the shell
+    /// cells follow once finishExchange() has drained them. Bit-exact with
+    /// the synchronous schedule — shell cells only run after their halos
+    /// landed, and core/shell covers every fluid cell exactly once.
+    void setOverlapCommunication(bool on) { overlap_ = on; }
+    bool overlapCommunication() const { return overlap_; }
+
+    /// Core/shell split sizes of the current block assignment (rebuilt by
+    /// buildBlockData after every migration).
+    uint_t localCoreCells() const {
+        uint_t n = 0;
+        for (const auto& cs : coreShellRuns_) n += cs.core.fluidCells;
+        return n;
+    }
+    uint_t localShellCells() const {
+        uint_t n = 0;
+        for (const auto& cs : coreShellRuns_) n += cs.shell.fluidCells;
+        return n;
+    }
+
+    /// Cumulative seconds of ghost-exchange latency that were overlapped
+    /// with (hidden behind) the core sweep, resp. left exposed on the
+    /// critical path (pack/send + blocking drain). Sync schedule: all
+    /// exposed. Feeds `comm.hidden_seconds` / `comm.exposed_seconds` /
+    /// `comm.hidden_fraction`.
+    double commHiddenSeconds() const { return commHiddenSeconds_; }
+    double commExposedSeconds() const { return commExposedSeconds_; }
+
     template <typename Op>
     void run(uint_t numSteps, const Op& op) {
         // Cached metric handles: one map lookup per run, not per step.
@@ -305,54 +393,13 @@ public:
             // migration), so per-step state is re-read below, never cached
             // across iterations.
             if (stepHook_) stepHook_(currentStep_);
-            try {
-                ScopedTimer t(timing_["communication"]);
-                obs::ScopedTrace tr(trace_, "communication");
-                comm_scheme_->communicate();
-            } catch (const vmpi::CommError& e) {
-                if (e.kind == vmpi::CommError::Kind::DeadlineExceeded)
-                    metrics_.counter("comm.deadline_misses").inc();
-                WALB_LOG_ERROR("step " << currentStep_
-                                       << ": ghost exchange failed: " << e.what());
-                throw;
-            }
+            if (overlap_) stepOverlapped(op);
+            else stepSynchronous(op);
             const vmpi::BufferSystem& bs = comm_scheme_->bufferSystem();
             bytesSent.inc(bs.lastSendBytes());
             bytesRecv.inc(bs.lastRecvBytes());
             msgsSent.inc(bs.lastSendMessages());
             msgsRecv.inc(bs.lastRecvMessages());
-            {
-                ScopedTimer t(timing_["boundary"]);
-                obs::ScopedTrace tr(trace_, "boundary");
-                for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
-                    boundaries_[b]->apply(forest_.getData<lbm::PdfField>(b, srcId_));
-            }
-            {
-                ScopedTimer t(timing_["collideStream"]);
-                obs::ScopedTrace tr(trace_, "collideStream");
-                for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
-                    auto& src = forest_.getData<lbm::PdfField>(b, srcId_);
-                    auto& dst = forest_.getData<lbm::PdfField>(b, dstId_);
-                    const auto sweepBegin = std::chrono::steady_clock::now();
-                    switch (tier_) {
-                        case KernelTier::Generic:
-                            lbm::streamCollideGeneric<M>(
-                                src, dst, op, &forest_.getData<field::FlagField>(b, flagId_),
-                                masks_.fluid);
-                            break;
-                        case KernelTier::D3Q19:
-                            lbm::streamCollideCellList(src, dst, cellLists_[b], op);
-                            break;
-                        case KernelTier::Simd:
-                            lbm::streamCollideIntervals(src, dst, runs_[b], op, simdKernel_);
-                            break;
-                    }
-                    blockSweepSeconds_[b] += std::chrono::duration<double>(
-                                                 std::chrono::steady_clock::now() - sweepBegin)
-                                                 .count();
-                    src.swapDataWith(dst);
-                }
-            }
             steps.inc();
             ++currentStep_;
             if (health_ && health_->policy().checkEvery > 0 &&
@@ -364,6 +411,13 @@ public:
             metrics_.gauge("sim.mlups").set(double(localFluidCells()) * double(numSteps) /
                                             wall.total() / 1e6);
         metrics_.gauge("sim.fluidCells").set(double(localFluidCells()));
+        metrics_.gauge("comm.hidden_seconds").set(commHiddenSeconds_);
+        metrics_.gauge("comm.exposed_seconds").set(commExposedSeconds_);
+        metrics_.gauge("comm.begin_seconds").set(commBeginSeconds_);
+        metrics_.gauge("comm.finish_seconds").set(commFinishSeconds_);
+        const double commTotal = commHiddenSeconds_ + commExposedSeconds_;
+        metrics_.gauge("comm.hidden_fraction")
+            .set(commTotal > 0 ? commHiddenSeconds_ / commTotal : 0.0);
     }
 
     // ---- cross-rank observability (collective calls) ----------------------
@@ -381,8 +435,14 @@ public:
         const obs::ReducedMetrics metrics = reduceMetrics();
         if (comm_.rank() != 0) return;
         const auto it = metrics.gauges.find("sim.mlups");
+        auto gaugeAvg = [&](const char* name, double fallback) {
+            const auto g = metrics.gauges.find(name);
+            return g != metrics.gauges.end() ? g->second.avg() : fallback;
+        };
         obs::printFigure6Report(os, reduced, "communication",
-                                it != metrics.gauges.end() ? it->second.avg() : 0.0);
+                                it != metrics.gauges.end() ? it->second.avg() : 0.0,
+                                gaugeAvg("comm.hidden_seconds", -1.0),
+                                gaugeAvg("comm.exposed_seconds", -1.0));
     }
 
     /// Gathers all ranks' phase traces and writes one Chrome trace_event
@@ -469,6 +529,200 @@ private:
     Vec3 wallVelocity_{0, 0, 0};
     real_t pressureDensity_ = real_c(1);
 
+    static double elapsedSeconds(std::chrono::steady_clock::time_point a,
+                                 std::chrono::steady_clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    }
+
+    /// One fluid sweep of block b restricted to the given run/cell subset
+    /// (whole block, core or shell), dispatched by kernel tier. The Generic
+    /// tier runs its per-cell kernel over the run list — the run lists hold
+    /// exactly the flag-tested fluid cells, so results are bit-identical to
+    /// the whole-interior flag-tested sweep.
+    ///
+    /// `chunk`/`numChunks` select a contiguous slice of the subset (runs for
+    /// the interval tiers, cells for the cell-list tier); the overlapped
+    /// schedule sweeps in several chunks so it can poll for halo arrivals
+    /// between them. The union over all chunks is exactly the full subset,
+    /// and every cell is updated by the same kernel either way.
+    template <typename Op>
+    void sweepSubset(std::size_t b, const lbm::FluidRunList& runs,
+                     const std::vector<Cell>& cells, const Op& op,
+                     std::size_t chunk = 0, std::size_t numChunks = 1) {
+        auto& src = forest_.getData<lbm::PdfField>(b, srcId_);
+        auto& dst = forest_.getData<lbm::PdfField>(b, dstId_);
+        const auto slice = [&](std::size_t n) {
+            return std::pair<std::size_t, std::size_t>{n * chunk / numChunks,
+                                                       n * (chunk + 1) / numChunks};
+        };
+        const auto sweepBegin = std::chrono::steady_clock::now();
+        switch (tier_) {
+            case KernelTier::Generic: {
+                const auto [lo, hi] = slice(runs.runs.size());
+                for (std::size_t i = lo; i < hi; ++i) {
+                    const auto& r = runs.runs[i];
+                    for (cell_idx_t x = r.xBegin; x <= r.xEnd; ++x)
+                        lbm::streamCollideGenericCell<M>(src, dst, x, r.y, r.z, op);
+                }
+                break;
+            }
+            case KernelTier::D3Q19: {
+                const auto [lo, hi] = slice(cells.size());
+                lbm::streamCollideCellList(src, dst, cells.data() + lo, hi - lo, op);
+                break;
+            }
+            case KernelTier::Simd: {
+                const auto [lo, hi] = slice(runs.runs.size());
+                lbm::streamCollideRuns(src, dst, runs.runs.data() + lo, hi - lo, op,
+                                       simdKernel_);
+                break;
+            }
+        }
+        blockSweepSeconds_[b] +=
+            elapsedSeconds(sweepBegin, std::chrono::steady_clock::now());
+    }
+
+    void logExchangeError(const vmpi::CommError& e) {
+        if (e.kind == vmpi::CommError::Kind::DeadlineExceeded)
+            metrics_.counter("comm.deadline_misses").inc();
+        WALB_LOG_ERROR("step " << currentStep_ << ": ghost exchange failed: " << e.what());
+    }
+
+    /// The original blocking schedule: full ghost exchange, then boundary
+    /// handling, then the fluid sweep. All communication time is exposed.
+    template <typename Op>
+    void stepSynchronous(const Op& op) {
+        try {
+            ScopedTimer t(timing_["communication"]);
+            obs::ScopedTrace tr(trace_, "communication");
+            // Local same-rank ghost copies are memory traffic, not exposed
+            // network time — excluded from the exposed gauge in both
+            // schedules so sync and overlap numbers stay comparable.
+            comm_scheme_->copyLocalGhosts();
+            const auto t0 = std::chrono::steady_clock::now();
+            comm_scheme_->packAndPost();
+            comm_scheme_->finishExchange();
+            commExposedSeconds_ += elapsedSeconds(t0, std::chrono::steady_clock::now());
+        } catch (const vmpi::CommError& e) {
+            logExchangeError(e);
+            throw;
+        }
+        {
+            ScopedTimer t(timing_["boundary"]);
+            obs::ScopedTrace tr(trace_, "boundary");
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
+                boundaries_[b]->apply(forest_.getData<lbm::PdfField>(b, srcId_));
+        }
+        {
+            ScopedTimer t(timing_["collideStream"]);
+            obs::ScopedTrace tr(trace_, "collideStream");
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
+                sweepSubset(b, runs_[b], cellLists_[b], op);
+                forest_.getData<lbm::PdfField>(b, srcId_)
+                    .swapDataWith(forest_.getData<lbm::PdfField>(b, dstId_));
+            }
+        }
+    }
+
+    /// The communication-hiding schedule (tentpole of the overlap issue):
+    ///
+    ///   1. beginExchange — local ghost copies, pack + post remote sends,
+    ///      start expecting the halo messages;
+    ///   2. core boundary links + core sweep while halos are in flight,
+    ///      draining arrivals opportunistically between blocks (unpack
+    ///      writes only remote-backed ghost slices, which no core cell
+    ///      reads);
+    ///   3. finishExchange — block for the remaining halos, then shell
+    ///      boundary links (their slots would be clobbered by unpack, and
+    ///      their readers are provably shell cells) and the shell sweep.
+    ///
+    /// src/dst swap happens at the very end: a pull-scheme step only reads
+    /// src and writes dst, and blocks never read each other's fields
+    /// directly, so deferring the per-block swap is bit-exact.
+    ///
+    /// Accounting: exposed = pack/send + blocking-drain time on the
+    /// critical path; hidden = the part of the halo-arrival window
+    /// (beginExchange end -> last arrival) covered by the core sweep.
+    template <typename Op>
+    void stepOverlapped(const Op& op) {
+        std::chrono::steady_clock::time_point beginEnd;
+        double exposed = 0;
+        try {
+            ScopedTimer t(timing_["communication"]);
+            obs::ScopedTrace tr(trace_, "communication");
+            // Local copies excluded from the exposed gauge, as in
+            // stepSynchronous.
+            comm_scheme_->copyLocalGhosts();
+            const auto t0 = std::chrono::steady_clock::now();
+            comm_scheme_->packAndPost();
+            beginEnd = std::chrono::steady_clock::now();
+            exposed += elapsedSeconds(t0, beginEnd);
+            commBeginSeconds_ += elapsedSeconds(t0, beginEnd);
+        } catch (const vmpi::CommError& e) {
+            logExchangeError(e);
+            throw;
+        }
+        auto lastArrival = beginEnd;
+
+        {
+            ScopedTimer t(timing_["boundary"]);
+            obs::ScopedTrace tr(trace_, "boundary");
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
+                boundaries_[b]->applyCore(forest_.getData<lbm::PdfField>(b, srcId_));
+        }
+        {
+            ScopedTimer t(timing_["collideStream"]);
+            obs::ScopedTrace tr(trace_, "collideStream");
+            // Sweep each block's core in chunks, polling for halo arrivals
+            // in between: the earlier an arrival is drained, the more of the
+            // exchange latency the sweep hides.
+            constexpr std::size_t kArrivalPollChunks = 8;
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
+                for (std::size_t chunk = 0; chunk < kArrivalPollChunks; ++chunk) {
+                    sweepSubset(b, coreShellRuns_[b].core, coreShellCells_[b].core, op,
+                                chunk, kArrivalPollChunks);
+                    if (comm_scheme_->exchangeInProgress() &&
+                        comm_scheme_->progress() > 0)
+                        lastArrival = std::chrono::steady_clock::now();
+                }
+            }
+        }
+        try {
+            ScopedTimer t(timing_["communication"]);
+            obs::ScopedTrace tr(trace_, "communication");
+            const bool pendingBefore = comm_scheme_->pendingReceives() > 0;
+            const auto f0 = std::chrono::steady_clock::now();
+            comm_scheme_->finishExchange();
+            const auto f1 = std::chrono::steady_clock::now();
+            if (pendingBefore) lastArrival = f1;
+            const double finishSeconds = elapsedSeconds(f0, f1);
+            exposed += finishSeconds;
+            commFinishSeconds_ += finishSeconds;
+            commHiddenSeconds_ +=
+                std::max(0.0, elapsedSeconds(beginEnd, lastArrival) - finishSeconds);
+        } catch (const vmpi::CommError& e) {
+            logExchangeError(e);
+            throw;
+        }
+        commExposedSeconds_ += exposed;
+
+        {
+            ScopedTimer t(timing_["boundary"]);
+            obs::ScopedTrace tr(trace_, "boundary");
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
+                boundaries_[b]->applyShell(forest_.getData<lbm::PdfField>(b, srcId_));
+        }
+        {
+            ScopedTimer t(timing_["collideStream"]);
+            obs::ScopedTrace tr(trace_, "collideStream");
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
+                sweepSubset(b, coreShellRuns_[b].shell, coreShellCells_[b].shell, op);
+        }
+        for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
+            forest_.getData<lbm::PdfField>(b, srcId_)
+                .swapDataWith(forest_.getData<lbm::PdfField>(b, dstId_));
+    }
+
     /// (Re)creates every per-block datum of the current forest_: PDF fields
     /// (equilibrium-initialized), flag fields (derived through initFlags_),
     /// boundary handlings, fluid runs/cell lists, the ghost-exchange scheme
@@ -497,6 +751,28 @@ private:
             cellLists_.push_back(lbm::buildFluidCellList(flags, masks_.fluid));
             lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, srcId_), 1.0, {0, 0, 0});
             lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, dstId_), 1.0, {0, 0, 0});
+
+            // Split plan for the overlapped schedule (always built — cheap,
+            // and rebalance migrations rebuild it here automatically). A
+            // ghost region backed by a block on *another rank* is filled by
+            // a halo message; everything it feeds is shell.
+            std::array<bool, 26> remote{};
+            for (const auto& n : forest_.blocks()[b].neighbors)
+                if (n.localIndex < 0) remote[lbm::dirIndex26(n.dir)] = true;
+            coreShellRuns_.push_back(
+                lbm::splitFluidRuns<M>(runs_[b], cx, cy, cz, remote));
+            coreShellCells_.push_back(
+                lbm::splitFluidCellList<M>(cellLists_[b], cx, cy, cz, remote));
+            // Boundary links whose boundary cell sits in a remote-backed
+            // ghost slice are overwritten by the unpack: apply them after
+            // finishExchange (their unique readers are shell cells).
+            boundaries_.back()->partitionForOverlap([&](const Cell& c) {
+                const std::array<int, 3> g = {c.x < 0 ? -1 : (c.x >= cx ? 1 : 0),
+                                              c.y < 0 ? -1 : (c.y >= cy ? 1 : 0),
+                                              c.z < 0 ? -1 : (c.z >= cz ? 1 : 0)};
+                if (g[0] == 0 && g[1] == 0 && g[2] == 0) return false;
+                return remote[lbm::dirIndex26(g)];
+            });
         }
         comm_scheme_ = std::make_unique<PdfCommScheme>(forest_, comm_, srcId_);
         blockSweepSeconds_.assign(forest_.blocks().size(), 0.0);
@@ -512,6 +788,13 @@ private:
     std::vector<std::unique_ptr<lbm::BoundaryHandling<M>>> boundaries_;
     std::vector<lbm::FluidRunList> runs_;
     std::vector<std::vector<Cell>> cellLists_;
+    std::vector<lbm::CoreShellRuns> coreShellRuns_;
+    std::vector<lbm::CoreShellCells> coreShellCells_;
+    bool overlap_ = false;
+    double commHiddenSeconds_ = 0.0;
+    double commExposedSeconds_ = 0.0;
+    double commBeginSeconds_ = 0.0;  ///< pack + send posting (overlap mode)
+    double commFinishSeconds_ = 0.0; ///< blocking drain (overlap mode)
     lbm::KernelD3Q19Simd<> simdKernel_;
     std::unique_ptr<PdfCommScheme> comm_scheme_;
     TimingPool timing_;

@@ -20,6 +20,17 @@
 ///   * KillRank  — beginStep(k) throws CommError{RankKilled} on the doomed
 ///                 rank, simulating a node loss at time step k.
 ///
+/// Orthogonal to the per-message plan, setMessageLatency() models a *slow
+/// serial link* (store-and-forward): each outgoing message occupies the
+/// link for the configured duration, and a message can only start
+/// transmitting once the previous one has been delivered — a burst of N
+/// messages therefore takes N×latency to drain, exactly like back-to-back
+/// frames on a congested wire. Delivery is strictly FIFO per instance (one
+/// queue, monotonically increasing due times), so the per-(dest, tag)
+/// message order the LBM exchange relies on is preserved — latency can
+/// shift communication time between the hidden and exposed buckets of the
+/// overlapped schedule, but can never change results.
+///
 /// Plans are either written explicitly or generated from a seed
 /// (FaultPlan::randomized), so every failure scenario is replayable
 /// bit-for-bit. Injections are counted per instance and, when a
@@ -27,7 +38,11 @@
 /// `comm.faults_injected`.
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/Random.h"
@@ -117,8 +132,47 @@ public:
           matchCounts_(plan.messageFaults.size(), 0),
           metrics_(metrics) {}
 
+    ~FaultyComm() override {
+        if (deliveryThread_.joinable()) {
+            {
+                std::lock_guard<std::mutex> lk(latentMutex_);
+                stopDelivery_ = true;
+            }
+            latentCv_.notify_all();
+            // The delivery loop ships every still-queued message (in order,
+            // without further waiting) before exiting — nothing is lost.
+            deliveryThread_.join();
+        }
+    }
+
     int rank() const override { return inner_.rank(); }
     int size() const override { return inner_.size(); }
+
+    /// Makes every subsequent outgoing message occupy a simulated serial
+    /// link for `latency` of wall-clock time before delivery to the wrapped
+    /// comm; queued messages transmit one after another (store-and-forward
+    /// slow-link model). Pass zero to restore immediate delivery.
+    /// Order-preserving; see the file comment.
+    void setMessageLatency(std::chrono::microseconds latency) {
+        flushLatent();
+        {
+            std::lock_guard<std::mutex> lk(latentMutex_);
+            latency_ = latency;
+        }
+        if (latency.count() > 0 && !deliveryThread_.joinable())
+            deliveryThread_ = std::thread([this] { deliveryLoop(); });
+    }
+
+    std::chrono::microseconds messageLatency() const {
+        std::lock_guard<std::mutex> lk(latentMutex_);
+        return latency_;
+    }
+
+    /// Blocks until every latency-held message has been delivered.
+    void flushLatent() {
+        std::unique_lock<std::mutex> lk(latentMutex_);
+        latentDrainedCv_.wait(lk, [&] { return latent_.empty(); });
+    }
 
     /// Forwards the deadline to the wrapped comm (recv() delegates there).
     void setRecvDeadline(std::chrono::milliseconds deadline) override {
@@ -148,7 +202,7 @@ public:
         const std::size_t preExisting = delayed_.size();
         const FaultPlan::MessageFault* fault = matchNext(dest, tag);
         if (!fault) {
-            inner_.send(dest, tag, std::move(data));
+            forward(dest, tag, std::move(data));
         } else {
             switch (fault->action) {
                 case FaultPlan::Action::Drop:
@@ -164,14 +218,14 @@ public:
                 case FaultPlan::Action::Duplicate:
                     ++counts_.duplicated;
                     noteInjection("duplicate");
-                    inner_.send(dest, tag, data);
-                    inner_.send(dest, tag, std::move(data));
+                    forward(dest, tag, data);
+                    forward(dest, tag, std::move(data));
                     break;
                 case FaultPlan::Action::Truncate: {
                     ++counts_.truncated;
                     noteInjection("truncate");
                     data.resize(std::min(data.size(), fault->truncateToBytes));
-                    inner_.send(dest, tag, std::move(data));
+                    forward(dest, tag, std::move(data));
                     break;
                 }
             }
@@ -179,17 +233,27 @@ public:
         tickDelayed(preExisting);
     }
 
+    /// Receive paths first ship any of this rank's *own* latency-held
+    /// messages that are already due — progress piggybacks on communication
+    /// calls, exactly like an MPI library progressing its send queue inside
+    /// MPI_Test/MPI_Recv. Without this, a compute-saturated machine would
+    /// stretch the injected latency by scheduler wakeup delays of the
+    /// background delivery thread.
     std::vector<std::uint8_t> recv(int src, int tag) override {
+        deliverDueLatent();
         return inner_.recv(src, tag);
     }
     bool tryRecv(int src, int tag, std::vector<std::uint8_t>& out) override {
+        deliverDueLatent();
         return inner_.tryRecv(src, tag, out);
     }
 
     /// Collectives pass through unchanged; barrier() additionally flushes
-    /// any still-delayed messages (a barrier orders everything anyway).
+    /// any still-delayed and latency-held messages (a barrier orders
+    /// everything anyway).
     void barrier() override {
         flushDelayed();
+        flushLatent();
         inner_.barrier();
     }
     void broadcast(std::vector<std::uint8_t>& data, int root) override {
@@ -215,7 +279,7 @@ public:
         while (!delayed_.empty()) {
             auto msg = std::move(delayed_.front());
             delayed_.pop_front();
-            inner_.send(msg.dest, msg.tag, std::move(msg.data));
+            forward(msg.dest, msg.tag, std::move(msg.data));
         }
     }
 
@@ -260,7 +324,65 @@ private:
                 ++i;
             }
         }
-        for (auto& msg : release) inner_.send(msg.dest, msg.tag, std::move(msg.data));
+        for (auto& msg : release) forward(msg.dest, msg.tag, std::move(msg.data));
+    }
+
+    /// Final delivery hop: immediate when no latency is configured,
+    /// otherwise the message joins the FIFO latency queue. The link is
+    /// serial: transmission starts at max(now, link-free time) and takes
+    /// `latency_`, so due times are monotonically increasing — messages to
+    /// the same (dest, tag) can never overtake each other.
+    void forward(int dest, int tag, std::vector<std::uint8_t> data) {
+        std::unique_lock<std::mutex> lk(latentMutex_);
+        if (latency_.count() == 0 && latent_.empty()) {
+            lk.unlock();
+            inner_.send(dest, tag, std::move(data));
+            return;
+        }
+        const auto start = std::max(std::chrono::steady_clock::now(), linkFreeAt_);
+        const auto due = start + latency_;
+        linkFreeAt_ = due;
+        latent_.push_back({dest, tag, std::move(data), due});
+        latentCv_.notify_one();
+    }
+
+    /// Ships every queue-front message whose due time has passed. The lock
+    /// is held across pop + inner send so the background loop and the
+    /// opportunistic receive-path delivery can never reorder the FIFO
+    /// (ThreadComm::send is a non-blocking mailbox push, so holding the
+    /// latency lock across it is safe).
+    void deliverDueLatent() {
+        std::lock_guard<std::mutex> lk(latentMutex_);
+        const bool hadLatent = !latent_.empty();
+        const auto now = std::chrono::steady_clock::now();
+        while (!latent_.empty() && latent_.front().due <= now) {
+            auto msg = std::move(latent_.front());
+            latent_.pop_front();
+            inner_.send(msg.dest, msg.tag, std::move(msg.data));
+        }
+        if (hadLatent && latent_.empty()) latentDrainedCv_.notify_all();
+    }
+
+    /// Background delivery loop: pops the (unique, FIFO) queue front once
+    /// its due time passes and ships it to the wrapped comm. On shutdown
+    /// the remaining queue is shipped immediately, still in order.
+    void deliveryLoop() {
+        std::unique_lock<std::mutex> lk(latentMutex_);
+        for (;;) {
+            latentCv_.wait(lk, [&] { return stopDelivery_ || !latent_.empty(); });
+            if (latent_.empty()) return; // only reachable when stopping
+            if (!stopDelivery_) {
+                const auto due = latent_.front().due;
+                if (std::chrono::steady_clock::now() < due) {
+                    latentCv_.wait_until(lk, due);
+                    continue; // re-evaluate: stop flag may have been raised
+                }
+            }
+            auto msg = std::move(latent_.front());
+            latent_.pop_front();
+            inner_.send(msg.dest, msg.tag, std::move(msg.data));
+            if (latent_.empty()) latentDrainedCv_.notify_all();
+        }
     }
 
     void noteInjection(const char* what) {
@@ -268,12 +390,30 @@ private:
         if (metrics_) metrics_->counter("comm.faults_injected").inc();
     }
 
+    struct LatentMessage {
+        int dest;
+        int tag;
+        std::vector<std::uint8_t> data;
+        std::chrono::steady_clock::time_point due;
+    };
+
     Comm& inner_;
     FaultPlan plan_;
     std::vector<std::uint64_t> matchCounts_;
     std::deque<DelayedMessage> delayed_;
     FaultCounts counts_;
     obs::MetricsRegistry* metrics_;
+
+    mutable std::mutex latentMutex_;
+    std::condition_variable latentCv_;
+    std::condition_variable latentDrainedCv_;
+    std::deque<LatentMessage> latent_;
+    std::chrono::microseconds latency_{0};
+    /// When the simulated serial link finishes its current transmission;
+    /// the next queued message starts no earlier than this.
+    std::chrono::steady_clock::time_point linkFreeAt_{};
+    std::thread deliveryThread_;
+    bool stopDelivery_ = false;
 };
 
 } // namespace walb::vmpi
