@@ -140,6 +140,9 @@ RealRunRecord realRun(const geometry::DistanceFunction& phi, int ranks, bool ove
     vmpi::ThreadCommWorld::launch(ranks, [&](vmpi::Comm& comm) {
         sim::DistributedSimulation simulation(comm, search.forest, flagInit);
         simulation.setOverlapCommunication(overlap);
+        // ECM reference for the live model-vs-measured gauges
+        // (perf.predicted_mlups / perf.efficiency in the exported metrics).
+        simulation.setPerfReference(EcmModel(superMUCSocket()).singleCoreMLUPS());
         uint_t steps = 20;
         if (ckptOpt.any()) {
             // Checkpoint/restart contract (see sim/Checkpoint.h): restart,
@@ -274,6 +277,12 @@ int main(int argc, char** argv) {
                 };
                 w.kv("bytes_sent", counterSum("comm.bytesSent"));
                 w.kv("bytes_received", counterSum("comm.bytesReceived"));
+                auto gaugeAvg = [&](const char* name) -> double {
+                    auto it = r.metrics.gauges.find(name);
+                    return it == r.metrics.gauges.end() ? 0.0 : it->second.avg();
+                };
+                w.kv("perf.predicted_mlups", gaugeAvg("perf.predicted_mlups"));
+                w.kv("perf.efficiency", gaugeAvg("perf.efficiency"));
                 w.key("phases");
                 obs::writePhasesJson(w, r.phases);
                 w.endObject();

@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
         double stepsPerSecond = 0;
         std::uint64_t blocks = 0;
         unsigned blockEdge = 0;
+        double ecmEfficiency = 0; ///< per-core rate vs the ECM single-core bound
     };
     std::vector<ExportPoint> exportPoints;
 
@@ -206,11 +207,17 @@ int main(int argc, char** argv) {
                             (unsigned long long)best.candidate->blocks,
                             double(best.candidate->blocks) / double(coreCounts[i]),
                             best.candidate->blockEdge);
+                // Strong-scaling efficiency against the socket's ECM bound:
+                // the decay of this ratio with the core count is Figure 8's
+                // central statement (per-block overhead eats the per-core
+                // rate as blocks shrink).
+                const double eff = EcmModel(mc.machine)
+                                       .efficiency(best.point.mlupsPerCore);
                 exportPoints.push_back({mc.machine.name, c.name, coreCounts[i],
                                         best.point.mlupsPerCore,
                                         best.point.timeStepsPerSecond,
                                         std::uint64_t(best.candidate->blocks),
-                                        unsigned(best.candidate->blockEdge)});
+                                        unsigned(best.candidate->blockEdge), eff});
             }
         }
     }
@@ -240,6 +247,7 @@ int main(int argc, char** argv) {
                 w.kv("mlups_per_core", p.mlupsPerCore);
                 w.kv("steps_per_second", p.stepsPerSecond);
                 w.kv("blocks", p.blocks).kv("block_edge", std::uint64_t(p.blockEdge));
+                w.kv("ecm_efficiency", p.ecmEfficiency);
                 w.endObject();
             }
             w.endArray();

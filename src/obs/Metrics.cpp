@@ -109,6 +109,7 @@ void writeHistogram(json::Writer& w, const Histogram& h) {
     w.endArray();
     w.kv("sum", h.sum()).kv("count", h.count());
     w.kv("min", h.min()).kv("max", h.max());
+    w.kv("p50", h.quantile(0.50)).kv("p95", h.quantile(0.95)).kv("p99", h.quantile(0.99));
     w.endObject();
 }
 

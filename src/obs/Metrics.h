@@ -15,6 +15,7 @@
 ///     obs::Counter& steps = registry.counter("sim.steps");
 ///     ... per step: steps.inc();
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -62,7 +63,7 @@ private:
 /// the last edge. Also tracks sum/count/min/max of all samples.
 class Histogram {
 public:
-    Histogram() = default; // single overflow bucket only
+    Histogram() : counts_(1, 0) {} // single overflow bucket only
     explicit Histogram(std::vector<double> upperEdges) : edges_(std::move(upperEdges)) {
         for (std::size_t i = 1; i < edges_.size(); ++i)
             WALB_ASSERT(edges_[i - 1] < edges_[i], "histogram edges must increase");
@@ -70,7 +71,6 @@ public:
     }
 
     void record(double x) {
-        if (counts_.empty()) counts_.assign(1, 0);
         std::size_t b = 0;
         while (b < edges_.size() && x > edges_[b]) ++b;
         ++counts_[b];
@@ -82,16 +82,37 @@ public:
 
     const std::vector<double>& edges() const { return edges_; }
     /// Per-bucket counts; size edges().size() + 1, last entry = overflow.
-    const std::vector<std::uint64_t>& counts() const {
-        if (counts_.empty()) counts_.assign(edges_.size() + 1, 0);
-        return counts_;
-    }
-    std::uint64_t overflow() const { return counts().back(); }
+    const std::vector<std::uint64_t>& counts() const { return counts_; }
+    std::uint64_t overflow() const { return counts_.back(); }
     double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
     double average() const { return count_ ? sum_ / double(count_) : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
+
+    /// Quantile estimate (q in [0,1]) by linear interpolation within the
+    /// bucket holding the q-th sample. The first bucket's lower bound and
+    /// the overflow bucket's upper bound are taken from the observed
+    /// min/max, so estimates are always within [min(), max()]. Exact for
+    /// min/max; within one bucket width otherwise.
+    double quantile(double q) const {
+        if (count_ == 0) return 0.0;
+        if (q <= 0.0) return min();
+        if (q >= 1.0) return max();
+        const double target = q * double(count_);
+        double cum = 0;
+        for (std::size_t b = 0; b < counts_.size(); ++b) {
+            const double c = double(counts_[b]);
+            if (c > 0 && cum + c >= target) {
+                double lo = b == 0 ? min_ : std::max(edges_[b - 1], min_);
+                double hi = b < edges_.size() ? std::min(edges_[b], max_) : max_;
+                if (hi < lo) hi = lo;
+                return lo + (hi - lo) * ((target - cum) / c);
+            }
+            cum += c;
+        }
+        return max();
+    }
 
     /// Bucket-wise merge of another histogram with identical edges.
     void merge(const Histogram& other) {
@@ -106,9 +127,9 @@ public:
     /// aggregates, not samples). `mn`/`mx` are ignored when `count` == 0.
     void mergeAggregate(const std::vector<std::uint64_t>& bucketCounts, double sampleSum,
                         std::uint64_t sampleCount, double mn, double mx) {
-        auto& ours = const_cast<std::vector<std::uint64_t>&>(counts());
-        WALB_ASSERT(bucketCounts.size() == ours.size(), "histogram bucket-count mismatch");
-        for (std::size_t i = 0; i < ours.size(); ++i) ours[i] += bucketCounts[i];
+        WALB_ASSERT(bucketCounts.size() == counts_.size(),
+                    "histogram bucket-count mismatch");
+        for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += bucketCounts[i];
         sum_ += sampleSum;
         count_ += sampleCount;
         if (sampleCount > 0) {
@@ -119,7 +140,7 @@ public:
 
 private:
     std::vector<double> edges_;
-    mutable std::vector<std::uint64_t> counts_;
+    std::vector<std::uint64_t> counts_;
     double sum_ = 0.0;
     std::uint64_t count_ = 0;
     double min_ = std::numeric_limits<double>::max();

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/Buffer.h"
+#include "obs/Metrics.h"
 #include "vmpi/Comm.h"
 
 namespace walb::obs {
@@ -84,7 +85,8 @@ void ReducedTimingPool::print(std::ostream& os) const {
 
 void printFigure6Report(std::ostream& os, const ReducedTimingPool& reduced,
                         const std::string& commPhase, double mlupsPerRank,
-                        double commHiddenSeconds, double commExposedSeconds) {
+                        double commHiddenSeconds, double commExposedSeconds,
+                        const Histogram* stepSeconds) {
     os << "-- per-phase timings reduced over " << reduced.worldSize << " rank"
        << (reduced.worldSize == 1 ? "" : "s") << " " << std::string(28, '-') << '\n';
     reduced.print(os);
@@ -100,6 +102,13 @@ void printFigure6Report(std::ostream& os, const ReducedTimingPool& reduced,
     }
     if (mlupsPerRank > 0.0) {
         os << std::setprecision(2) << "MLUP/s per rank: " << mlupsPerRank << '\n';
+    }
+    if (stepSeconds && stepSeconds->count() > 0) {
+        os << std::scientific << std::setprecision(3) << "step seconds (all ranks): p50 "
+           << stepSeconds->quantile(0.50) << "  p95 " << stepSeconds->quantile(0.95)
+           << "  p99 " << stepSeconds->quantile(0.99) << "  max " << stepSeconds->max()
+           << '\n';
+        os.unsetf(std::ios::scientific);
     }
     os.unsetf(std::ios::fixed);
 }

@@ -19,6 +19,8 @@ class Comm;
 
 namespace walb::obs {
 
+class Histogram;
+
 /// Per-phase statistics across all ranks.
 struct ReducedTimer {
     double totalMin = 0;  ///< smallest per-rank total [s]
@@ -72,10 +74,14 @@ ReducedTimingPool reduceTimingPool(vmpi::Comm& comm, const TimingPool& pool);
 /// is printed alongside, mirroring the figure's left axis. When
 /// `commHiddenSeconds` >= 0 a communication-hiding line is added: how much
 /// of the ghost-exchange latency the overlapped schedule covered with the
-/// core sweep (hidden) vs. left on the critical path (exposed).
+/// core sweep (hidden) vs. left on the critical path (exposed). When a
+/// (typically cross-rank reduced) step-seconds histogram is given, its
+/// p50/p95/p99 are printed as a tail-latency line — the quick answer to
+/// "was the run steady or did stragglers stretch the tail?".
 void printFigure6Report(std::ostream& os, const ReducedTimingPool& reduced,
                         const std::string& commPhase = "communication",
                         double mlupsPerRank = 0.0, double commHiddenSeconds = -1.0,
-                        double commExposedSeconds = -1.0);
+                        double commExposedSeconds = -1.0,
+                        const Histogram* stepSeconds = nullptr);
 
 } // namespace walb::obs

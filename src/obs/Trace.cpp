@@ -42,12 +42,31 @@ std::vector<TraceEvent> TraceRecorder::gather(vmpi::Comm& comm, const TraceRecor
     return out;
 }
 
+std::uint64_t TraceRecorder::gatherDropped(vmpi::Comm& comm, const TraceRecorder& local) {
+    SendBuffer sb;
+    sb << std::uint64_t(local.dropped_);
+    const auto all = comm.allgatherv(std::span<const std::uint8_t>(sb.data(), sb.size()));
+    std::uint64_t total = 0;
+    for (const auto& bytes : all) {
+        RecvBuffer rb(bytes);
+        std::uint64_t d = 0;
+        rb >> d;
+        total += d;
+    }
+    return total;
+}
+
 void TraceRecorder::writeChromeJson(std::ostream& os, const std::vector<TraceEvent>& events,
-                                    const std::string& processName) {
+                                    const std::string& processName,
+                                    std::uint64_t droppedEvents) {
     json::Writer w(os);
     w.beginObject();
     w.kv("displayTimeUnit", "ms");
-    w.key("otherData").beginObject().kv("framework", processName).endObject();
+    w.key("otherData")
+        .beginObject()
+        .kv("framework", processName)
+        .kv("droppedEvents", droppedEvents)
+        .endObject();
     w.key("traceEvents").beginArray();
 
     // One thread_name metadata record per rank so chrome://tracing labels

@@ -83,10 +83,18 @@ public:
     /// order; the full timeline is returned on all ranks.
     static std::vector<TraceEvent> gather(vmpi::Comm& comm, const TraceRecorder& local);
 
+    /// Collective: total dropped-event count over all ranks' recorders, so
+    /// an exported trace can carry an honest completeness marker.
+    static std::uint64_t gatherDropped(vmpi::Comm& comm, const TraceRecorder& local);
+
     /// Writes events as a Chrome trace_event JSON document (one complete
     /// "X" event per TraceEvent, tid = rank, plus thread_name metadata).
+    /// `droppedEvents` is recorded in otherData so consumers (and
+    /// `walb_tracecat --stats`) can tell a complete timeline from a capped
+    /// one.
     static void writeChromeJson(std::ostream& os, const std::vector<TraceEvent>& events,
-                                const std::string& processName = "walb");
+                                const std::string& processName = "walb",
+                                std::uint64_t droppedEvents = 0);
 
 private:
     struct Open {

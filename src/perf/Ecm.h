@@ -75,6 +75,16 @@ public:
 
     double frequencyGHz() const { return freq_; }
 
+    /// Measured-vs-model ratio behind the live `perf.efficiency` gauge
+    /// (fed through `DistributedSimulation::setPerfReference`): measured
+    /// MLUPS over the prediction for this core count. 1.0 = the run hits
+    /// the ECM prediction exactly; the virtual-rank drills sit well below
+    /// because the ranks timeshare one socket.
+    double efficiency(double measuredMLUPS, unsigned cores = 1) const {
+        const double predicted = predictMLUPS(cores);
+        return predicted > 0 ? measuredMLUPS / predicted : 0.0;
+    }
+
     /// Core-hour energy proxy: dynamic power ~ f^3 contribution on top of
     /// static power; used for the paper's "25% less energy at 1.6 GHz"
     /// estimate. Returns energy per cell update relative to running the

@@ -19,8 +19,26 @@ void Rebalancer::install() {
 
 void Rebalancer::maybeRebalance(std::uint64_t step) {
     if (!opt_.any() || step == 0 || step % opt_.every != 0) return;
-    model_.recordEpoch(sim_.forest(), sim_.blockSweepSeconds());
+    // The LoadModel is fed from the flight recorder's StepSamples: the
+    // recorder's collideSeconds sum over this epoch's window is the rank's
+    // authoritative sweep time (the same clock every other diagnostic uses).
+    // The ad-hoc per-block accumulators only provide the *proportions*
+    // between this rank's blocks — their sum is rescaled onto the recorder's
+    // time base. Falls back to the raw accumulators when the ring no longer
+    // covers the whole epoch (tiny capacity or very long epochs).
+    std::vector<double> sweepSeconds = sim_.blockSweepSeconds();
+    bool windowComplete = false;
+    const double recorded =
+        sim_.flightRecorder().collideSecondsSince(lastEpochStep_, &windowComplete);
+    double accumulated = 0.0;
+    for (double s : sweepSeconds) accumulated += s;
+    if (windowComplete && recorded > 0.0 && accumulated > 0.0) {
+        const double scale = recorded / accumulated;
+        for (double& s : sweepSeconds) s *= scale;
+    }
+    model_.recordEpoch(sim_.forest(), sweepSeconds);
     sim_.resetBlockSweepSeconds();
+    lastEpochStep_ = step;
     const std::vector<double> weights = model_.gatherGlobal(sim_.comm(), sim_.setup());
     runEpoch(step, weights);
 }

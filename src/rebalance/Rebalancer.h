@@ -89,6 +89,7 @@ private:
     std::unique_ptr<RebalancePolicy> policy_;
     std::vector<EpochRecord> history_;
     double cumulativeSeconds_ = 0.0;
+    std::uint64_t lastEpochStep_ = 0; ///< flight-recorder window start (step index)
 };
 
 } // namespace walb::rebalance

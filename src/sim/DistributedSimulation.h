@@ -16,6 +16,7 @@
 /// A TimingPool records communication vs. compute time — the quantity
 /// behind the "% MPI communication" curves of Figure 6.
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -29,7 +30,9 @@
 #include "lbm/KernelD3Q19Simd.h"
 #include "lbm/KernelGeneric.h"
 #include "lbm/Sparse.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
+#include "obs/PerfDiag.h"
 #include "obs/TimingReduction.h"
 #include "obs/Trace.h"
 #include "sim/Checkpoint.h"
@@ -224,7 +227,19 @@ public:
           forest_(setup_, std::uint32_t(comm.rank())), tier_(tier) {
         buildBlockData();
         trace_.setRank(comm.rank());
+        // Last-breath diagnostics: when a CommError surfaces on this rank
+        // (deadline miss, corrupt payload, killed rank), dump the flight
+        // recorder before the error unwinds — the telemetry survives even
+        // when a caller absorbs the exception.
+        comm_.setErrorObserver([this](const vmpi::CommError& e) {
+            if (errorDumped_) return;
+            errorDumped_ = true;
+            dumpFlightRecorder(std::string("comm-error: ") +
+                               vmpi::CommError::kindName(e.kind));
+        });
     }
+
+    ~DistributedSimulation() { comm_.setErrorObserver(nullptr); }
 
     /// The global setup structure this simulation was built from. The stored
     /// copy tracks live migrations: applyBlockAssignment() updates its
@@ -322,8 +337,79 @@ public:
     /// on all ranks (see sim/Health.h).
     void attachHealthMonitor(const HealthPolicy& policy) {
         health_ = std::make_unique<HealthMonitor>(policy);
+        health_->setViolationHook(
+            [this](const HealthReport&) { dumpFlightRecorder("health-violation"); });
     }
     HealthMonitor* healthMonitor() { return health_.get(); }
+
+    // ---- flight recorder & live performance diagnostics -------------------
+
+    /// Per-step telemetry ring, always recording (see obs/FlightRecorder.h).
+    obs::FlightRecorder& flightRecorder() { return flight_; }
+    const obs::FlightRecorder& flightRecorder() const { return flight_; }
+
+    /// Filename prefix of `.wfr` dumps (default "walb"): rank N writes
+    /// `<prefix>.rank<N>.wfr`.
+    void setFlightRecorderDumpPrefix(const std::string& prefix) {
+        flightDumpPrefix_ = prefix;
+    }
+    const std::string& flightRecorderDumpPrefix() const { return flightDumpPrefix_; }
+
+    /// Dumps this rank's flight-recorder history to
+    /// `<prefix>.rank<rank>.wfr`. Runs automatically when a CommError
+    /// surfaces on this rank or the health monitor aborts; callable any time
+    /// for a voluntary snapshot. Not collective. Returns the written path,
+    /// empty on IO failure.
+    std::string dumpFlightRecorder(const std::string& reason) {
+        const std::string path =
+            flightDumpPrefix_ + ".rank" + std::to_string(comm_.rank()) + ".wfr";
+        std::string err;
+        if (!flight_.dump(path, comm_.rank(), comm_.size(), &err)) {
+            WALB_LOG_ERROR("flight recorder dump to '" << path << "' failed: " << err);
+            return "";
+        }
+        WALB_LOG_INFO("flight recorder dumped to '" << path << "' (" << flight_.size()
+                                                    << " samples, reason: " << reason
+                                                    << ")");
+        return path;
+    }
+
+    /// Straggler-detection knobs; see obs::StragglerDetector for the model.
+    struct StragglerOptions {
+        std::uint64_t detectEvery = 5; ///< steps between collective epochs
+        double alpha = 0.3;            ///< EWMA weight of the newest step
+        double relThreshold = 1.5;     ///< flag at this multiple of the median
+        double madK = 3.0;             ///< and this many MAD-sigmas above it
+    };
+
+    /// Turns on periodic collective straggler detection inside run(). Off by
+    /// default: each epoch allgathers one double per rank, and a collective
+    /// would deadlock worlds where a rank can die mid-run — fault drills
+    /// keep it off and read the flight-recorder dumps post mortem instead.
+    void enableStragglerDetection(const StragglerOptions& opt) {
+        stragglerOptions_ = opt;
+        straggler_ = obs::StragglerDetector(opt.alpha, opt.relThreshold, opt.madK);
+        stragglerEnabled_ = true;
+    }
+    void enableStragglerDetection() { enableStragglerDetection(StragglerOptions{}); }
+    const obs::StragglerDetector& stragglerDetector() const { return straggler_; }
+    /// Verdict of the most recent detection epoch (default before the first).
+    const obs::StragglerVerdict& lastStragglerVerdict() const {
+        return lastStragglerVerdict_;
+    }
+    /// First step at which any rank was flagged as a straggler; -1 if never.
+    std::int64_t firstStragglerDetectedStep() const { return firstStragglerStep_; }
+
+    /// Model-vs-measured wiring: this rank's ECM/machine-model MLUP/s
+    /// prediction (see perf/Ecm.h). When > 0, run() exports the
+    /// `perf.predicted_mlups` and `perf.efficiency` gauges alongside the
+    /// measured `sim.mlups`.
+    void setPerfReference(double predictedMlups) { perfReferenceMlups_ = predictedMlups; }
+
+    /// Artificial per-step compute load (busy spin inside the sweep phase) —
+    /// the lever behind straggler drills and rebalance experiments. Zero
+    /// disables.
+    void setSweepThrottle(std::chrono::microseconds perStep) { sweepThrottle_ = perStep; }
 
     /// Boundary parameters are stored here as well as pushed into the live
     /// boundary handlings: applyBlockAssignment() rebuilds the handlings
@@ -384,6 +470,12 @@ public:
         obs::Counter& bytesRecv = metrics_.counter("comm.bytesReceived");
         obs::Counter& msgsSent = metrics_.counter("comm.messagesSent");
         obs::Counter& msgsRecv = metrics_.counter("comm.messagesReceived");
+        obs::Histogram& stepSecondsHist = metrics_.histogram(
+            "sim.step_seconds", obs::logHistogramEdges(1e-6, 10.0, 4));
+        // Timer handles are stable for the pool's lifetime (node-based map),
+        // so the per-step phase deltas below cost two subtractions.
+        Timer& boundaryTimer = timing_["boundary"];
+        Timer& collideTimer = timing_["collideStream"];
 
         Timer wall;
         wall.start();
@@ -393,15 +485,45 @@ public:
             // migration), so per-step state is re-read below, never cached
             // across iterations.
             if (stepHook_) stepHook_(currentStep_);
+            const double boundary0 = boundaryTimer.total();
+            const double collide0 = collideTimer.total();
+            const auto step0 = std::chrono::steady_clock::now();
             if (overlap_) stepOverlapped(op);
             else stepSynchronous(op);
+            const double stepSeconds =
+                elapsedSeconds(step0, std::chrono::steady_clock::now());
             const vmpi::BufferSystem& bs = comm_scheme_->bufferSystem();
             bytesSent.inc(bs.lastSendBytes());
             bytesRecv.inc(bs.lastRecvBytes());
             msgsSent.inc(bs.lastSendMessages());
             msgsRecv.inc(bs.lastRecvMessages());
             steps.inc();
+
+            obs::StepSample sample;
+            sample.step = currentStep_;
+            sample.collideSeconds = collideTimer.total() - collide0;
+            sample.shellSeconds = stepShellSeconds_;
+            sample.boundarySeconds = boundaryTimer.total() - boundary0;
+            sample.packSeconds = stepPackSeconds_;
+            sample.exchangeSeconds = stepExchangeSeconds_;
+            sample.totalSeconds = stepSeconds;
+            sample.mlups =
+                stepSeconds > 0 ? double(localFluidCells()) / stepSeconds / 1e6 : 0.0;
+            sample.imbalance = straggler_.lastImbalance();
+            sample.bytesMoved = bs.lastSendBytes() + bs.lastRecvBytes();
+            sample.messages = bs.lastSendMessages() + bs.lastRecvMessages();
+            flight_.record(sample);
+            stepSecondsHist.record(stepSeconds);
+            // The detector smooths this rank's *work* share, not the whole
+            // step: bulk-synchronous stepping equalizes total step times (a
+            // slow rank surfaces as exchange wait on every fast rank), so
+            // only the non-wait share separates a straggler from its fleet.
+            straggler_.record(std::max(stepSeconds - stepExchangeSeconds_, 0.0));
+
             ++currentStep_;
+            if (stragglerEnabled_ && stragglerOptions_.detectEvery > 0 &&
+                currentStep_ % stragglerOptions_.detectEvery == 0)
+                detectStragglers();
             if (health_ && health_->policy().checkEvery > 0 &&
                 currentStep_ % health_->policy().checkEvery == 0)
                 health_->check(*this, currentStep_);
@@ -418,6 +540,11 @@ public:
         const double commTotal = commHiddenSeconds_ + commExposedSeconds_;
         metrics_.gauge("comm.hidden_fraction")
             .set(commTotal > 0 ? commHiddenSeconds_ / commTotal : 0.0);
+        if (perfReferenceMlups_ > 0.0) {
+            metrics_.gauge("perf.predicted_mlups").set(perfReferenceMlups_);
+            metrics_.gauge("perf.efficiency")
+                .set(metrics_.gauge("sim.mlups").value() / perfReferenceMlups_);
+        }
     }
 
     // ---- cross-rank observability (collective calls) ----------------------
@@ -439,10 +566,13 @@ public:
             const auto g = metrics.gauges.find(name);
             return g != metrics.gauges.end() ? g->second.avg() : fallback;
         };
+        const auto hist = metrics.histograms.find("sim.step_seconds");
         obs::printFigure6Report(os, reduced, "communication",
                                 it != metrics.gauges.end() ? it->second.avg() : 0.0,
                                 gaugeAvg("comm.hidden_seconds", -1.0),
-                                gaugeAvg("comm.exposed_seconds", -1.0));
+                                gaugeAvg("comm.exposed_seconds", -1.0),
+                                hist != metrics.histograms.end() ? &hist->second
+                                                                 : nullptr);
     }
 
     /// Gathers all ranks' phase traces and writes one Chrome trace_event
@@ -450,10 +580,11 @@ public:
     /// returns success on rank 0, true elsewhere.
     bool writeChromeTrace(const std::string& path) {
         const auto events = obs::TraceRecorder::gather(comm_, trace_);
+        const std::uint64_t dropped = obs::TraceRecorder::gatherDropped(comm_, trace_);
         if (comm_.rank() != 0) return true;
         std::ofstream os(path, std::ios::binary);
         if (!os) return false;
-        obs::TraceRecorder::writeChromeJson(os, events);
+        obs::TraceRecorder::writeChromeJson(os, events, "walb", dropped);
         return bool(os);
     }
 
@@ -582,6 +713,40 @@ private:
             elapsedSeconds(sweepBegin, std::chrono::steady_clock::now());
     }
 
+    /// One collective straggler-detection epoch (enableStragglerDetection):
+    /// allgathers the per-rank step-time EWMAs, publishes the verdict as
+    /// gauges and drops a zero-length trace marker when anyone is flagged.
+    void detectStragglers() {
+        if (!straggler_.hasSample()) return;
+        lastStragglerVerdict_ = straggler_.detect(comm_, currentStep_);
+        const obs::StragglerVerdict& v = lastStragglerVerdict_;
+        metrics_.gauge("perf.straggler_ranks").set(double(v.stragglers.size()));
+        metrics_.gauge("perf.step_seconds_ewma").set(straggler_.ewma());
+        metrics_.gauge("perf.fleet_median_step_seconds").set(v.median);
+        metrics_.gauge("perf.imbalance").set(straggler_.lastImbalance());
+        if (v.stragglers.empty()) return;
+        if (firstStragglerStep_ < 0) firstStragglerStep_ = std::int64_t(v.step);
+        trace_.begin("straggler-detected");
+        trace_.end();
+        if (comm_.rank() == 0) {
+            std::string who;
+            for (int r : v.stragglers)
+                who += (who.empty() ? "" : ",") + std::to_string(r);
+            WALB_LOG_WARNING("step " << currentStep_ << ": straggler rank(s) " << who
+                                     << " (fleet median step " << v.median << " s)");
+        }
+    }
+
+    /// Busy spin for the configured throttle — unlike a sleep, the core
+    /// stays busy, which is what a genuinely slow sweep looks like to the
+    /// scheduler and to the phase clocks.
+    void applySweepThrottle() {
+        if (sweepThrottle_.count() <= 0) return;
+        const auto until = std::chrono::steady_clock::now() + sweepThrottle_;
+        while (std::chrono::steady_clock::now() < until) {
+        }
+    }
+
     void logExchangeError(const vmpi::CommError& e) {
         if (e.kind == vmpi::CommError::Kind::DeadlineExceeded)
             metrics_.counter("comm.deadline_misses").inc();
@@ -592,6 +757,7 @@ private:
     /// handling, then the fluid sweep. All communication time is exposed.
     template <typename Op>
     void stepSynchronous(const Op& op) {
+        stepPackSeconds_ = stepExchangeSeconds_ = stepShellSeconds_ = 0.0;
         try {
             ScopedTimer t(timing_["communication"]);
             obs::ScopedTrace tr(trace_, "communication");
@@ -601,8 +767,12 @@ private:
             comm_scheme_->copyLocalGhosts();
             const auto t0 = std::chrono::steady_clock::now();
             comm_scheme_->packAndPost();
+            const auto t1 = std::chrono::steady_clock::now();
             comm_scheme_->finishExchange();
-            commExposedSeconds_ += elapsedSeconds(t0, std::chrono::steady_clock::now());
+            const auto t2 = std::chrono::steady_clock::now();
+            stepPackSeconds_ = elapsedSeconds(t0, t1);
+            stepExchangeSeconds_ = elapsedSeconds(t1, t2);
+            commExposedSeconds_ += elapsedSeconds(t0, t2);
         } catch (const vmpi::CommError& e) {
             logExchangeError(e);
             throw;
@@ -621,6 +791,7 @@ private:
                 forest_.getData<lbm::PdfField>(b, srcId_)
                     .swapDataWith(forest_.getData<lbm::PdfField>(b, dstId_));
             }
+            applySweepThrottle();
         }
     }
 
@@ -645,6 +816,7 @@ private:
     /// (beginExchange end -> last arrival) covered by the core sweep.
     template <typename Op>
     void stepOverlapped(const Op& op) {
+        stepPackSeconds_ = stepExchangeSeconds_ = stepShellSeconds_ = 0.0;
         std::chrono::steady_clock::time_point beginEnd;
         double exposed = 0;
         try {
@@ -658,6 +830,7 @@ private:
             beginEnd = std::chrono::steady_clock::now();
             exposed += elapsedSeconds(t0, beginEnd);
             commBeginSeconds_ += elapsedSeconds(t0, beginEnd);
+            stepPackSeconds_ = elapsedSeconds(t0, beginEnd);
         } catch (const vmpi::CommError& e) {
             logExchangeError(e);
             throw;
@@ -698,6 +871,7 @@ private:
             const double finishSeconds = elapsedSeconds(f0, f1);
             exposed += finishSeconds;
             commFinishSeconds_ += finishSeconds;
+            stepExchangeSeconds_ = finishSeconds;
             commHiddenSeconds_ +=
                 std::max(0.0, elapsedSeconds(beginEnd, lastArrival) - finishSeconds);
         } catch (const vmpi::CommError& e) {
@@ -715,8 +889,11 @@ private:
         {
             ScopedTimer t(timing_["collideStream"]);
             obs::ScopedTrace tr(trace_, "collideStream");
+            const auto shell0 = std::chrono::steady_clock::now();
             for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
                 sweepSubset(b, coreShellRuns_[b].shell, coreShellCells_[b].shell, op);
+            applySweepThrottle();
+            stepShellSeconds_ = elapsedSeconds(shell0, std::chrono::steady_clock::now());
         }
         for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
             forest_.getData<lbm::PdfField>(b, srcId_)
@@ -806,6 +983,23 @@ private:
     std::vector<double> blockSweepSeconds_;
     std::uint64_t currentStep_ = 0;
     double ckptSeconds_ = 0.0;
+
+    // ---- flight recorder & live perf diagnostics state --------------------
+    obs::FlightRecorder flight_;
+    std::string flightDumpPrefix_ = "walb";
+    bool errorDumped_ = false; ///< one automatic dump per surfaced CommError run
+    obs::StragglerDetector straggler_;
+    StragglerOptions stragglerOptions_;
+    bool stragglerEnabled_ = false;
+    obs::StragglerVerdict lastStragglerVerdict_;
+    std::int64_t firstStragglerStep_ = -1;
+    double perfReferenceMlups_ = 0.0;
+    std::chrono::microseconds sweepThrottle_{0};
+    // Per-step phase scratch, reset at the top of each step schedule and
+    // harvested into the StepSample by run().
+    double stepPackSeconds_ = 0.0;
+    double stepExchangeSeconds_ = 0.0;
+    double stepShellSeconds_ = 0.0;
 };
 
 /// Drives a simulation under the CheckpointOptions command-line contract:

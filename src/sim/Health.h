@@ -13,6 +13,7 @@
 /// (every check), counter `health.violations`.
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -88,6 +89,14 @@ public:
     bool hasBaseline() const { return haveBaseline_; }
     double baselineMass() const { return baselineMass_; }
 
+    /// Invoked on every violation, after the emergency checkpoint and the
+    /// ERROR diagnosis but before HealthError is thrown — the driver hooks
+    /// its flight-recorder dump here so every abort ships with the per-step
+    /// telemetry that led up to it. Must not throw and must not communicate.
+    void setViolationHook(std::function<void(const HealthReport&)> hook) {
+        onViolation_ = std::move(hook);
+    }
+
     /// Records the current total mass as the drift reference. Collective.
     /// Optional — the first check() captures a baseline automatically.
     template <typename Sim>
@@ -144,6 +153,7 @@ public:
                                                                     << (nanViolation
                                                                             ? " [non-finite PDFs]"
                                                                             : " [mass drift]"));
+            if (onViolation_) onViolation_(report);
             if (policy_.abortOnViolation) throw HealthError(report);
         }
         return report;
@@ -172,6 +182,7 @@ private:
     HealthPolicy policy_;
     double baselineMass_ = 0.0;
     bool haveBaseline_ = false;
+    std::function<void(const HealthReport&)> onViolation_;
 };
 
 } // namespace walb::sim

@@ -182,7 +182,9 @@ public:
             try {
                 fn(rank, buf);
             } catch (const BufferError& e) {
-                throw CommError(CommError::Kind::Corrupt, rank, tag_, 0.0, e.what());
+                const CommError err(CommError::Kind::Corrupt, rank, tag_, 0.0, e.what());
+                comm_.reportError(err);
+                throw err;
             }
         }
     }
@@ -241,7 +243,9 @@ private:
         try {
             fn(rank, buf);
         } catch (const BufferError& e) {
-            throw CommError(CommError::Kind::Corrupt, rank, tag_, 0.0, e.what());
+            const CommError err(CommError::Kind::Corrupt, rank, tag_, 0.0, e.what());
+            comm_.reportError(err);
+            throw err;
         }
         reclaim(buf.release());
     }

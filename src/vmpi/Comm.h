@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -94,6 +95,23 @@ public:
     }
     std::chrono::milliseconds recvDeadline() const { return recvDeadline_; }
 
+    /// Observer invoked on this rank right before a CommError is raised
+    /// (deadline miss, corrupt payload, killed rank). The driver installs a
+    /// hook here to flush last-breath diagnostics — e.g. the flight
+    /// recorder's `.wfr` dump — even when the error is caught and absorbed
+    /// somewhere upstream. Per-rank, like setRecvDeadline(); decorators
+    /// (FaultyComm) forward it to the wrapped comm. The observer must not
+    /// throw and must not communicate.
+    using ErrorObserver = std::function<void(const CommError&)>;
+    virtual void setErrorObserver(ErrorObserver observer) {
+        errorObserver_ = std::move(observer);
+    }
+    /// Invokes the installed observer (if any). Called by backends and the
+    /// exchange layer at every CommError throw site.
+    void reportError(const CommError& e) {
+        if (errorObserver_) errorObserver_(e);
+    }
+
     /// Buffered non-blocking send of a byte message to dest with a tag.
     virtual void send(int dest, int tag, std::vector<std::uint8_t> data) = 0;
 
@@ -127,6 +145,7 @@ public:
 
 protected:
     std::chrono::milliseconds recvDeadline_{0};
+    ErrorObserver errorObserver_;
 };
 
 // ---- typed convenience wrappers ------------------------------------------

@@ -180,6 +180,14 @@ public:
         inner_.setRecvDeadline(deadline);
     }
 
+    /// Forwards the error observer to the wrapped comm (where deadline and
+    /// corruption errors actually originate); kill errors raised by this
+    /// decorator itself are reported through the same observer.
+    void setErrorObserver(ErrorObserver observer) override {
+        Comm::setErrorObserver(observer);
+        inner_.setErrorObserver(std::move(observer));
+    }
+
     /// Called by the driver at the top of time step `step` (see
     /// DistributedSimulation::setPreStepCallback). Throws
     /// CommError{RankKilled} on the doomed rank at the planned step — the
@@ -189,9 +197,11 @@ public:
         if (plan_.killRank == rank() && step == plan_.killAtStep) {
             ++counts_.killed;
             noteInjection("kill");
-            throw CommError(CommError::Kind::RankKilled, rank(), -1, 0.0,
-                            "fault plan killed rank " + std::to_string(rank()) +
-                                " at step " + std::to_string(step));
+            const CommError err(CommError::Kind::RankKilled, rank(), -1, 0.0,
+                                "fault plan killed rank " + std::to_string(rank()) +
+                                    " at step " + std::to_string(step));
+            reportError(err);
+            throw err;
         }
     }
 

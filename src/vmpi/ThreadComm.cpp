@@ -110,7 +110,12 @@ void ThreadComm::send(int dest, int tag, std::vector<std::uint8_t> data) {
 }
 
 std::vector<std::uint8_t> ThreadComm::recv(int src, int tag) {
-    return world_->receive(rank_, src, tag, recvDeadline());
+    try {
+        return world_->receive(rank_, src, tag, recvDeadline());
+    } catch (const CommError& e) {
+        reportError(e);
+        throw;
+    }
 }
 
 bool ThreadComm::tryRecv(int src, int tag, std::vector<std::uint8_t>& out) {

@@ -135,6 +135,58 @@ TEST(Histogram, MergeIsBucketWise) {
     EXPECT_DOUBLE_EQ(a.max(), 9.0);
 }
 
+TEST(Histogram, BucketsAreAllocatedEagerly) {
+    // counts() must be well-formed before the first record(): consumers
+    // (JSON export, merge) read it unconditionally.
+    Histogram fresh({1.0, 2.0});
+    ASSERT_EQ(fresh.counts().size(), 3u);
+    for (std::uint64_t c : fresh.counts()) EXPECT_EQ(c, 0u);
+    EXPECT_EQ(fresh.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(fresh.quantile(0.5), 0.0);
+
+    Histogram overflowOnly; // default: single overflow bucket
+    ASSERT_EQ(overflowOnly.counts().size(), 1u);
+    EXPECT_EQ(overflowOnly.counts()[0], 0u);
+    Histogram merged({1.0, 2.0});
+    merged.merge(fresh); // merging two untouched histograms must not abort
+    EXPECT_EQ(merged.count(), 0u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinTheBucket) {
+    Histogram h({1.0, 2.0, 4.0});
+    for (int i = 0; i < 10; ++i) h.record(0.5 + 0.05 * i); // bucket 0: [0.5, 0.95]
+    // Exact at the extremes.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.95);
+    // All mass in one bucket: linear between observed min and the edge/max.
+    // target = 0.5 * 10 = 5 of 10 samples -> halfway through [0.5, 0.95].
+    EXPECT_NEAR(h.quantile(0.5), 0.5 + 0.45 * 0.5, 1e-12);
+    h.record(3.0); // one sample in bucket 2 (2, 4]
+    // q=1 stays exact at the new max even though it sits mid-bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+    // The p99 estimate lands in the last occupied bucket, clamped by max.
+    EXPECT_GT(h.quantile(0.99), 2.0);
+    EXPECT_LE(h.quantile(0.99), 3.0);
+}
+
+TEST(Histogram, JsonCarriesTheQuantileSummary) {
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("step_seconds", {1e-3, 1e-2, 1e-1});
+    for (int i = 1; i <= 100; ++i) h.record(1e-4 * i); // 0.1 ms .. 10 ms
+    std::ostringstream os;
+    reg.writeJson(os);
+    const json::Value root = json::parseOrAbort(os.str());
+    const json::Value& jh = root.at("histograms").at("step_seconds");
+    EXPECT_NEAR(jh.at("p50").number(), h.quantile(0.50), 1e-12);
+    EXPECT_NEAR(jh.at("p95").number(), h.quantile(0.95), 1e-12);
+    EXPECT_NEAR(jh.at("p99").number(), h.quantile(0.99), 1e-12);
+    // Sanity: the estimates are ordered and inside the observed range.
+    EXPECT_LE(jh.at("p50").number(), jh.at("p95").number());
+    EXPECT_LE(jh.at("p95").number(), jh.at("p99").number());
+    EXPECT_GE(jh.at("p50").number(), 1e-4);
+    EXPECT_LE(jh.at("p99").number(), 1e-2);
+}
+
 TEST(MetricsRegistry, HandlesAreStableAndNamed) {
     MetricsRegistry reg;
     Counter& c = reg.counter("steps");

@@ -2,22 +2,29 @@
 /// as emitted by obs::TraceRecorder::writeChromeJson (the export of a
 /// DistributedSimulation phase trace).
 ///
-///   walb_tracecat <trace.json>    validate + print summary
-///   walb_tracecat --selftest      record a synthetic trace, export it to a
-///                                 temp file, then validate it (CI smoke
-///                                 test wired into ctest)
+///   walb_tracecat <trace.json>          validate + print summary
+///   walb_tracecat --stats <trace.json>  validate + per-phase duration
+///                                       statistics (count, total, mean,
+///                                       p50/p95/p99); warns when the
+///                                       recorder dropped events
+///   walb_tracecat --selftest            record a synthetic trace, export it
+///                                       to a temp file, then validate it
+///                                       (CI smoke test wired into ctest)
 ///
 /// Exit status is nonzero when the file does not parse, is not a trace
 /// document, or contains malformed events — so CI can smoke-test trace
 /// output with a single command.
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "obs/PerfDiag.h"
 #include "obs/Report.h"
 #include "obs/Trace.h"
 
@@ -31,8 +38,10 @@ struct TraceSummary {
     std::set<int> tids;
     std::map<std::string, double> phaseTotalUs;
     std::map<std::string, std::size_t> phaseCounts;
+    std::map<std::string, std::vector<double>> phaseDurationsUs;
     double spanBeginUs = 1e300;
     double spanEndUs = 0;
+    std::uint64_t droppedEvents = 0; ///< recorder-side drops (otherData)
 };
 
 bool summarize(const obs::json::Value& root, TraceSummary& out, std::string& error) {
@@ -79,13 +88,18 @@ bool summarize(const obs::json::Value& root, TraceSummary& out, std::string& err
         out.tids.insert(int(tid->number()));
         out.phaseTotalUs[name->str()] += dur->number();
         ++out.phaseCounts[name->str()];
+        out.phaseDurationsUs[name->str()].push_back(dur->number());
         out.spanBeginUs = std::min(out.spanBeginUs, ts->number());
         out.spanEndUs = std::max(out.spanEndUs, ts->number() + dur->number());
     }
+    if (const obs::json::Value* other = root.find("otherData"); other && other->isObject())
+        if (const obs::json::Value* dropped = other->find("droppedEvents");
+            dropped && dropped->isNumber())
+            out.droppedEvents = std::uint64_t(dropped->number());
     return true;
 }
 
-int validateFile(const std::string& path) {
+int validateFile(const std::string& path, bool stats = false) {
     std::string text;
     if (!obs::readFileToString(path, text)) {
         std::fprintf(stderr, "walb_tracecat: cannot read '%s'\n", path.c_str());
@@ -107,6 +121,26 @@ int validateFile(const std::string& path) {
     std::printf("  events: %zu (+%zu metadata), ranks/tids: %zu, span: %.3f ms\n", s.events,
                 s.metadata, s.tids.size(),
                 s.events ? (s.spanEndUs - s.spanBeginUs) / 1e3 : 0.0);
+    if (s.droppedEvents > 0)
+        std::fprintf(stderr,
+                     "walb_tracecat: WARNING: recorder dropped %llu events — the trace "
+                     "is truncated, statistics undercount\n",
+                     (unsigned long long)s.droppedEvents);
+    if (stats) {
+        std::printf("  %-24s %10s %12s %12s %12s %12s %12s\n", "phase", "count",
+                    "total[ms]", "mean[us]", "p50[us]", "p95[us]", "p99[us]");
+        for (auto& [phase, durations] : s.phaseDurationsUs) {
+            std::sort(durations.begin(), durations.end());
+            const double totalUs = s.phaseTotalUs.at(phase);
+            const std::size_t count = s.phaseCounts.at(phase);
+            std::printf("  %-24s %10zu %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+                        phase.c_str(), count, totalUs / 1e3, totalUs / double(count),
+                        obs::sortedQuantile(durations, 0.50),
+                        obs::sortedQuantile(durations, 0.95),
+                        obs::sortedQuantile(durations, 0.99));
+        }
+        return 0;
+    }
     std::printf("  %-24s %10s %14s\n", "phase", "count", "total[ms]");
     for (const auto& [phase, totalUs] : s.phaseTotalUs)
         std::printf("  %-24s %10zu %14.3f\n", phase.c_str(), s.phaseCounts.at(phase),
@@ -136,9 +170,13 @@ int selftest() {
             std::fprintf(stderr, "walb_tracecat: cannot write '%s'\n", path.c_str());
             return 1;
         }
-        obs::TraceRecorder::writeChromeJson(os, events);
+        // Export with a nonzero dropped-events count so the selftest also
+        // covers the truncation warning path of --stats.
+        obs::TraceRecorder::writeChromeJson(os, events, "walb", 7);
     }
-    const int rc = validateFile(path);
+    int rc = validateFile(path);
+    if (rc != 0) return rc;
+    rc = validateFile(path, true);
     if (rc != 0) return rc;
 
     // The selftest additionally asserts the expected shape.
@@ -152,11 +190,13 @@ int selftest() {
         std::fprintf(stderr, "walb_tracecat: selftest re-parse failed\n");
         return 1;
     }
-    if (s.events != 24 || s.tids.size() != 2 || s.phaseTotalUs.size() != 4) {
+    if (s.events != 24 || s.tids.size() != 2 || s.phaseTotalUs.size() != 4 ||
+        s.droppedEvents != 7) {
         std::fprintf(stderr,
                      "walb_tracecat: selftest shape mismatch (events=%zu tids=%zu "
-                     "phases=%zu)\n",
-                     s.events, s.tids.size(), s.phaseTotalUs.size());
+                     "phases=%zu dropped=%llu)\n",
+                     s.events, s.tids.size(), s.phaseTotalUs.size(),
+                     (unsigned long long)s.droppedEvents);
         return 1;
     }
     std::remove(path.c_str());
@@ -168,8 +208,10 @@ int selftest() {
 
 int main(int argc, char** argv) {
     if (argc == 2 && std::string(argv[1]) == "--selftest") return selftest();
+    if (argc == 3 && std::string(argv[1]) == "--stats") return validateFile(argv[2], true);
     if (argc != 2) {
-        std::fprintf(stderr, "usage: walb_tracecat <trace.json> | --selftest\n");
+        std::fprintf(stderr,
+                     "usage: walb_tracecat [--stats] <trace.json> | --selftest\n");
         return 2;
     }
     return validateFile(argv[1]);
