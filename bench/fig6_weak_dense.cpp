@@ -71,6 +71,10 @@ void writeRunJson(obs::json::Writer& w, const RunRecord& r) {
     w.kv("comm.hidden_fraction", gaugeAvg(r.metrics, "comm.hidden_fraction"));
     w.kv("perf.predicted_mlups", gaugeAvg(r.metrics, "perf.predicted_mlups"));
     w.kv("perf.efficiency", gaugeAvg(r.metrics, "perf.efficiency"));
+    // Zero unless a self-healing run published them; present so downstream
+    // gates can --require the key family unconditionally.
+    w.kv("recover.attempts", gaugeAvg(r.metrics, "recover.attempts"));
+    w.kv("recover.retries", gaugeAvg(r.metrics, "recover.retries"));
     w.key("phases");
     obs::writePhasesJson(w, r.phases);
     w.endObject();
@@ -587,7 +591,10 @@ int perfdiagSmokeRun(const std::string& metricsPath, const std::string& wfrPrefi
 
     bool wfrOk = true;
     for (int rank = 0; rank < kRanks; ++rank) {
-        const std::string path = wfrPrefix + ".rank" + std::to_string(rank) + ".wfr";
+        // Voluntary dumps embed rank and step; every rank dumped at the same
+        // step (end of the drill).
+        const std::string path = wfrPrefix + ".r" + std::to_string(rank) + ".s" +
+                                 std::to_string(kWarmup + kDrill) + ".wfr";
         obs::FlightRecorder::Dump dump;
         std::string err;
         if (!obs::FlightRecorder::read(path, dump, &err) || dump.rank != unsigned(rank) ||

@@ -31,7 +31,7 @@ mkdir -p "$dir"
 fresh="$dir/perfdiag_fresh.json"
 degraded="$dir/perfdiag_degraded.json"
 log="$dir/perfdiag_smoke.log"
-rm -f "$fresh" "$degraded" "$log" "$dir"/gate.rank*.wfr
+rm -f "$fresh" "$degraded" "$log" "$dir"/gate.r*.wfr
 
 fail() { echo "perf_gate: FAIL: $*" >&2; exit 1; }
 
@@ -63,7 +63,7 @@ echo "== gate 2: drift vs committed baseline ($baseline)"
     || fail "fresh artifact drifted outside baseline tolerances"
 
 echo "== gate 3: .wfr dumps must parse into a straggler timeline"
-"$perfdiag" report "$dir"/gate.rank*.wfr > "$dir/perfdiag_report.txt" \
+"$perfdiag" report "$dir"/gate.r*.wfr > "$dir/perfdiag_report.txt" \
     || fail "walb_perfdiag could not read the .wfr dumps"
 grep -q "straggler timeline" "$dir/perfdiag_report.txt" \
     || fail "no straggler timeline in the .wfr report"

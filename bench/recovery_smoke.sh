@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Self-healing smoke test (wired into ctest as `fig7_recovery_drill`): the
+# fig7 driver runs its kill-and-heal drill — one uninterrupted reference run,
+# one run where a FaultPlan kills rank 2 of 4 mid-run (the survivors must
+# agree on the death, shrink the world, restore the lost blocks from the
+# in-memory buddy checkpoint, rewind and finish the step count), and one run
+# with only transient faults (drops/delays/duplicates below the escalation
+# threshold) — and prints one parseable `recovery drill:` line. This script
+# asserts the acceptance criteria of the walb::recover subsystem:
+#
+#   1. digest_match=1        — the healed run's checkpointDigest equals the
+#                              uninterrupted reference bit for bit;
+#   2. recoveries=1, dead_ranks=1, lost_blocks>0 — exactly one in-flight
+#                              recovery healed the kill, and it actually
+#                              re-spread state;
+#   3. transient_recoveries=0, transient_retries>0, transient_digest_match=1
+#                            — faults below the threshold are healed by
+#                              ReliableComm alone, with no recovery and no
+#                              state damage.
+#
+# Usage: recovery_smoke.sh <fig7_weak_vascular binary> <scratch dir>
+set -u
+
+bin="$1"
+dir="$2"
+mkdir -p "$dir"
+json="$dir/recovery_smoke.json"
+log="$dir/recovery_smoke.log"
+rm -f "$json" "$log" "$dir"/walb.r*.wfr
+
+fail() { echo "recovery_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== fig7 recovery drill: kill rank 2 of 4 mid-run, heal in flight"
+# Run from the scratch dir: the flight-recorder dumps of the failure moment
+# land there as walb.r<rank>.s<step>.wfr.
+(cd "$dir" && "$bin" --recover --metrics-json "$json") | tee "$log" \
+    || fail "drill run exited nonzero"
+
+line=$(grep 'recovery drill:' "$log") || fail "no 'recovery drill:' line printed"
+
+# Pull `key=value` tokens out of the drill line. The leading space anchors
+# the key so `recoveries` cannot greedily match `transient_recoveries`.
+kv() { echo "$line" | sed -n "s/.* $1=\([0-9.][0-9.]*\).*/\1/p"; }
+
+recoveries=$(kv recoveries)
+dead=$(kv dead_ranks)
+lost=$(kv lost_blocks)
+match=$(kv digest_match)
+trecoveries=$(kv transient_recoveries)
+tretries=$(kv transient_retries)
+tmatch=$(kv transient_digest_match)
+for v in recoveries dead lost match trecoveries tretries tmatch; do
+    eval "val=\$$v"
+    [ -n "$val" ] || fail "field '$v' missing from drill line: $line"
+done
+
+[ "$match" = "1" ] || fail "healed digest does not match the reference"
+echo "   kill-and-heal digest: bit-exact"
+
+[ "$recoveries" = "1" ] || fail "expected exactly 1 recovery, got $recoveries"
+[ "$dead" = "1" ] || fail "expected exactly 1 agreed-dead rank, got $dead"
+[ "$lost" != "0" ] || fail "recovery re-spread no blocks"
+echo "   recovery: $recoveries recovery, $dead dead rank, $lost block(s) restored"
+
+[ "$trecoveries" = "0" ] \
+    || fail "transient-only plan escalated into $trecoveries recovery(ies)"
+[ "$tretries" != "0" ] || fail "transient plan healed without a single retry"
+[ "$tmatch" = "1" ] || fail "transient run's digest does not match the reference"
+echo "   transient faults: healed below the recovery layer ($tretries retries)"
+
+# Every rank of the killed epoch must have dumped its flight history at the
+# failure moment, under the rank- and step-stamped name.
+wfr_count=$(ls "$dir"/walb.r*.s*.wfr 2>/dev/null | wc -l)
+[ "$wfr_count" -ge 4 ] \
+    || fail "expected >=4 rank/step-stamped .wfr dumps, found $wfr_count"
+echo "   flight-recorder dumps at the failure moment: $wfr_count"
+
+# The metrics JSON must carry the recover.* observability fields.
+[ -f "$json" ] || fail "no metrics JSON written"
+for key in recovery digest_match recover.attempts recover.lost_blocks \
+           recover.retries recover.backoff_seconds; do
+    grep -q "\"$key\"" "$json" || fail "key '$key' missing from $json"
+done
+echo "   metrics JSON: ok ($json)"
+
+echo "recovery_smoke: PASS (kill healed bit-exact, transients absorbed)"
+exit 0

@@ -175,8 +175,14 @@ MigrationStats migrate(sim::DistributedSimulation& sim,
                 throw BufferError(std::size_t(payloadBytes), msg.remaining());
             // CRC over the raw payload *before* touching live fields — a
             // mangled migration message must not corrupt the simulation.
-            WALB_ASSERT(crc32(msg.cursor(), std::size_t(payloadBytes)) == storedCrc,
-                       "migration payload CRC mismatch from rank " << srcRank);
+            const std::uint32_t actualCrc =
+                crc32(msg.cursor(), std::size_t(payloadBytes));
+            WALB_ASSERT(actualCrc == storedCrc,
+                        "migration payload CRC mismatch from rank "
+                            << srcRank << " on block " << id.rootIndex() << ":"
+                            << int(id.level()) << ":" << id.path() << ": expected 0x"
+                            << std::hex << storedCrc << " (stored), actual 0x"
+                            << actualCrc << std::dec << " (computed)");
             const auto it = localOf.find(id);
             WALB_ASSERT(it != localOf.end(),
                        "migration message carries a block not assigned here");

@@ -116,6 +116,50 @@ std::vector<std::uint32_t> DiffusionPolicy::propose(const RebalanceContext& ctx)
     return owner;
 }
 
+std::vector<std::uint32_t> spreadLostBlocks(const bf::SetupBlockForest& setup,
+                                            const std::vector<std::uint32_t>& owner,
+                                            const std::vector<double>& weights,
+                                            const std::vector<std::uint8_t>& dead) {
+    const auto& blocks = setup.blocks();
+    WALB_ASSERT(owner.size() == blocks.size(), "owner vector size mismatch");
+    WALB_ASSERT(weights.size() == blocks.size(), "weight vector size mismatch");
+
+    std::vector<std::uint32_t> result = owner;
+
+    // Survivor load from the blocks they keep; collect the orphans.
+    std::vector<double> load(dead.size(), 0.0);
+    std::vector<std::uint32_t> orphans;
+    for (std::size_t i = 0; i < result.size(); ++i) {
+        WALB_ASSERT(result[i] < dead.size(), "block owned by rank " << result[i]);
+        if (dead[result[i]])
+            orphans.push_back(std::uint32_t(i));
+        else
+            load[result[i]] += std::max(weights[i], 0.0);
+    }
+    if (orphans.empty()) return result;
+
+    // Heaviest orphans first (LPT greedy); ties broken by BlockID so the
+    // result is independent of storage order.
+    std::sort(orphans.begin(), orphans.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const double wa = std::max(weights[a], 0.0);
+        const double wb = std::max(weights[b], 0.0);
+        return wa != wb ? wa > wb : blocks[a].id < blocks[b].id;
+    });
+
+    for (std::uint32_t idx : orphans) {
+        // Least-loaded survivor; ties to the lowest rank number.
+        std::int64_t best = -1;
+        for (std::uint32_t r = 0; r < std::uint32_t(dead.size()); ++r) {
+            if (dead[r]) continue;
+            if (best < 0 || load[r] < load[std::size_t(best)]) best = std::int64_t(r);
+        }
+        WALB_ASSERT(best >= 0, "spreadLostBlocks: no surviving rank");
+        result[idx] = std::uint32_t(best);
+        load[std::size_t(best)] += std::max(weights[idx], 0.0);
+    }
+    return result;
+}
+
 std::unique_ptr<RebalancePolicy> makePolicy(const std::string& name,
                                             std::uint32_t maxMoves) {
     if (name == "morton") return std::make_unique<MortonPolicy>();

@@ -77,4 +77,19 @@ private:
 std::unique_ptr<RebalancePolicy> makePolicy(const std::string& name,
                                             std::uint32_t maxMoves = 8);
 
+/// Recovery re-spread (walb::recover): reassigns every block owned by a
+/// dead rank onto the surviving ranks, heaviest blocks first onto the
+/// currently least-loaded survivor. Survivors keep their own blocks — only
+/// orphans move, so the buddy restore never has to ship a survivor's state.
+/// Deterministic (ties by weight broken by BlockID, rank ties by lowest
+/// rank): every survivor computes the identical assignment locally.
+///
+/// `owner` and `weights` are per setup index; `dead` is a per-rank bitmap
+/// in the same rank space as `owner`. Returns the new owner vector, still
+/// in that rank space (dead ranks own nothing afterwards).
+std::vector<std::uint32_t> spreadLostBlocks(const bf::SetupBlockForest& setup,
+                                            const std::vector<std::uint32_t>& owner,
+                                            const std::vector<double>& weights,
+                                            const std::vector<std::uint8_t>& dead);
+
 } // namespace walb::rebalance

@@ -1,5 +1,6 @@
 #include "sim/Checkpoint.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "core/BinaryIO.h"
@@ -41,6 +42,18 @@ std::int32_t findLocalBlock(const bf::BlockForest& forest, const RawBlockId& id)
     return -1;
 }
 
+/// Human-readable block identity for diagnostics: "root:level:path".
+std::string describeBlockId(const RawBlockId& id) {
+    return std::to_string(id.root) + ":" + std::to_string(unsigned(id.level)) +
+           ":" + std::to_string(id.path);
+}
+
+std::string hexCrc(std::uint32_t crc) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", crc);
+    return buf;
+}
+
 bool parseHeader(RecvBuffer& file, CheckpointHeader& h, std::string* error) {
     std::uint32_t magic = 0;
     file >> magic;
@@ -61,6 +74,62 @@ bool parseHeader(RecvBuffer& file, CheckpointHeader& h, std::string* error) {
 
 } // namespace
 
+void appendBlockRecord(DistributedSimulation& sim, std::size_t block,
+                       SendBuffer& buf) {
+    const bf::BlockForest& forest = sim.forest();
+    const lbm::PdfField& pdf = sim.pdfField(block);
+    const field::FlagField& flags = sim.flagField(block);
+    const std::size_t pdfBytes = pdf.allocCells() * sizeof(real_t);
+    const std::size_t flagBytes = flags.allocCells() * sizeof(field::flag_t);
+    std::uint32_t crc = crc32(pdf.data(), pdfBytes);
+    crc = crc32(flags.data(), flagBytes, crc);
+    serializeBlockId(buf, forest.blocks()[block].id);
+    buf << std::uint64_t(pdfBytes) << std::uint64_t(flagBytes) << crc;
+    buf.putBytes(pdf.data(), pdfBytes);
+    buf.putBytes(flags.data(), flagBytes);
+}
+
+int applyBlockRecord(DistributedSimulation& sim, RecvBuffer& rb,
+                     std::string* error) {
+    const RawBlockId id = deserializeBlockId(rb);
+    std::uint64_t pdfBytes = 0, flagBytes = 0;
+    std::uint32_t storedCrc = 0;
+    rb >> pdfBytes >> flagBytes >> storedCrc;
+    const std::int32_t local = findLocalBlock(sim.forest(), id);
+    if (local < 0) {
+        rb.skip(std::size_t(pdfBytes) + std::size_t(flagBytes));
+        return 0;
+    }
+    lbm::PdfField& pdf = sim.pdfField(std::size_t(local));
+    field::FlagField& flags = sim.flagField(std::size_t(local));
+    if (pdfBytes != pdf.allocCells() * sizeof(real_t) ||
+        flagBytes != flags.allocCells() * sizeof(field::flag_t)) {
+        setError(error, "block record size mismatch on block " + describeBlockId(id) +
+                            ": pdf=" + std::to_string(pdfBytes) + "/" +
+                            std::to_string(pdf.allocCells() * sizeof(real_t)) +
+                            " flags=" + std::to_string(flagBytes) + "/" +
+                            std::to_string(flags.allocCells() * sizeof(field::flag_t)) +
+                            " bytes (record/local)");
+        return -1;
+    }
+    // Verify the CRC against the raw record bytes *before* touching the
+    // live fields — a corrupted payload must not clobber a running
+    // simulation.
+    if (rb.remaining() < pdfBytes + flagBytes)
+        throw BufferError(std::size_t(pdfBytes + flagBytes), rb.remaining());
+    std::uint32_t crc = crc32(rb.cursor(), std::size_t(pdfBytes));
+    crc = crc32(rb.cursor() + pdfBytes, std::size_t(flagBytes), crc);
+    if (crc != storedCrc) {
+        setError(error, "checkpoint CRC mismatch on block " + describeBlockId(id) +
+                            ": expected " + hexCrc(storedCrc) + " (stored), actual " +
+                            hexCrc(crc) + " (computed) — payload corrupted");
+        return -1;
+    }
+    rb.getBytes(pdf.data(), std::size_t(pdfBytes));
+    rb.getBytes(flags.data(), std::size_t(flagBytes));
+    return 1;
+}
+
 bool checkpointSave(DistributedSimulation& sim, const std::string& path,
                     std::uint64_t step, std::size_t* bytesWritten, std::string* error) {
     vmpi::Comm& comm = sim.comm();
@@ -70,18 +139,8 @@ bool checkpointSave(DistributedSimulation& sim, const std::string& path,
     SendBuffer mine;
     mine << std::uint32_t(comm.rank());
     mine << std::uint32_t(forest.numLocalBlocks());
-    for (std::size_t b = 0; b < forest.numLocalBlocks(); ++b) {
-        const lbm::PdfField& pdf = sim.pdfField(b);
-        const field::FlagField& flags = sim.flagField(b);
-        const std::size_t pdfBytes = pdf.allocCells() * sizeof(real_t);
-        const std::size_t flagBytes = flags.allocCells() * sizeof(field::flag_t);
-        std::uint32_t crc = crc32(pdf.data(), pdfBytes);
-        crc = crc32(flags.data(), flagBytes, crc);
-        serializeBlockId(mine, forest.blocks()[b].id);
-        mine << std::uint64_t(pdfBytes) << std::uint64_t(flagBytes) << crc;
-        mine.putBytes(pdf.data(), pdfBytes);
-        mine.putBytes(flags.data(), flagBytes);
-    }
+    for (std::size_t b = 0; b < forest.numLocalBlocks(); ++b)
+        appendBlockRecord(sim, b, mine);
 
     // One-writer strategy: gather everything on rank 0, single write.
     const auto all =
@@ -159,43 +218,12 @@ bool checkpointLoad(DistributedSimulation& sim, const std::string& path,
             RecvBuffer rb(std::move(contribution));
             std::uint32_t srcRank = 0, numBlocks = 0;
             rb >> srcRank >> numBlocks;
+            (void)srcRank; // blocks are matched by ID, not by writing rank,
+                           // so restarts tolerate a different assignment
             for (std::uint32_t b = 0; b < numBlocks; ++b) {
-                const RawBlockId id = deserializeBlockId(rb);
-                std::uint64_t pdfBytes = 0, flagBytes = 0;
-                std::uint32_t storedCrc = 0;
-                rb >> pdfBytes >> flagBytes >> storedCrc;
-                // Blocks are matched by ID, not by writing rank, so restarts
-                // tolerate a different block-to-rank assignment.
-                const std::int32_t local = findLocalBlock(forest, id);
-                if (local < 0) {
-                    rb.skip(std::size_t(pdfBytes) + std::size_t(flagBytes));
-                    continue;
-                }
-                lbm::PdfField& pdf = sim.pdfField(std::size_t(local));
-                field::FlagField& flags = sim.flagField(std::size_t(local));
-                if (pdfBytes != pdf.allocCells() * sizeof(real_t) ||
-                    flagBytes != flags.allocCells() * sizeof(field::flag_t)) {
-                    setError(error, "checkpoint block size mismatch (block of rank " +
-                                        std::to_string(srcRank) + ")");
-                    return false;
-                }
-                // Verify the CRC against the raw file bytes *before*
-                // touching the live fields — a corrupted payload must not
-                // clobber a running simulation.
-                if (rb.remaining() < pdfBytes + flagBytes)
-                    throw BufferError(std::size_t(pdfBytes + flagBytes), rb.remaining());
-                std::uint32_t crc = crc32(rb.cursor(), std::size_t(pdfBytes));
-                crc = crc32(rb.cursor() + pdfBytes, std::size_t(flagBytes), crc);
-                if (crc != storedCrc) {
-                    setError(error,
-                             "checkpoint CRC mismatch on block " + std::to_string(local) +
-                                 " (file corrupted): stored=" + std::to_string(storedCrc) +
-                                 " computed=" + std::to_string(crc));
-                    return false;
-                }
-                rb.getBytes(pdf.data(), std::size_t(pdfBytes));
-                rb.getBytes(flags.data(), std::size_t(flagBytes));
-                ++restored;
+                const int applied = applyBlockRecord(sim, rb, error);
+                if (applied < 0) return false;
+                if (applied > 0) ++restored;
             }
         }
         if (restored != forest.numLocalBlocks()) {

@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/Buffer.h"
+
 namespace walb::sim {
 
 class DistributedSimulation;
@@ -67,6 +69,23 @@ bool checkpointLoad(DistributedSimulation& sim, const std::string& path,
 /// Local (no communicator): reads just the header for inspection.
 bool checkpointPeek(const std::string& path, CheckpointHeader& out,
                     std::string* error = nullptr);
+
+/// Appends one local block's record in the v2 per-block wire format
+/// (BlockID, payload sizes, CRC32 over pdf ++ flags, full-allocation PDF +
+/// flag bytes) to `buf`. Shared by the disk checkpoint writer and the
+/// in-memory buddy checkpoint of walb::recover — one format, one CRC
+/// discipline.
+void appendBlockRecord(DistributedSimulation& sim, std::size_t block,
+                       SendBuffer& buf);
+
+/// Consumes one block record from `rb`. When the named block is local, the
+/// CRC is verified *before* the payload touches the live fields and the
+/// block is restored; a record for a block owned elsewhere is skipped.
+/// Returns +1 applied, 0 skipped, -1 failure — on failure `error` names the
+/// offending BlockID and the expected vs. actual CRC. May throw BufferError
+/// on a truncated record (callers wrap the whole stream parse).
+int applyBlockRecord(DistributedSimulation& sim, RecvBuffer& rb,
+                     std::string* error = nullptr);
 
 /// Collective: order-independent fingerprint of the physical PDF state
 /// (sum over blocks of each block's interior-cell CRC32, allreduced).

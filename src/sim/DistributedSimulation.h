@@ -130,6 +130,7 @@ public:
 
     std::size_t pendingReceives() const { return bufferSystem_.pendingReceives(); }
     bool exchangeInProgress() const { return bufferSystem_.exchangeInProgress(); }
+    void abortExchange() { bufferSystem_.abortExchange(); }
 
     /// Performs one full (synchronous) ghost-layer synchronization of the
     /// src fields. Message unpacks are disjoint per sender, so draining in
@@ -223,23 +224,14 @@ public:
     DistributedSimulation(vmpi::Comm& comm, const bf::SetupBlockForest& setup,
                           const FlagInitializer& initFlags,
                           KernelTier tier = KernelTier::Simd)
-        : comm_(comm), setup_(setup), initFlags_(initFlags),
+        : comm_(&comm), setup_(setup), initFlags_(initFlags),
           forest_(setup_, std::uint32_t(comm.rank())), tier_(tier) {
         buildBlockData();
         trace_.setRank(comm.rank());
-        // Last-breath diagnostics: when a CommError surfaces on this rank
-        // (deadline miss, corrupt payload, killed rank), dump the flight
-        // recorder before the error unwinds — the telemetry survives even
-        // when a caller absorbs the exception.
-        comm_.setErrorObserver([this](const vmpi::CommError& e) {
-            if (errorDumped_) return;
-            errorDumped_ = true;
-            dumpFlightRecorder(std::string("comm-error: ") +
-                               vmpi::CommError::kindName(e.kind));
-        });
+        installErrorObserver();
     }
 
-    ~DistributedSimulation() { comm_.setErrorObserver(nullptr); }
+    ~DistributedSimulation() { comm_->setErrorObserver(nullptr); }
 
     /// The global setup structure this simulation was built from. The stored
     /// copy tracks live migrations: applyBlockAssignment() updates its
@@ -262,12 +254,12 @@ public:
                     "block migration while a ghost exchange is in flight");
         auto& blocks = setup_.blocks();
         for (std::size_t i = 0; i < blocks.size(); ++i) {
-            WALB_ASSERT(ownerBySetupIndex[i] < std::uint32_t(comm_.size()),
+            WALB_ASSERT(ownerBySetupIndex[i] < std::uint32_t(comm_->size()),
                         "block assigned to rank " << ownerBySetupIndex[i] << " of "
-                                                  << comm_.size());
+                                                  << comm_->size());
             blocks[i].process = ownerBySetupIndex[i];
         }
-        forest_ = bf::BlockForest(setup_, std::uint32_t(comm_.rank()));
+        forest_ = bf::BlockForest(setup_, std::uint32_t(comm_->rank()));
         boundaries_.clear();
         runs_.clear();
         cellLists_.clear();
@@ -281,13 +273,37 @@ public:
     /// the current interiors. Collective.
     void refillGhostLayers() { comm_scheme_->communicate(); }
 
+    /// Abandons any in-flight ghost exchange without draining it — the
+    /// recovery entry point: after a rank failure the outstanding receives
+    /// will never complete (or carry a half-stepped epoch that the rewind
+    /// discards), so the exchange is dropped rather than finished.
+    void abortGhostExchange() {
+        if (comm_scheme_) comm_scheme_->abortExchange();
+    }
+
     bf::BlockForest& forest() { return forest_; }
     const bf::BlockForest& forest() const { return forest_; }
     const lbm::BoundaryFlags& masks() const { return masks_; }
     TimingPool& timing() { return timing_; }
     obs::MetricsRegistry& metrics() { return metrics_; }
     obs::TraceRecorder& trace() { return trace_; }
-    vmpi::Comm& comm() { return comm_; }
+    vmpi::Comm& comm() { return *comm_; }
+
+    /// Swaps the communicator under a live simulation — the recovery shrink
+    /// (walb::recover): after a rank failure the survivors rebind to their
+    /// ShrunkComm and carry on. Moves the last-breath error observer to the
+    /// new comm. The caller MUST follow up with applyBlockAssignment()
+    /// (which rebuilds the ghost-exchange BufferSystem on the new comm)
+    /// before the next step or collective.
+    void rebindComm(vmpi::Comm& comm) {
+        comm_->setErrorObserver(nullptr);
+        comm_ = &comm;
+        installErrorObserver();
+    }
+
+    /// Re-arms the one-shot on-error flight dump — called after a completed
+    /// recovery so the *next* failure leaves telemetry again.
+    void resetErrorDump() { errorDumped_ = false; }
 
     /// Direct access to the per-block fields (checkpointing, health scans).
     lbm::PdfField& pdfField(std::size_t block) {
@@ -349,22 +365,25 @@ public:
     const obs::FlightRecorder& flightRecorder() const { return flight_; }
 
     /// Filename prefix of `.wfr` dumps (default "walb"): rank N writes
-    /// `<prefix>.rank<N>.wfr`.
+    /// `<prefix>.r<N>.s<step>.wfr` — rank AND step are embedded so that a
+    /// dying fleet dumping concurrently (or the same rank dumping again
+    /// after a recovery rewind) never clobbers an earlier dump.
     void setFlightRecorderDumpPrefix(const std::string& prefix) {
         flightDumpPrefix_ = prefix;
     }
     const std::string& flightRecorderDumpPrefix() const { return flightDumpPrefix_; }
 
     /// Dumps this rank's flight-recorder history to
-    /// `<prefix>.rank<rank>.wfr`. Runs automatically when a CommError
+    /// `<prefix>.r<rank>.s<step>.wfr`. Runs automatically when a CommError
     /// surfaces on this rank or the health monitor aborts; callable any time
     /// for a voluntary snapshot. Not collective. Returns the written path,
     /// empty on IO failure.
     std::string dumpFlightRecorder(const std::string& reason) {
-        const std::string path =
-            flightDumpPrefix_ + ".rank" + std::to_string(comm_.rank()) + ".wfr";
+        const std::string path = flightDumpPrefix_ + ".r" +
+                                 std::to_string(comm_->rank()) + ".s" +
+                                 std::to_string(currentStep_) + ".wfr";
         std::string err;
-        if (!flight_.dump(path, comm_.rank(), comm_.size(), &err)) {
+        if (!flight_.dump(path, comm_->rank(), comm_->size(), &err)) {
             WALB_LOG_ERROR("flight recorder dump to '" << path << "' failed: " << err);
             return "";
         }
@@ -429,7 +448,7 @@ public:
         return n;
     }
     uint_t globalFluidCells() {
-        return vmpi::allreduceSum(comm_, std::uint64_t(localFluidCells()));
+        return vmpi::allreduceSum(*comm_, std::uint64_t(localFluidCells()));
     }
 
     /// Selects the communication-hiding step schedule: ghost sends are
@@ -550,17 +569,17 @@ public:
     // ---- cross-rank observability (collective calls) ----------------------
 
     /// Per-phase min/avg/max over all ranks of this rank's TimingPool.
-    obs::ReducedTimingPool reduceTiming() { return obs::reduceTimingPool(comm_, timing_); }
+    obs::ReducedTimingPool reduceTiming() { return obs::reduceTimingPool(*comm_, timing_); }
 
     /// Cross-rank reduction of all registered metrics.
-    obs::ReducedMetrics reduceMetrics() { return metrics_.reduce(comm_); }
+    obs::ReducedMetrics reduceMetrics() { return metrics_.reduce(*comm_); }
 
     /// Prints the Figure-6-style report (per-phase min/avg/max table plus
     /// the communication fraction) on rank 0. Collective.
     void printFigure6Report(std::ostream& os) {
         const obs::ReducedTimingPool reduced = reduceTiming();
         const obs::ReducedMetrics metrics = reduceMetrics();
-        if (comm_.rank() != 0) return;
+        if (comm_->rank() != 0) return;
         const auto it = metrics.gauges.find("sim.mlups");
         auto gaugeAvg = [&](const char* name, double fallback) {
             const auto g = metrics.gauges.find(name);
@@ -579,9 +598,9 @@ public:
     /// JSON file from rank 0 (load it in chrome://tracing). Collective;
     /// returns success on rank 0, true elsewhere.
     bool writeChromeTrace(const std::string& path) {
-        const auto events = obs::TraceRecorder::gather(comm_, trace_);
-        const std::uint64_t dropped = obs::TraceRecorder::gatherDropped(comm_, trace_);
-        if (comm_.rank() != 0) return true;
+        const auto events = obs::TraceRecorder::gather(*comm_, trace_);
+        const std::uint64_t dropped = obs::TraceRecorder::gatherDropped(*comm_, trace_);
+        if (comm_->rank() != 0) return true;
         std::ofstream os(path, std::ios::binary);
         if (!os) return false;
         obs::TraceRecorder::writeChromeJson(os, events, "walb", dropped);
@@ -604,7 +623,7 @@ public:
             data[2] = u[2];
             data[3] = 1;
         }
-        comm_.allreduce(std::span<double>(data, 4), vmpi::ReduceOp::Sum);
+        comm_->allreduce(std::span<double>(data, 4), vmpi::ReduceOp::Sum);
         WALB_ASSERT(data[3] == 1.0, "global cell owned by " << data[3] << " ranks");
         return {data[0], data[1], data[2]};
     }
@@ -620,7 +639,7 @@ public:
                     mass += lbm::cellDensity<M>(src, x, y, z);
             });
         }
-        return vmpi::allreduceSum(comm_, mass);
+        return vmpi::allreduceSum(*comm_, mass);
     }
 
     std::size_t bytesLastExchange() const { return comm_scheme_->bytesLastExchange(); }
@@ -718,7 +737,7 @@ private:
     /// gauges and drops a zero-length trace marker when anyone is flagged.
     void detectStragglers() {
         if (!straggler_.hasSample()) return;
-        lastStragglerVerdict_ = straggler_.detect(comm_, currentStep_);
+        lastStragglerVerdict_ = straggler_.detect(*comm_, currentStep_);
         const obs::StragglerVerdict& v = lastStragglerVerdict_;
         metrics_.gauge("perf.straggler_ranks").set(double(v.stragglers.size()));
         metrics_.gauge("perf.step_seconds_ewma").set(straggler_.ewma());
@@ -728,7 +747,7 @@ private:
         if (firstStragglerStep_ < 0) firstStragglerStep_ = std::int64_t(v.step);
         trace_.begin("straggler-detected");
         trace_.end();
-        if (comm_.rank() == 0) {
+        if (comm_->rank() == 0) {
             std::string who;
             for (int r : v.stragglers)
                 who += (who.empty() ? "" : ",") + std::to_string(r);
@@ -951,11 +970,25 @@ private:
                 return remote[lbm::dirIndex26(g)];
             });
         }
-        comm_scheme_ = std::make_unique<PdfCommScheme>(forest_, comm_, srcId_);
+        comm_scheme_ = std::make_unique<PdfCommScheme>(forest_, *comm_, srcId_);
         blockSweepSeconds_.assign(forest_.blocks().size(), 0.0);
     }
 
-    vmpi::Comm& comm_;
+    /// Last-breath diagnostics: when a CommError surfaces on this rank
+    /// (deadline miss, corrupt payload, killed rank), dump the flight
+    /// recorder before the error unwinds — the telemetry survives even when
+    /// a caller absorbs the exception. One-shot until resetErrorDump().
+    /// Installed at construction and re-installed by rebindComm().
+    void installErrorObserver() {
+        comm_->setErrorObserver([this](const vmpi::CommError& e) {
+            if (errorDumped_) return;
+            errorDumped_ = true;
+            dumpFlightRecorder(std::string("comm-error: ") +
+                               vmpi::CommError::kindName(e.kind));
+        });
+    }
+
+    vmpi::Comm* comm_;
     bf::SetupBlockForest setup_; ///< global structure, kept current by migrations
     FlagInitializer initFlags_;  ///< retained: migration re-derives flag fields
     bf::BlockForest forest_;

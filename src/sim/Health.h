@@ -30,9 +30,27 @@ struct HealthPolicy {
     bool checkNonFinite = true;   ///< any NaN/Inf fluid cell is a violation
     double maxMassDrift = 1e-6;   ///< |mass/baseline - 1| bound (<0 disables)
     bool emergencyCheckpoint = true;
+    /// Base name of the emergency dump; the actual file embeds rank and
+    /// step (decorateDumpPath), e.g. walb_emergency.r0.s48.wckp.
     std::string emergencyPath = "walb_emergency.wckp";
     bool abortOnViolation = true; ///< throw HealthError (vs. report only)
 };
+
+/// Inserts ".r<rank>.s<step>" before the extension of `path` (after it when
+/// there is none): concurrent dumps from a dying fleet — several ranks, or
+/// the same rank at several steps across recovery rewinds — must never
+/// clobber each other.
+inline std::string decorateDumpPath(const std::string& path, int rank,
+                                    std::uint64_t step) {
+    const std::string infix =
+        ".r" + std::to_string(rank) + ".s" + std::to_string(step);
+    const auto dot = path.find_last_of('.');
+    const auto slash = path.find_last_of('/');
+    const bool dotInName =
+        dot != std::string::npos && (slash == std::string::npos || dot > slash);
+    if (!dotInName) return path + infix;
+    return path.substr(0, dot) + infix + path.substr(dot);
+}
 
 /// Result of one collective health check (identical on every rank).
 struct HealthReport {
@@ -88,6 +106,9 @@ public:
     const HealthPolicy& policy() const { return policy_; }
     bool hasBaseline() const { return haveBaseline_; }
     double baselineMass() const { return baselineMass_; }
+    /// Decorated path of the last successfully written emergency checkpoint
+    /// (empty until a violation wrote one).
+    const std::string& lastEmergencyPath() const { return lastEmergencyPath_; }
 
     /// Invoked on every violation, after the emergency checkpoint and the
     /// ERROR diagnosis but before HealthError is thrown — the driver hooks
@@ -141,10 +162,16 @@ public:
         if (!report.ok) {
             sim.metrics().counter("health.violations").inc();
             if (policy_.emergencyCheckpoint) {
+                // Rank 0 writes; every rank computes the same decorated name
+                // from rank 0's identity so the collective save agrees on
+                // one file.
+                const std::string path =
+                    decorateDumpPath(policy_.emergencyPath, 0, step);
                 std::string err;
-                if (checkpointSave(sim, policy_.emergencyPath, step, nullptr, &err)) {
+                if (checkpointSave(sim, path, step, nullptr, &err)) {
+                    lastEmergencyPath_ = path;
                     WALB_LOG_ERROR("health: emergency checkpoint written to '"
-                                   << policy_.emergencyPath << "'");
+                                   << path << "'");
                 } else {
                     WALB_LOG_ERROR("health: emergency checkpoint FAILED: " << err);
                 }
@@ -180,6 +207,7 @@ private:
     }
 
     HealthPolicy policy_;
+    std::string lastEmergencyPath_;
     double baselineMass_ = 0.0;
     bool haveBaseline_ = false;
     std::function<void(const HealthReport&)> onViolation_;

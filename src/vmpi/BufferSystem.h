@@ -150,6 +150,14 @@ public:
     std::size_t pendingReceives() const { return pending_.size(); }
     bool exchangeInProgress() const { return !pending_.empty(); }
 
+    /// Abandons the current exchange without waiting for the outstanding
+    /// receives — the recovery path: after a rank failure the in-flight
+    /// ghost messages of the old epoch are stale (the recovery rewind
+    /// refills every ghost layer from restored interiors anyway), so the
+    /// pending set is simply dropped. Any message still arriving later is
+    /// never read: the shrunken world talks on an epoch-shifted tag band.
+    void abortExchange() { pending_.clear(); }
+
     // ---- synchronous exchange (collect into recvBuffers()) ---------------
 
     /// Ships all send buffers and receives one buffer from every rank in the

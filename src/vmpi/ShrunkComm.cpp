@@ -1,0 +1,185 @@
+#include "vmpi/ShrunkComm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/Buffer.h"
+#include "core/Debug.h"
+
+namespace walb::vmpi {
+
+ShrunkComm::ShrunkComm(Comm& world, std::vector<int> survivors, int epoch)
+    : world_(world), survivors_(std::move(survivors)), epoch_(epoch) {
+    WALB_ASSERT(!survivors_.empty(), "a shrunken world needs at least one survivor");
+    WALB_ASSERT(std::is_sorted(survivors_.begin(), survivors_.end()),
+                "survivor list must be sorted (identical on every rank)");
+    const auto it =
+        std::find(survivors_.begin(), survivors_.end(), world_.rank());
+    WALB_ASSERT(it != survivors_.end(),
+                "the calling rank is not in the survivor list");
+    newRank_ = int(it - survivors_.begin());
+    // Inherit the wrapped comm's failure-detection settings.
+    Comm::setRecvDeadline(world_.recvDeadline());
+}
+
+int ShrunkComm::newRankOf(int worldRank) const {
+    const auto it =
+        std::lower_bound(survivors_.begin(), survivors_.end(), worldRank);
+    if (it == survivors_.end() || *it != worldRank) return -1;
+    return int(it - survivors_.begin());
+}
+
+void ShrunkComm::setRecvDeadline(std::chrono::milliseconds deadline) {
+    Comm::setRecvDeadline(deadline);
+    world_.setRecvDeadline(deadline);
+}
+
+void ShrunkComm::setErrorObserver(ErrorObserver observer) {
+    // Stored locally (reportError() on this comm — the exchange layer's
+    // corrupt-message guard — must fire it) and forwarded so errors raised
+    // deeper in the stack reach the same last-breath hooks.
+    Comm::setErrorObserver(observer);
+    world_.setErrorObserver(std::move(observer));
+}
+
+void ShrunkComm::send(int dest, int tag, std::vector<std::uint8_t> data) {
+    world_.send(worldRank(dest), shift(tag), std::move(data));
+}
+
+std::vector<std::uint8_t> ShrunkComm::recv(int src, int tag) {
+    // A thrown CommError names the *world* peer and the shifted tag —
+    // exactly what a post-mortem needs to locate the failing epoch.
+    return world_.recv(worldRank(src), shift(tag));
+}
+
+bool ShrunkComm::tryRecv(int src, int tag, std::vector<std::uint8_t>& out) {
+    return world_.tryRecv(worldRank(src), shift(tag), out);
+}
+
+// ---- collectives: fan-in/fan-out over survivors only ---------------------
+//
+// New rank 0 is the hub. Per-(src, tag) FIFO of the transport keeps
+// back-to-back collectives of the same kind ordered, so one tag per kind
+// suffices.
+
+void ShrunkComm::barrier() {
+    const int n = size();
+    if (n <= 1) return;
+    if (newRank_ == 0) {
+        for (int r = 1; r < n; ++r) (void)recv(r, kBarrierTag);
+        for (int r = 1; r < n; ++r) send(r, kBarrierTag, {});
+    } else {
+        send(0, kBarrierTag, {});
+        (void)recv(0, kBarrierTag);
+    }
+}
+
+void ShrunkComm::broadcast(std::vector<std::uint8_t>& data, int root) {
+    const int n = size();
+    if (n <= 1) return;
+    if (newRank_ == root) {
+        for (int r = 0; r < n; ++r)
+            if (r != root) send(r, kBcastTag, data);
+    } else {
+        data = recv(root, kBcastTag);
+    }
+}
+
+namespace {
+
+template <typename T>
+void reduceInto(std::span<T> acc, const std::vector<std::uint8_t>& bytes,
+                ReduceOp op) {
+    WALB_ASSERT(bytes.size() == acc.size() * sizeof(T),
+                "allreduce contribution size mismatch");
+    const T* in = reinterpret_cast<const T*>(bytes.data());
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        switch (op) {
+            case ReduceOp::Sum: acc[i] += in[i]; break;
+            case ReduceOp::Min: acc[i] = std::min(acc[i], in[i]); break;
+            case ReduceOp::Max: acc[i] = std::max(acc[i], in[i]); break;
+        }
+    }
+}
+
+template <typename T>
+std::vector<std::uint8_t> toBytes(std::span<const T> v) {
+    std::vector<std::uint8_t> bytes(v.size() * sizeof(T));
+    if (!bytes.empty()) std::memcpy(bytes.data(), v.data(), bytes.size());
+    return bytes;
+}
+
+} // namespace
+
+template <typename T>
+void ShrunkComm::allreduceHub(std::span<T> inout, ReduceOp op) {
+    const int n = size();
+    if (n <= 1) return;
+    if (newRank_ == 0) {
+        for (int r = 1; r < n; ++r) reduceInto(inout, recv(r, kReduceTag), op);
+        const auto result =
+            toBytes(std::span<const T>(inout.data(), inout.size()));
+        for (int r = 1; r < n; ++r)
+            send(r, kReduceTag, std::vector<std::uint8_t>(result));
+    } else {
+        send(0, kReduceTag,
+             toBytes(std::span<const T>(inout.data(), inout.size())));
+        const auto result = recv(0, kReduceTag);
+        WALB_ASSERT(result.size() == inout.size() * sizeof(T),
+                    "allreduce result size mismatch");
+        if (!result.empty())
+            std::memcpy(inout.data(), result.data(), result.size());
+    }
+}
+
+void ShrunkComm::allreduce(std::span<double> inout, ReduceOp op) {
+    allreduceHub(inout, op);
+}
+
+void ShrunkComm::allreduce(std::span<std::uint64_t> inout, ReduceOp op) {
+    allreduceHub(inout, op);
+}
+
+std::vector<std::vector<std::uint8_t>> ShrunkComm::allgatherv(
+    std::span<const std::uint8_t> mine) {
+    const int n = size();
+    std::vector<std::vector<std::uint8_t>> parts(static_cast<std::size_t>(n));
+    parts[std::size_t(newRank_)].assign(mine.begin(), mine.end());
+    if (n <= 1) return parts;
+    if (newRank_ == 0) {
+        for (int r = 1; r < n; ++r) parts[std::size_t(r)] = recv(r, kGatherTag);
+        SendBuffer sb;
+        sb << std::uint32_t(n);
+        for (const auto& p : parts) sb << p;
+        const std::vector<std::uint8_t> wire = sb.release();
+        for (int r = 1; r < n; ++r)
+            send(r, kGatherTag, std::vector<std::uint8_t>(wire));
+    } else {
+        send(0, kGatherTag, parts[std::size_t(newRank_)]);
+        RecvBuffer rb(recv(0, kGatherTag));
+        std::uint32_t count = 0;
+        rb >> count;
+        WALB_ASSERT(int(count) == n, "allgatherv part count mismatch");
+        for (auto& p : parts) rb >> p;
+    }
+    return parts;
+}
+
+std::vector<std::vector<std::uint8_t>> ShrunkComm::gatherv(
+    std::span<const std::uint8_t> mine, int root) {
+    const int n = size();
+    if (n <= 1)
+        return {std::vector<std::uint8_t>(mine.begin(), mine.end())};
+    if (newRank_ == root) {
+        std::vector<std::vector<std::uint8_t>> parts(static_cast<std::size_t>(n));
+        parts[std::size_t(root)].assign(mine.begin(), mine.end());
+        for (int r = 0; r < n; ++r)
+            if (r != root) parts[std::size_t(r)] = recv(r, kGatherTag);
+        return parts;
+    }
+    send(root, kGatherTag,
+         std::vector<std::uint8_t>(mine.begin(), mine.end()));
+    return {};
+}
+
+} // namespace walb::vmpi

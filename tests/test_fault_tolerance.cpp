@@ -492,11 +492,15 @@ TEST(HealthMonitorTest, SeededNaNIsCaughtAndEmergencyCheckpointed) {
         EXPECT_GE(e.report.nonFiniteCells, 1u);
     }
     EXPECT_EQ(simulation.metrics().counter("health.violations").value(), 1u);
-    // The emergency checkpoint was written and is a parseable v2 file.
+    // The emergency checkpoint was written (under its rank/step-decorated
+    // name) and is a parseable v2 file.
+    const std::string written = simulation.healthMonitor()->lastEmergencyPath();
+    ASSERT_FALSE(written.empty());
+    EXPECT_NE(written.find(".r0.s"), std::string::npos) << written;
     sim::CheckpointHeader h;
     std::string err;
-    EXPECT_TRUE(sim::checkpointPeek(emergency, h, &err)) << err;
-    std::remove(emergency.c_str());
+    EXPECT_TRUE(sim::checkpointPeek(written, h, &err)) << err;
+    std::remove(written.c_str());
 }
 
 TEST(HealthMonitorTest, MassLeakIsCaught) {

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -338,12 +339,31 @@ TEST(StragglerEndToEnd, ThrottledRankIsFlaggedWithinTwentySteps) {
 
 // ---- automatic .wfr dumps on failure ---------------------------------------
 
+// Dump names embed the step at the dump moment (`<prefix>.r<rank>.s<step>.wfr`),
+// which varies per rank in a fault drill — locate by prefix + rank instead of
+// an exact path. Returns every match (normally exactly one).
+std::vector<std::string> findWfrDumps(const std::string& prefix, int rank) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::path(prefix).parent_path();
+    const std::string stem =
+        fs::path(prefix).filename().string() + ".r" + std::to_string(rank) + ".s";
+    std::vector<std::string> out;
+    for (const auto& e : fs::directory_iterator(dir)) {
+        const std::string name = e.path().filename().string();
+        if (name.rfind(stem, 0) == 0 && name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".wfr") == 0)
+            out.push_back(e.path().string());
+    }
+    return out;
+}
+
 TEST(FaultDrill, EveryRankDumpsItsFlightHistoryWhenARankDies) {
     auto setup = makeBoxSetup(4);
     auto flagInit = boxFlags(4);
     const std::string prefix = testing::TempDir() + "/walb_kill_drill";
     for (int rank = 0; rank < 4; ++rank)
-        std::remove((prefix + ".rank" + std::to_string(rank) + ".wfr").c_str());
+        for (const std::string& stale : findWfrDumps(prefix, rank))
+            std::remove(stale.c_str());
 
     vmpi::FaultPlan plan;
     plan.killRank = 2;
@@ -368,23 +388,25 @@ TEST(FaultDrill, EveryRankDumpsItsFlightHistoryWhenARankDies) {
     // Every rank — the killed one included — left a CRC-clean dump with the
     // per-step history that led up to the failure.
     for (int rank = 0; rank < 4; ++rank) {
-        const std::string path = prefix + ".rank" + std::to_string(rank) + ".wfr";
+        const std::vector<std::string> paths = findWfrDumps(prefix, rank);
+        ASSERT_EQ(paths.size(), 1u) << "rank " << rank << " left " << paths.size()
+                                    << " dumps, expected exactly one";
         obs::FlightRecorder::Dump dump;
         std::string err;
-        ASSERT_TRUE(obs::FlightRecorder::read(path, dump, &err))
-            << path << ": " << err;
+        ASSERT_TRUE(obs::FlightRecorder::read(paths[0], dump, &err))
+            << paths[0] << ": " << err;
         EXPECT_EQ(dump.rank, std::uint32_t(rank));
         EXPECT_EQ(dump.worldSize, 4u);
         EXPECT_GE(dump.samples.size(), 5u) << "history too short to diagnose";
-        std::remove(path.c_str());
+        std::remove(paths[0].c_str());
     }
 }
 
 TEST(FaultDrill, HealthViolationDumpsTheFlightHistory) {
     auto setup = makeBoxSetup(1);
     const std::string prefix = testing::TempDir() + "/walb_health_drill";
-    const std::string path = prefix + ".rank0.wfr";
-    std::remove(path.c_str());
+    for (const std::string& stale : findWfrDumps(prefix, 0))
+        std::remove(stale.c_str());
 
     vmpi::SerialComm comm;
     sim::DistributedSimulation simulation(comm, setup, boxFlags(1));
@@ -397,12 +419,14 @@ TEST(FaultDrill, HealthViolationDumpsTheFlightHistory) {
     simulation.pdfField(0).get(4, 4, 4, 0) = std::nan("");
     EXPECT_THROW(simulation.run(2, lbm::TRT::fromOmegaAndMagic(1.5)), sim::HealthError);
 
+    const std::vector<std::string> paths = findWfrDumps(prefix, 0);
+    ASSERT_EQ(paths.size(), 1u);
     obs::FlightRecorder::Dump dump;
     std::string err;
-    ASSERT_TRUE(obs::FlightRecorder::read(path, dump, &err)) << err;
+    ASSERT_TRUE(obs::FlightRecorder::read(paths[0], dump, &err)) << err;
     EXPECT_EQ(dump.worldSize, 1u);
     EXPECT_GE(dump.samples.size(), 3u);
-    std::remove(path.c_str());
+    std::remove(paths[0].c_str());
 }
 
 // ---- trace dropped-events surfacing ----------------------------------------

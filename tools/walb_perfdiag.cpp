@@ -57,6 +57,42 @@ struct LoadedDump {
     obs::FlightRecorder::Dump dump;
 };
 
+/// Post-shrink tolerance: a self-healing run dumps one `.wfr` per rank *per
+/// epoch* (names carry the step), so a kill-and-heal history hands us several
+/// files for the same rank, and files whose recorded world size disagrees.
+/// Merge everything a rank left behind into one sample stream, sorted by
+/// step; on a duplicate step (pre-failure dump overlapping the rewound
+/// replay) the later record wins — it is the one the run actually kept.
+void mergeByRank(std::vector<LoadedDump>& dumps) {
+    std::vector<LoadedDump> merged;
+    for (LoadedDump& d : dumps) {
+        auto it = std::find_if(merged.begin(), merged.end(), [&](const LoadedDump& m) {
+            return m.dump.rank == d.dump.rank;
+        });
+        if (it == merged.end()) {
+            merged.push_back(std::move(d));
+            continue;
+        }
+        it->path += " " + d.path;
+        it->dump.worldSize = std::min(it->dump.worldSize, d.dump.worldSize);
+        for (const obs::StepSample& s : d.dump.samples) it->dump.samples.push_back(s);
+    }
+    for (LoadedDump& m : merged) {
+        std::stable_sort(m.dump.samples.begin(), m.dump.samples.end(),
+                         [](const obs::StepSample& a, const obs::StepSample& b) {
+                             return a.step < b.step;
+                         });
+        std::vector<obs::StepSample> unique;
+        unique.reserve(m.dump.samples.size());
+        for (const obs::StepSample& s : m.dump.samples) {
+            if (!unique.empty() && unique.back().step == s.step) unique.back() = s;
+            else unique.push_back(s);
+        }
+        m.dump.samples = std::move(unique);
+    }
+    dumps = std::move(merged);
+}
+
 bool loadDumps(const std::vector<std::string>& paths, std::vector<LoadedDump>& out) {
     for (const auto& path : paths) {
         LoadedDump d;
@@ -71,6 +107,7 @@ bool loadDumps(const std::vector<std::string>& paths, std::vector<LoadedDump>& o
     std::sort(out.begin(), out.end(), [](const LoadedDump& a, const LoadedDump& b) {
         return a.dump.rank < b.dump.rank;
     });
+    mergeByRank(out);
     return true;
 }
 
@@ -116,6 +153,7 @@ RankSummary summarizeRank(const LoadedDump& d) {
 /// One reconstructed detection epoch of the offline straggler timeline.
 struct TimelinePoint {
     std::uint64_t step = 0;
+    std::size_t participants = 0; ///< ranks that recorded this step
     obs::StragglerVerdict verdict;
 };
 
@@ -128,7 +166,9 @@ struct TimelinePoint {
 std::vector<TimelinePoint> stragglerTimeline(const std::vector<LoadedDump>& dumps) {
     std::vector<TimelinePoint> timeline;
     if (dumps.size() < 2) return timeline;
-    // step -> per-dump seconds (only steps every rank recorded are judged).
+    // step -> per-dump seconds. A post-shrink history legitimately loses
+    // ranks mid-stream, so any step with at least two participants is
+    // judged — over exactly the ranks that recorded it.
     std::map<std::uint64_t, std::map<std::size_t, double>> byStep;
     for (std::size_t i = 0; i < dumps.size(); ++i)
         for (const obs::StepSample& s : dumps[i].dump.samples)
@@ -143,10 +183,21 @@ std::vector<TimelinePoint> stragglerTimeline(const std::vector<LoadedDump>& dump
                                 : seconds;
             seeded[i] = true;
         }
-        if (perRank.size() != dumps.size()) continue;
+        if (perRank.size() < 2) continue;
+        std::vector<double> live;
+        std::vector<std::size_t> who;
+        live.reserve(perRank.size());
+        who.reserve(perRank.size());
+        for (const auto& [i, seconds] : perRank) {
+            (void)seconds;
+            live.push_back(ewma[i]);
+            who.push_back(i);
+        }
         TimelinePoint p;
         p.step = step;
-        p.verdict = judge.judge(ewma, step);
+        p.participants = perRank.size();
+        p.verdict = judge.judge(live, step);
+        for (int& i : p.verdict.stragglers) i = int(who[std::size_t(i)]);
         timeline.push_back(std::move(p));
     }
     return timeline;
@@ -175,8 +226,16 @@ int reportDumps(const std::vector<std::string>& paths) {
     if (!timeline.empty()) {
         std::printf("straggler timeline (EWMA + median/MAD, %zu ranks):\n", dumps.size());
         std::vector<int> lastFlagged{-1}; // sentinel: force the first line
+        std::size_t lastParticipants = timeline.front().participants;
         std::size_t flaggedEpochs = 0;
         for (const TimelinePoint& p : timeline) {
+            if (p.participants != lastParticipants) {
+                std::printf("  step %8llu: rank count changed %zu -> %zu "
+                            "(post-shrink history)\n",
+                            (unsigned long long)p.step, lastParticipants,
+                            p.participants);
+                lastParticipants = p.participants;
+            }
             if (!p.verdict.stragglers.empty()) ++flaggedEpochs;
             if (p.verdict.stragglers == lastFlagged) continue;
             lastFlagged = p.verdict.stragglers;
@@ -220,7 +279,14 @@ int jsonDumps(const std::vector<std::string>& paths) {
         w.endObject();
     }
     w.endArray();
+    std::size_t minJudged = 0, maxJudged = 0;
+    for (const TimelinePoint& p : timeline) {
+        minJudged = minJudged ? std::min(minJudged, p.participants) : p.participants;
+        maxJudged = std::max(maxJudged, p.participants);
+    }
     w.kv("judged_steps", std::uint64_t(timeline.size()));
+    w.kv("min_judged_ranks", std::uint64_t(minJudged));
+    w.kv("max_judged_ranks", std::uint64_t(maxJudged));
     w.kv("flagged_steps", std::uint64_t(flaggedEpochs));
     w.key("flagged_ranks").beginArray();
     for (std::uint32_t r : flaggedRanks) w.value(std::uint64_t(r));
@@ -454,6 +520,60 @@ int selftest() {
         return 1;
     }
     if (reportDumps(wfrPaths) != 0) return 1;
+
+    // Post-shrink tolerance: after a self-healing recovery the survivors
+    // (ranks 0..2, world size 3) dump a *second* file each covering the
+    // continued steps. The merged history must still be judged across the
+    // rank-count change instead of silently stopping at the failure step.
+    {
+        std::vector<std::string> allPaths = wfrPaths;
+        std::vector<std::string> shrunkPaths;
+        for (int rank = 0; rank < kRanks - 1; ++rank) {
+            obs::FlightRecorder fr(128);
+            for (std::uint64_t step = 60; step < 80; ++step) {
+                obs::StepSample s;
+                s.step = step;
+                s.totalSeconds = 1e-3;
+                s.collideSeconds = 0.8 * s.totalSeconds;
+                s.packSeconds = 0.1 * s.totalSeconds;
+                s.exchangeSeconds = 0.1 * s.totalSeconds;
+                s.mlups = 1.0 / s.totalSeconds / 1e6;
+                fr.record(s);
+            }
+            const std::string path =
+                (dir /
+                 ("walb_perfdiag_selftest_shrunk.rank" + std::to_string(rank) + ".wfr"))
+                    .string();
+            std::string err2;
+            if (!fr.dump(path, rank, kRanks - 1, &err2)) {
+                std::fprintf(stderr, "walb_perfdiag: selftest shrink dump failed: %s\n",
+                             err2.c_str());
+                return 1;
+            }
+            shrunkPaths.push_back(path);
+            allPaths.push_back(path);
+        }
+        std::vector<LoadedDump> mergedDumps;
+        if (!loadDumps(allPaths, mergedDumps)) return 1;
+        if (mergedDumps.size() != std::size_t(kRanks)) {
+            std::fprintf(stderr,
+                         "walb_perfdiag: selftest merge produced %zu rank streams, "
+                         "expected %d\n",
+                         mergedDumps.size(), kRanks);
+            return 1;
+        }
+        const auto shrunkTimeline = stragglerTimeline(mergedDumps);
+        bool judgedPostShrink = false;
+        for (const TimelinePoint& p : shrunkTimeline)
+            if (p.step >= 60 && p.participants == std::size_t(kRanks - 1))
+                judgedPostShrink = true;
+        if (!judgedPostShrink) {
+            std::fprintf(stderr, "walb_perfdiag: selftest did not judge post-shrink "
+                                 "steps with a reduced rank count\n");
+            return 1;
+        }
+        for (const auto& p : shrunkPaths) std::remove(p.c_str());
+    }
 
     // A corrupted dump must be rejected by the CRC, not parsed into garbage.
     {
