@@ -485,9 +485,11 @@ int perfdiagSmokeRun(const std::string& metricsPath, const std::string& wfrPrefi
             for (int seg = 0; seg < kSegments; ++seg) {
                 const bool rec = (seg + seg / 2) % 2 == 0; // on,off,off,on,...
                 simulation.flightRecorder().setEnabled(rec);
+                // walb-lint: allow(blocking): benchmark phase fence — all ranks reach it; failures abort the bench
                 comm.barrier();
                 const auto t0 = std::chrono::steady_clock::now();
                 simulation.run(kSegSteps, trt);
+                // walb-lint: allow(blocking): benchmark phase fence — all ranks reach it; failures abort the bench
                 comm.barrier();
                 localSeconds[std::size_t(seg)] =
                     std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

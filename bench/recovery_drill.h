@@ -32,6 +32,7 @@
 #include "recover/RecoveryManager.h"
 #include "sim/DistributedSimulation.h"
 #include "vmpi/FaultyComm.h"
+#include "vmpi/Tags.h"
 #include "vmpi/ReliableComm.h"
 #include "vmpi/ThreadComm.h"
 
@@ -72,7 +73,7 @@ struct RecoveryDrillRecord {
 /// (healed by the sequence-number stash) and duplicates (dropped by the
 /// same) on the ghost-exchange tag.
 inline vmpi::FaultPlan transientFaultPlan(int ranks) {
-    constexpr int kGhostTag = 77;
+    constexpr int kGhostTag = vmpi::tags::kGhostExchange;
     vmpi::FaultPlan plan;
     auto add = [&](vmpi::FaultPlan::Action action, int src, std::uint64_t matchIndex,
                    std::uint64_t delayBy = 1) {

@@ -145,6 +145,7 @@ SetupBlockForest SetupBlockForest::createDistributed(vmpi::Comm& comm,
     // Gather the classification on all processes.
     SendBuffer sb;
     sb << myBlocks << myResults;
+    // walb-lint: allow(blocking): setup-phase collective, runs once before timestepping — no deadline installed yet
     const auto all = comm.allgatherv(std::span<const std::uint8_t>(sb.data(), sb.size()));
 
     std::vector<std::uint8_t> classOf(total, 0);
@@ -413,7 +414,11 @@ std::optional<SetupBlockForest> SetupBlockForest::loadFromFile(const std::string
     std::vector<std::uint8_t> bytes;
     if (!readFile(path, bytes)) return std::nullopt;
     RecvBuffer buf(std::move(bytes));
-    return load(buf);
+    try {
+        return load(buf);
+    } catch (const BufferError&) {
+        return std::nullopt; // truncated stream must read as "cannot load"
+    }
 }
 
 } // namespace walb::bf

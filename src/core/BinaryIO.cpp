@@ -1,5 +1,7 @@
 #include "core/BinaryIO.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <memory>
 
@@ -19,6 +21,11 @@ bool writeFile(const std::string& path, const SendBuffer& buf) {
 }
 
 bool readFile(const std::string& path, std::vector<std::uint8_t>& out) {
+    // fopen("rb") happily opens a directory on Linux; ftell then reports a
+    // bogus (sometimes enormous) size and the resize below throws
+    // bad_alloc. Reject anything that is not a regular file up front.
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) return false;
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f) return false;
     std::fseek(f.get(), 0, SEEK_END);

@@ -177,6 +177,9 @@ public:
 
     void getBytes(void* dst, std::size_t n) {
         if (n > data_.size() - pos_) throw BufferError(n, remaining());
+        // n == 0 must not reach memcpy: an empty caller buffer hands over
+        // dst == nullptr, which is UB even for zero-length copies.
+        if (n == 0) return;
         std::memcpy(dst, data_.data() + pos_, n);
         pos_ += n;
     }

@@ -1,0 +1,187 @@
+#include "lint/Lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace walb::lint {
+
+namespace {
+
+bool isIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool isIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Multi-character punctuation, longest first so the greedy match wins.
+const char* const kMultiPunct[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=",  "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+};
+
+std::string trim(const std::string& s) {
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/// Records the directive when a comment body contains the walb-lint marker.
+void harvestAnnotation(const std::string& body, int line, std::vector<Annotation>& out) {
+    static const std::string kMarker = "walb-lint:";
+    const std::size_t at = body.find(kMarker);
+    if (at == std::string::npos) return;
+    out.push_back({line, trim(body.substr(at + kMarker.size()))});
+}
+
+} // namespace
+
+LexResult lex(const std::string& source) {
+    LexResult r;
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto peek = [&](std::size_t k) -> char { return i + k < n ? source[i + k] : '\0'; };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment: harvest a possible annotation, swallow to newline.
+        if (c == '/' && peek(1) == '/') {
+            std::size_t end = source.find('\n', i);
+            if (end == std::string::npos) end = n;
+            harvestAnnotation(source.substr(i + 2, end - i - 2), line, r.annotations);
+            i = end;
+            continue;
+        }
+        // Block comment (may span lines; annotation line = marker's line).
+        if (c == '/' && peek(1) == '*') {
+            std::size_t j = i + 2;
+            int startLine = line;
+            std::string body;
+            while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) {
+                if (source[j] == '\n') ++line;
+                body += source[j];
+                ++j;
+            }
+            harvestAnnotation(body, startLine, r.annotations);
+            i = j + 2 <= n ? j + 2 : n;
+            continue;
+        }
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && source[j] != '(') delim += source[j++];
+            const std::string closer = ")" + delim + "\"";
+            std::size_t end = source.find(closer, j);
+            if (end == std::string::npos) end = n;
+            std::string content = source.substr(j + 1, end - j - 1);
+            r.tokens.push_back({Token::Kind::String, content, line});
+            for (char ch : content)
+                if (ch == '\n') ++line;
+            i = end == n ? n : end + closer.size();
+            continue;
+        }
+        // String / char literal with escapes.
+        if (c == '"' || c == '\'') {
+            const char q = c;
+            std::size_t j = i + 1;
+            std::string content;
+            while (j < n && source[j] != q) {
+                if (source[j] == '\\' && j + 1 < n) {
+                    content += source[j];
+                    content += source[j + 1];
+                    j += 2;
+                    continue;
+                }
+                if (source[j] == '\n') ++line; // unterminated; keep line count sane
+                content += source[j++];
+            }
+            r.tokens.push_back(
+                {q == '"' ? Token::Kind::String : Token::Kind::CharLit, content, line});
+            i = j < n ? j + 1 : n;
+            continue;
+        }
+        // Number: 0x.., 0b.., digits with ' separators, float suffixes, and
+        // exponents (1e-3 consumes the sign so `-` stays arithmetic-only).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::size_t j = i;
+            std::string text;
+            while (j < n) {
+                const char d = source[j];
+                if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' || d == '\'') {
+                    text += d;
+                    ++j;
+                    continue;
+                }
+                if ((d == '+' || d == '-') && j > i) {
+                    const char prev = source[j - 1];
+                    if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+                        text += d;
+                        ++j;
+                        continue;
+                    }
+                }
+                break;
+            }
+            r.tokens.push_back({Token::Kind::Number, text, line});
+            i = j;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            std::string text;
+            while (j < n && isIdentChar(source[j])) text += source[j++];
+            r.tokens.push_back({Token::Kind::Identifier, text, line});
+            i = j;
+            continue;
+        }
+        // Punctuation: longest multi-char operator first.
+        {
+            std::string text(1, c);
+            for (const char* op : kMultiPunct) {
+                std::size_t len = std::char_traits<char>::length(op);
+                if (source.compare(i, len, op) == 0) {
+                    text = op;
+                    break;
+                }
+            }
+            r.tokens.push_back({Token::Kind::Punct, text, line});
+            i += text.size();
+        }
+    }
+    return r;
+}
+
+bool parseDirectiveArgs(const std::string& directive, const std::string& name,
+                        std::vector<std::string>& args) {
+    if (directive.compare(0, name.size(), name) != 0) return false;
+    std::size_t open = directive.find('(', name.size());
+    if (open == std::string::npos || trim(directive.substr(name.size(), open - name.size())) != "")
+        return false;
+    std::size_t close = directive.find(')', open);
+    if (close == std::string::npos) return false;
+    args.clear();
+    std::string cur;
+    for (std::size_t i = open + 1; i < close; ++i) {
+        if (directive[i] == ',') {
+            args.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += directive[i];
+        }
+    }
+    const std::string last = trim(cur);
+    if (!last.empty() || !args.empty()) args.push_back(last);
+    return true;
+}
+
+} // namespace walb::lint

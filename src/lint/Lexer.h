@@ -1,0 +1,57 @@
+#pragma once
+/// \file Lexer.h
+/// Minimal C++ lexer for walb_lint: turns a translation unit into a flat
+/// token stream plus the `// walb-lint:` annotations found in comments.
+///
+/// This is deliberately not a real C++ front end. The project invariants
+/// walb_lint enforces (blocking-call discipline, tag and metric registries,
+/// deterministic-region bans, lock-scope rules) are all decidable on a
+/// token stream with light brace tracking; a full parser would buy nothing
+/// but fragility. The lexer's one hard job is to never misread nesting:
+/// comments, string/char literals (escapes and raw strings included) and
+/// preprocessor noise must not leak tokens, or every downstream rule
+/// mis-fires.
+
+#include <string>
+#include <vector>
+
+namespace walb::lint {
+
+struct Token {
+    enum class Kind {
+        Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+        Number,     ///< integer or floating literal (hex/bin/sep-friendly)
+        String,     ///< text WITHOUT the surrounding quotes, escapes raw
+        CharLit,    ///< 'x' — content only, like String
+        Punct       ///< operators/punctuation; multi-char ops are one token
+    };
+
+    Kind kind;
+    std::string text;
+    int line; ///< 1-based line of the token's first character
+};
+
+/// One `// walb-lint: <directive>` (or block-comment) annotation.
+/// `directive` is the trimmed text after the "walb-lint:" marker, e.g.
+/// "allow(blocking): deadline set by driver" or "tag-band(user, 0, 1023)".
+struct Annotation {
+    int line;
+    std::string directive;
+};
+
+struct LexResult {
+    std::vector<Token> tokens;
+    std::vector<Annotation> annotations;
+};
+
+/// Lexes `source`. Never fails: unterminated constructs are closed at end
+/// of file (the rules operate on whatever structure is recoverable).
+LexResult lex(const std::string& source);
+
+/// Parses "name(arg1, arg2, ...)" shaped directives: returns true and
+/// fills `args` when `directive` starts with `name(` and the parenthesis
+/// closes; trailing text after ')' is ignored (free-form reason strings).
+bool parseDirectiveArgs(const std::string& directive, const std::string& name,
+                        std::vector<std::string>& args);
+
+} // namespace walb::lint

@@ -1,0 +1,605 @@
+#include "lint/Lint.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+
+namespace walb::lint {
+
+namespace {
+
+// ---- shared helpers --------------------------------------------------------
+
+/// Per-file annotation lookup: allow(<rule>) on the flagged line or the
+/// line directly above suppresses that rule's violation there.
+class AnnotationIndex {
+public:
+    explicit AnnotationIndex(const std::vector<Annotation>& annotations) {
+        for (const Annotation& a : annotations) byLine_[a.line].push_back(a.directive);
+    }
+
+    bool allows(const std::string& rule, int line) const {
+        return allowsAt(rule, line) || allowsAt(rule, line - 1);
+    }
+
+private:
+    bool allowsAt(const std::string& rule, int line) const {
+        auto it = byLine_.find(line);
+        if (it == byLine_.end()) return false;
+        for (const std::string& d : it->second) {
+            std::vector<std::string> args;
+            if (!parseDirectiveArgs(d, "allow", args) || args.size() != 1) continue;
+            // allow(blocking) is the documented short form of blocking-guard.
+            if (args[0] == rule || (args[0] == "blocking" && rule == "blocking-guard"))
+                return true;
+        }
+        return false;
+    }
+
+    std::map<int, std::vector<std::string>> byLine_;
+};
+
+/// Inclusive line ranges marked `begin(deterministic)` .. `end(deterministic)`.
+std::vector<std::pair<int, int>> deterministicRegions(
+    const std::vector<Annotation>& annotations, const std::string& path,
+    std::vector<Violation>& out) {
+    std::vector<std::pair<int, int>> regions;
+    int openLine = -1;
+    for (const Annotation& a : annotations) {
+        std::vector<std::string> args;
+        if (parseDirectiveArgs(a.directive, "begin", args) && args.size() == 1 &&
+            args[0] == "deterministic") {
+            if (openLine >= 0)
+                out.push_back({path, a.line, "determinism",
+                               "nested begin(deterministic) — previous region at line " +
+                                   std::to_string(openLine) + " is still open"});
+            openLine = a.line;
+        } else if (parseDirectiveArgs(a.directive, "end", args) && args.size() == 1 &&
+                   args[0] == "deterministic") {
+            if (openLine < 0) {
+                out.push_back({path, a.line, "determinism",
+                               "end(deterministic) without a matching begin"});
+            } else {
+                regions.emplace_back(openLine, a.line);
+                openLine = -1;
+            }
+        }
+    }
+    if (openLine >= 0)
+        out.push_back({path, openLine, "determinism",
+                       "unterminated begin(deterministic) region"});
+    return regions;
+}
+
+bool inRegions(const std::vector<std::pair<int, int>>& regions, int line) {
+    for (const auto& [b, e] : regions)
+        if (line > b && line < e) return true;
+    return false;
+}
+
+bool isOneOf(const std::string& s, std::initializer_list<const char*> set) {
+    for (const char* x : set)
+        if (s == x) return true;
+    return false;
+}
+
+/// Numeric-literal text → value (handles hex/binary/octal and ' separators).
+long literalValue(const std::string& text) {
+    std::string clean;
+    for (char c : text)
+        if (c != '\'') clean += c;
+    return std::strtol(clean.c_str(), nullptr, 0);
+}
+
+bool isIntegerLiteral(const Token& t) {
+    return t.kind == Token::Kind::Number && t.text.find('.') == std::string::npos &&
+           (t.text.find('e') == std::string::npos || t.text.rfind("0x", 0) == 0);
+}
+
+/// Splits the argument list of a call whose '(' is at token index `open`
+/// into top-level argument token ranges. Returns the index one past the
+/// matching ')' (or tokens.size() if unbalanced).
+std::size_t splitCallArgs(const std::vector<Token>& toks, std::size_t open,
+                          std::vector<std::pair<std::size_t, std::size_t>>& args) {
+    args.clear();
+    int depth = 0;
+    std::size_t argBegin = open + 1;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        const std::string& t = toks[i].text;
+        if (toks[i].kind != Token::Kind::Punct) continue;
+        if (t == "(" || t == "[" || t == "{") {
+            ++depth;
+        } else if (t == ")" || t == "]" || t == "}") {
+            --depth;
+            if (depth == 0) {
+                if (i > argBegin) args.emplace_back(argBegin, i);
+                return i + 1;
+            }
+        } else if (t == "," && depth == 1) {
+            args.emplace_back(argBegin, i);
+            argBegin = i + 1;
+        }
+    }
+    return toks.size();
+}
+
+/// True when the argument token range is a bare integer literal (optionally
+/// negated): the shape a magic tag number takes at a call site.
+bool isLiteralIntArg(const std::vector<Token>& toks,
+                     std::pair<std::size_t, std::size_t> range, long* value) {
+    const std::size_t len = range.second - range.first;
+    if (len == 1 && isIntegerLiteral(toks[range.first])) {
+        *value = literalValue(toks[range.first].text);
+        return true;
+    }
+    if (len == 2 && toks[range.first].text == "-" && isIntegerLiteral(toks[range.first + 1])) {
+        *value = -literalValue(toks[range.first + 1].text);
+        return true;
+    }
+    return false;
+}
+
+/// Lexical scope for the blocking-guard and lock-scope rules.
+struct Scope {
+    bool isLoop = false;      ///< `{` introduced by for/while/do
+    bool sawDeadline = false; ///< setRecvDeadline called in this scope
+    bool lockHeld = false;    ///< lock_guard/unique_lock declared here
+};
+
+struct RuleContext {
+    const std::string& path;
+    const std::vector<Token>& toks;
+    const AnnotationIndex& allow;
+    const std::vector<std::pair<int, int>>& detRegions;
+    const Linter& linter;
+};
+
+const char* kBlockingRule = "blocking-guard";
+const char* kTagRule = "tag-registry";
+const char* kMetricRule = "metric-name";
+const char* kDetRule = "determinism";
+const char* kLockRule = "lock-scope";
+
+// ---- rule: blocking-guard + lock-scope (one scope-tracking pass) ----------
+
+void checkScopedRules(const RuleContext& ctx, std::vector<Violation>& out) {
+    const std::vector<Token>& toks = ctx.toks;
+    std::vector<Scope> scopes;
+    bool pendingLoop = false;
+    int parenDepth = 0;
+
+    auto anyScope = [&](auto pred) {
+        return std::any_of(scopes.begin(), scopes.end(), pred);
+    };
+    auto prevText = [&](std::size_t i) -> std::string {
+        return i > 0 ? toks[i - 1].text : std::string();
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind == Token::Kind::Punct) {
+            if (t.text == "(") ++parenDepth;
+            else if (t.text == ")") --parenDepth;
+            else if (t.text == "{") {
+                scopes.push_back(Scope{pendingLoop, false, false});
+                pendingLoop = false;
+            } else if (t.text == "}") {
+                if (!scopes.empty()) scopes.pop_back();
+            } else if (t.text == ";" && parenDepth == 0) {
+                pendingLoop = false;
+            }
+            continue;
+        }
+        if (t.kind != Token::Kind::Identifier) continue;
+        const bool isCall = i + 1 < toks.size() && toks[i + 1].text == "(";
+
+        if (isOneOf(t.text, {"for", "while", "do"})) {
+            pendingLoop = true;
+            continue;
+        }
+        // Scope facts.
+        if (t.text == "setRecvDeadline" && isCall &&
+            (prevText(i) == "." || prevText(i) == "->" ||
+             isOneOf(prevText(i), {";", "{", "}"}))) {
+            if (!scopes.empty()) scopes.back().sawDeadline = true;
+            continue;
+        }
+        if (isOneOf(t.text, {"lock_guard", "unique_lock", "scoped_lock"})) {
+            if (!scopes.empty()) scopes.back().lockHeld = true;
+            continue;
+        }
+
+        const bool lockHeld = anyScope([](const Scope& s) { return s.lockHeld; });
+
+        // lock-scope (a): no comm/observer/log call while a mutex is held.
+        if (lockHeld &&
+            ((isCall && isOneOf(t.text, {"send", "recv", "tryRecv", "barrier", "broadcast",
+                                         "allreduce", "allgatherv", "gatherv", "deliver",
+                                         "reportError", "notify_all", "notify_one"}) &&
+              (prevText(i) == "." || prevText(i) == "->" ||
+               isOneOf(prevText(i), {";", "{", "}"}))) ||
+             (isCall && t.text.rfind("WALB_LOG", 0) == 0))) {
+            // notify under lock is legal but defeats the wait-morphing fast
+            // path and extends the critical section; the rest are deadlock
+            // or lock-order hazards (logging takes the logger mutex, comm
+            // calls can block forever, observers run arbitrary user code).
+            if (!ctx.allow.allows(kLockRule, t.line))
+                out.push_back({ctx.path, t.line, kLockRule,
+                               "'" + t.text + "' called while a mutex is held — move it "
+                               "outside the critical section or annotate "
+                               "// walb-lint: allow(lock-scope): <reason>"});
+            continue;
+        }
+
+        // lock-scope (b): predicate-less condition_variable waits must sit
+        // inside a retry loop (spurious wakeups re-run the check).
+        if (isCall && isOneOf(t.text, {"wait", "wait_for", "wait_until"}) &&
+            (prevText(i) == "." || prevText(i) == "->")) {
+            std::vector<std::pair<std::size_t, std::size_t>> args;
+            splitCallArgs(toks, i + 1, args);
+            const std::size_t predicateArgc = t.text == "wait" ? 2 : 3;
+            const bool hasPredicate = args.size() >= predicateArgc;
+            // pendingLoop covers the braceless form `while (cond) cv.wait(lk);`
+            const bool inLoop =
+                pendingLoop || anyScope([](const Scope& s) { return s.isLoop; });
+            if (!hasPredicate && !inLoop && !ctx.allow.allows(kLockRule, t.line))
+                out.push_back({ctx.path, t.line, kLockRule,
+                               "predicate-less '" + t.text + "' outside a retry loop — "
+                               "spurious wakeups will pass unchecked"});
+            continue;
+        }
+
+        // blocking-guard: blocking receives and collectives.
+        bool blocking = false;
+        if (isCall && isOneOf(t.text, {"recv", "broadcast", "allreduce", "allgatherv",
+                                       "gatherv"}) &&
+            (prevText(i) == "." || prevText(i) == "->")) {
+            blocking = true;
+        } else if (isCall && t.text == "barrier" &&
+                   (prevText(i) == "." || prevText(i) == "->" ||
+                    isOneOf(prevText(i), {";", "{", "}"}))) {
+            blocking = true;
+        } else if (isCall &&
+                   isOneOf(t.text, {"allreduceSum", "allreduceMax", "allreduceMin",
+                                    "broadcastObject", "recvObject"}) &&
+                   (prevText(i) == "::" ||
+                    isOneOf(prevText(i), {"(", ",", "=", "return", ";", "{", "}"}))) {
+            blocking = true;
+        }
+        if (blocking) {
+            const bool guarded = anyScope([](const Scope& s) { return s.sawDeadline; });
+            if (!guarded && !ctx.allow.allows(kBlockingRule, t.line))
+                out.push_back({ctx.path, t.line, kBlockingRule,
+                               "blocking '" + t.text + "' is neither deadline-guarded "
+                               "(no setRecvDeadline in an enclosing scope) nor annotated "
+                               "// walb-lint: allow(blocking): <reason>"});
+        }
+    }
+}
+
+// ---- rule: tag-registry (call sites + stray tag constants) ----------------
+
+/// Call-name → zero-based index of the tag argument.
+const std::pair<const char*, std::size_t> kTagArgOf[] = {
+    {"send", 1},       {"recv", 1},       {"tryRecv", 1}, {"sendObject", 2},
+    {"recvObject", 2}, {"CommError", 2},  {"BufferSystem", 1},
+};
+
+bool isTagRegistryPath(const std::string& path) {
+    const std::string suffix = "vmpi/Tags.h";
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void checkTagCallSites(const RuleContext& ctx, std::vector<Violation>& out) {
+    if (isTagRegistryPath(ctx.path)) return;
+    const std::vector<Token>& toks = ctx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != Token::Kind::Identifier) continue;
+        if (i + 1 < toks.size() && toks[i + 1].text == "(") {
+            for (const auto& [name, argIdx] : kTagArgOf) {
+                if (t.text != name) continue;
+                std::vector<std::pair<std::size_t, std::size_t>> args;
+                splitCallArgs(toks, i + 1, args);
+                long value = 0;
+                if (argIdx < args.size() && isLiteralIntArg(toks, args[argIdx], &value) &&
+                    !ctx.allow.allows(kTagRule, t.line)) {
+                    out.push_back({ctx.path, t.line, kTagRule,
+                                   "magic tag " + std::to_string(value) + " in '" + t.text +
+                                       "' call — use a named tag from vmpi/Tags.h"});
+                }
+                break;
+            }
+        }
+        // Stray tag constant: `constexpr int <...Tag...> = <literal>` may
+        // only live in the registry.
+        if (t.text == "constexpr" && i + 4 < toks.size() && toks[i + 1].text == "int" &&
+            toks[i + 2].kind == Token::Kind::Identifier &&
+            toks[i + 2].text.find("Tag") != std::string::npos && toks[i + 3].text == "=") {
+            std::size_t v = i + 4;
+            const bool neg = toks[v].text == "-";
+            if (neg) ++v;
+            if (v < toks.size() && isIntegerLiteral(toks[v]) &&
+                !ctx.allow.allows(kTagRule, toks[i + 2].line)) {
+                out.push_back({ctx.path, toks[i + 2].line, kTagRule,
+                               "tag constant '" + toks[i + 2].text +
+                                   "' defined outside vmpi/Tags.h — move it into the "
+                                   "registry so band-overlap checking covers it"});
+            }
+        }
+    }
+}
+
+// ---- rule: metric-name ----------------------------------------------------
+
+void checkMetricNames(const RuleContext& ctx, std::vector<Violation>& out) {
+    const std::vector<Token>& toks = ctx.toks;
+    for (std::size_t i = 1; i + 2 < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != Token::Kind::Identifier ||
+            !isOneOf(t.text, {"counter", "gauge", "histogram"}))
+            continue;
+        if (!(toks[i - 1].text == "." || toks[i - 1].text == "->")) continue;
+        if (toks[i + 1].text != "(") continue;
+        if (toks[i + 2].kind != Token::Kind::String) continue;
+        const std::string& name = toks[i + 2].text;
+        if (!ctx.linter.hasMetricNames()) {
+            out.push_back({ctx.path, t.line, kMetricRule,
+                           "metric literal \"" + name + "\" found but no metric registry "
+                           "was loaded (missing obs/MetricNames.h?)"});
+            continue;
+        }
+        if (!ctx.linter.metricNames().count(name) && !ctx.allow.allows(kMetricRule, t.line))
+            out.push_back({ctx.path, t.line, kMetricRule,
+                           "metric name \"" + name + "\" is not declared in "
+                           "obs/MetricNames.h — typo, or add it to the registry"});
+    }
+}
+
+// ---- rule: determinism ----------------------------------------------------
+
+void checkDeterminism(const RuleContext& ctx, std::vector<Violation>& out) {
+    if (ctx.detRegions.empty()) return;
+    const std::vector<Token>& toks = ctx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token& t = toks[i];
+        if (t.kind != Token::Kind::Identifier) continue;
+        if (!inRegions(ctx.detRegions, t.line)) continue;
+        if (ctx.allow.allows(kDetRule, t.line)) continue;
+
+        if (isOneOf(t.text, {"rand", "srand", "drand48", "lrand48", "random",
+                             "random_device", "mt19937", "mt19937_64", "minstd_rand",
+                             "uniform_int_distribution", "uniform_real_distribution",
+                             "normal_distribution", "time", "clock", "gettimeofday",
+                             "clock_gettime", "localtime", "gmtime", "system_clock",
+                             "steady_clock", "high_resolution_clock"})) {
+            out.push_back({ctx.path, t.line, kDetRule,
+                           "'" + t.text + "' in a deterministic region — digest paths "
+                           "must not read clocks or randomness"});
+            continue;
+        }
+        if (t.text == "omp" && i > 0 && toks[i - 1].text == "pragma") {
+            out.push_back({ctx.path, t.line, kDetRule,
+                           "OpenMP pragma in a deterministic region — parallel "
+                           "accumulation order is not reproducible"});
+            continue;
+        }
+        if (isOneOf(t.text, {"float", "double", "real_t"})) {
+            const bool inSizeof =
+                i >= 2 && toks[i - 1].text == "(" && toks[i - 2].text == "sizeof";
+            if (!inSizeof)
+                out.push_back({ctx.path, t.line, kDetRule,
+                               "floating-point type '" + t.text + "' in a deterministic "
+                               "region — digests must use integer/CRC arithmetic "
+                               "(accumulation-order hazard)"});
+        }
+    }
+}
+
+} // namespace
+
+// ---- rules table -----------------------------------------------------------
+
+const std::vector<RuleInfo>& ruleTable() {
+    static const std::vector<RuleInfo> kRules = {
+        {"blocking-guard",
+         "blocking recv/collective call sites must be deadline-guarded or carry "
+         "// walb-lint: allow(blocking): <reason>"},
+        {"tag-registry",
+         "vmpi tags come from src/vmpi/Tags.h only; declared bands must not overlap, "
+         "including under recovery-epoch tag shifting"},
+        {"metric-name",
+         "obs metric string literals must be declared in src/obs/MetricNames.h"},
+        {"determinism",
+         "no clocks, randomness, OpenMP or floating-point math inside "
+         "begin(deterministic)/end(deterministic) regions"},
+        {"lock-scope",
+         "no comm/observer/log calls while holding a mutex; predicate-less cv waits "
+         "must sit in a retry loop"},
+    };
+    return kRules;
+}
+
+// ---- registry loading ------------------------------------------------------
+
+void Linter::loadTagRegistry(const std::string& path, const std::string& source,
+                             std::vector<Violation>& out) {
+    tagRegistryLoaded_ = true;
+    tagRegistryPath_ = path;
+    bands_.clear();
+    tags_.clear();
+    epochStride_ = 0;
+
+    const LexResult lx = lex(source);
+
+    // Band and stride markers, in line order.
+    int strideMarkerLine = -1;
+    for (const Annotation& a : lx.annotations) {
+        std::vector<std::string> args;
+        if (parseDirectiveArgs(a.directive, "tag-band", args)) {
+            if (args.size() != 3) {
+                out.push_back({path, a.line, kTagRule,
+                               "malformed tag-band marker (want tag-band(name, lo, hi))"});
+                continue;
+            }
+            TagBand b;
+            b.name = args[0];
+            b.lo = std::strtol(args[1].c_str(), nullptr, 0);
+            b.hi = std::strtol(args[2].c_str(), nullptr, 0);
+            b.line = a.line;
+            if (b.lo > b.hi)
+                out.push_back({path, a.line, kTagRule,
+                               "tag-band '" + b.name + "' has lo > hi"});
+            bands_.push_back(b);
+        } else if (a.directive == "tag-stride") {
+            strideMarkerLine = a.line;
+        }
+    }
+
+    // Constants: `constexpr int NAME = <literal-expr> ;` where the literal
+    // expression is N, -N or N << M.
+    const std::vector<Token>& toks = lx.tokens;
+    for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+        if (!(toks[i].text == "constexpr" && toks[i + 1].text == "int" &&
+              toks[i + 2].kind == Token::Kind::Identifier && toks[i + 3].text == "="))
+            continue;
+        std::size_t v = i + 4;
+        long sign = 1;
+        if (toks[v].text == "-") {
+            sign = -1;
+            ++v;
+        }
+        if (v >= toks.size() || !isIntegerLiteral(toks[v])) continue;
+        long value = sign * literalValue(toks[v].text);
+        if (v + 2 < toks.size() && toks[v + 1].text == "<<" && isIntegerLiteral(toks[v + 2]))
+            value <<= literalValue(toks[v + 2].text);
+
+        const int line = toks[i + 2].line;
+        // A constant a few lines under the stride marker is the stride, not
+        // a tag (doc comments may sit between the marker and the constant).
+        if (strideMarkerLine >= 0 && line > strideMarkerLine && line <= strideMarkerLine + 3 &&
+            epochStride_ == 0) {
+            epochStride_ = value;
+            continue;
+        }
+        TagConstant tc;
+        tc.name = toks[i + 2].text;
+        tc.value = value;
+        tc.line = line;
+        // Owning band: bands_ is in line order, so the last marker above
+        // the constant wins.
+        for (const TagBand& b : bands_)
+            if (b.line < line) tc.band = b.name;
+        tags_.push_back(tc);
+    }
+
+    // ---- registry consistency ----
+    for (const TagConstant& t : tags_) {
+        if (t.band.empty()) {
+            out.push_back({path, t.line, kTagRule,
+                           "tag '" + t.name + "' is not under any tag-band marker"});
+            continue;
+        }
+        for (const TagBand& b : bands_)
+            if (b.name == t.band && (t.value < b.lo || t.value > b.hi))
+                out.push_back({path, t.line, kTagRule,
+                               "tag '" + t.name + "' = " + std::to_string(t.value) +
+                                   " lies outside its band '" + b.name + "' [" +
+                                   std::to_string(b.lo) + ", " + std::to_string(b.hi) + "]"});
+    }
+    for (std::size_t a = 0; a < tags_.size(); ++a)
+        for (std::size_t b = a + 1; b < tags_.size(); ++b)
+            if (tags_[a].value == tags_[b].value)
+                out.push_back({path, tags_[b].line, kTagRule,
+                               "tags '" + tags_[a].name + "' and '" + tags_[b].name +
+                                   "' share value " + std::to_string(tags_[a].value)});
+    for (std::size_t a = 0; a < bands_.size(); ++a)
+        for (std::size_t b = a + 1; b < bands_.size(); ++b)
+            if (bands_[a].lo <= bands_[b].hi && bands_[a].hi >= bands_[b].lo)
+                out.push_back({path, bands_[b].line, kTagRule,
+                               "tag-bands '" + bands_[a].name + "' and '" + bands_[b].name +
+                                   "' overlap"});
+    // Epoch-shift safety: no band shifted by d strides (d >= 1) may land in
+    // another band — stale frames of an abandoned epoch must never match.
+    if (epochStride_ > 0 && !bands_.empty()) {
+        long minLo = bands_[0].lo, maxHi = bands_[0].hi;
+        for (const TagBand& b : bands_) {
+            minLo = std::min(minLo, b.lo);
+            maxHi = std::max(maxHi, b.hi);
+        }
+        const long maxD = (maxHi - minLo) / epochStride_ + 1;
+        for (const TagBand& a : bands_)
+            for (const TagBand& b : bands_)
+                for (long d = 1; d <= maxD; ++d)
+                    if (a.lo + d * epochStride_ <= b.hi && a.hi + d * epochStride_ >= b.lo)
+                        out.push_back(
+                            {path, a.line, kTagRule,
+                             "tag-band '" + a.name + "' shifted by " + std::to_string(d) +
+                                 " recovery epoch(s) collides with band '" + b.name + "'"});
+    } else if (epochStride_ == 0) {
+        out.push_back({path, 1, kTagRule,
+                       "registry declares no tag-stride marker — epoch-shift overlap "
+                       "cannot be verified"});
+    }
+}
+
+void Linter::loadMetricNames(const std::string& path, const std::string& source,
+                             std::vector<Violation>& out) {
+    metricNamesLoaded_ = true;
+    metricNames_.clear();
+    const LexResult lx = lex(source);
+    int begin = -1, end = -1;
+    for (const Annotation& a : lx.annotations) {
+        if (a.directive == "metric-names-begin") begin = a.line;
+        if (a.directive == "metric-names-end") end = a.line;
+    }
+    if (begin < 0 || end < 0 || end <= begin) {
+        out.push_back({path, 1, kMetricRule,
+                       "metric-names-begin/end markers missing or out of order"});
+        return;
+    }
+    for (const Token& t : lx.tokens) {
+        if (t.kind != Token::Kind::String || t.line <= begin || t.line >= end) continue;
+        if (!metricNames_.insert(t.text).second)
+            out.push_back({path, t.line, kMetricRule,
+                           "metric name \"" + t.text + "\" declared twice"});
+    }
+}
+
+// ---- per-file driver -------------------------------------------------------
+
+std::vector<Violation> Linter::checkFile(const std::string& path,
+                                         const std::string& source) const {
+    std::vector<Violation> out;
+    const LexResult lx = lex(source);
+    const AnnotationIndex allow(lx.annotations);
+    const std::vector<std::pair<int, int>> det =
+        deterministicRegions(lx.annotations, path, out);
+    const RuleContext ctx{path, lx.tokens, allow, det, *this};
+
+    checkScopedRules(ctx, out);
+    checkTagCallSites(ctx, out);
+    checkMetricNames(ctx, out);
+    checkDeterminism(ctx, out);
+
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Violation& a, const Violation& b) { return a.line < b.line; });
+    return out;
+}
+
+std::set<std::string> Linter::collectMetricLiterals(const std::string& source) {
+    std::set<std::string> names;
+    const LexResult lx = lex(source);
+    const std::vector<Token>& toks = lx.tokens;
+    for (std::size_t i = 1; i + 2 < toks.size(); ++i) {
+        if (toks[i].kind == Token::Kind::Identifier &&
+            isOneOf(toks[i].text, {"counter", "gauge", "histogram"}) &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+            toks[i + 1].text == "(" && toks[i + 2].kind == Token::Kind::String)
+            names.insert(toks[i + 2].text);
+    }
+    return names;
+}
+
+} // namespace walb::lint

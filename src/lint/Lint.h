@@ -1,0 +1,112 @@
+#pragma once
+/// \file Lint.h
+/// walb_lint rule engine: project-invariant static analysis over the walb
+/// source tree (see DESIGN.md "Static analysis & enforced invariants").
+///
+/// Five concurrency-heavy subsystems rest on conventions no compiler
+/// checks. The linter makes them machine-checked:
+///
+///   blocking-guard  every blocking recv/collective call site is either
+///                   lexically deadline-guarded (a setRecvDeadline call in
+///                   an enclosing scope) or carries an explicit
+///                   `// walb-lint: allow(blocking): <reason>` annotation.
+///   tag-registry    vmpi message tags come from src/vmpi/Tags.h only; no
+///                   integer tag literals at call sites, no tag constants
+///                   outside the registry, and the registry's declared
+///                   bands are statically checked for overlap — including
+///                   overlap under recovery-epoch tag shifting.
+///   metric-name     every string literal passed to counter()/gauge()/
+///                   histogram() is declared in src/obs/MetricNames.h, so
+///                   a typo'd series name fails the build.
+///   determinism     inside `begin(deterministic)` walb-lint regions
+///                   (digest/hash paths that must be bit-reproducible):
+///                   no randomness or clock sources, no OpenMP pragmas,
+///                   no floating-point types outside sizeof().
+///   lock-scope      no comm call, error-observer invocation or logging
+///                   while holding a mutex; condition-variable waits
+///                   without a predicate must sit in a retry loop.
+///
+/// Violations are suppressed per line with `// walb-lint: allow(<rule>)`
+/// on the flagged line or the line above; the annotation text after a
+/// colon is the human-facing justification and is mandatory style.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/Lexer.h"
+
+namespace walb::lint {
+
+struct Violation {
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+struct RuleInfo {
+    const char* name;
+    const char* description;
+};
+
+/// The rules table: one entry per enforced invariant, in the order the
+/// rules run. walb_lint --list-rules prints exactly this.
+const std::vector<RuleInfo>& ruleTable();
+
+/// One declared tag band of the registry.
+struct TagBand {
+    std::string name;
+    long lo = 0, hi = 0;
+    int line = 0;
+};
+
+/// A named tag constant parsed out of the registry.
+struct TagConstant {
+    std::string name;
+    long value = 0;
+    int line = 0;
+    std::string band; ///< empty: declared outside any band (a violation)
+};
+
+class Linter {
+public:
+    /// Parses src/vmpi/Tags.h: bands, constants and the epoch stride.
+    /// Registry-consistency violations (band overlap, tag outside its
+    /// band, duplicate values, epoch-shift collisions) are appended to
+    /// `out` under rule "tag-registry".
+    void loadTagRegistry(const std::string& path, const std::string& source,
+                         std::vector<Violation>& out);
+
+    /// Parses src/obs/MetricNames.h (the literals between the
+    /// metric-names-begin/end markers). Duplicate declarations are
+    /// appended to `out` under rule "metric-name".
+    void loadMetricNames(const std::string& path, const std::string& source,
+                         std::vector<Violation>& out);
+
+    bool hasTagRegistry() const { return tagRegistryLoaded_; }
+    bool hasMetricNames() const { return metricNamesLoaded_; }
+    const std::set<std::string>& metricNames() const { return metricNames_; }
+    const std::vector<TagBand>& tagBands() const { return bands_; }
+    const std::vector<TagConstant>& tagConstants() const { return tags_; }
+
+    /// Runs every rule over one file. `path` is used verbatim in reports.
+    std::vector<Violation> checkFile(const std::string& path,
+                                     const std::string& source) const;
+
+    /// The metric-name literals used (not declared) in `source`, for
+    /// `walb_lint --dump-metrics` registry regeneration.
+    static std::set<std::string> collectMetricLiterals(const std::string& source);
+
+private:
+    bool tagRegistryLoaded_ = false;
+    bool metricNamesLoaded_ = false;
+    std::string tagRegistryPath_;
+    std::set<std::string> metricNames_;
+    std::vector<TagBand> bands_;
+    std::vector<TagConstant> tags_;
+    long epochStride_ = 0;
+};
+
+} // namespace walb::lint

@@ -66,6 +66,7 @@ void mergeContribution(ReducedMetrics& out, RecvBuffer& rb) {
 ReducedMetrics MetricsRegistry::reduce(vmpi::Comm& comm) const {
     SendBuffer mine;
     serialize(mine, *this);
+    // walb-lint: allow(blocking): report-time collective — every rank reaches it unconditionally; the run comm's recv deadline applies
     const auto all = comm.allgatherv(std::span<const std::uint8_t>(mine.data(), mine.size()));
     ReducedMetrics out;
     out.worldSize = comm.size();

@@ -61,6 +61,7 @@ StragglerVerdict StragglerDetector::judge(std::vector<double> ewmaByRank,
 StragglerVerdict StragglerDetector::detect(vmpi::Comm& comm, std::uint64_t step) {
     SendBuffer sb;
     sb << ewma_;
+    // walb-lint: allow(blocking): report-time collective — every rank reaches it unconditionally; the run comm's recv deadline applies
     const auto all = comm.allgatherv(std::span<const std::uint8_t>(sb.data(), sb.size()));
     std::vector<double> ewmaByRank;
     ewmaByRank.reserve(all.size());

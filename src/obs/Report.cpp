@@ -21,6 +21,10 @@ bool readFileToString(const std::string& path, std::string& out) {
     if (!is) return false;
     std::ostringstream ss;
     ss << is.rdbuf();
+    // rdbuf-streaming reports read errors (e.g. `path` is a directory) on
+    // the streams, not as an open failure — without this check the caller
+    // gets an empty string and a misleading parse error downstream.
+    if (is.bad() || ss.fail()) return false;
     out = ss.str();
     return true;
 }

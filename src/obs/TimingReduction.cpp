@@ -16,6 +16,7 @@ ReducedTimingPool reduceTimingPool(vmpi::Comm& comm, const TimingPool& pool) {
     for (const auto& [name, t] : pool)
         sb << name << t.total() << std::uint64_t(t.count()) << t.min() << t.max();
 
+    // walb-lint: allow(blocking): report-time collective — every rank reaches it unconditionally; the run comm's recv deadline applies
     const auto all = comm.allgatherv(std::span<const std::uint8_t>(sb.data(), sb.size()));
 
     struct Acc {

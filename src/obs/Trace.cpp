@@ -23,6 +23,7 @@ std::vector<TraceEvent> TraceRecorder::gather(vmpi::Comm& comm, const TraceRecor
     for (const TraceEvent& e : local.events_)
         sb << e.name << std::int32_t(e.rank) << e.beginUs << e.durUs << e.depth;
 
+    // walb-lint: allow(blocking): report-time collective — every rank reaches it unconditionally; the run comm's recv deadline applies
     const auto all = comm.allgatherv(std::span<const std::uint8_t>(sb.data(), sb.size()));
 
     std::vector<TraceEvent> out;
@@ -45,6 +46,7 @@ std::vector<TraceEvent> TraceRecorder::gather(vmpi::Comm& comm, const TraceRecor
 std::uint64_t TraceRecorder::gatherDropped(vmpi::Comm& comm, const TraceRecorder& local) {
     SendBuffer sb;
     sb << std::uint64_t(local.dropped_);
+    // walb-lint: allow(blocking): report-time collective — every rank reaches it unconditionally; the run comm's recv deadline applies
     const auto all = comm.allgatherv(std::span<const std::uint8_t>(sb.data(), sb.size()));
     std::uint64_t total = 0;
     for (const auto& bytes : all) {

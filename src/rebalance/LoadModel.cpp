@@ -38,6 +38,7 @@ std::vector<double> LoadModel::gatherGlobal(vmpi::Comm& comm,
         mine << seconds;
     }
     const auto all =
+        // walb-lint: allow(blocking): report-time collective — every rank reaches it unconditionally; the run comm's recv deadline applies
         comm.allgatherv(std::span<const std::uint8_t>(mine.data(), mine.size()));
 
     // BlockID -> setup index (ranks report by identity, not by index).

@@ -51,6 +51,7 @@ bf::BlockID deserializeBlockId(RecvBuffer& buf) {
 /// Order-sensitive hash of the assignment, for the cross-rank agreement
 /// check — a rank acting on a divergent assignment would silently corrupt
 /// the block structure, so divergence must abort loudly instead.
+// walb-lint: begin(deterministic)
 std::uint64_t assignmentHash(const std::vector<std::uint32_t>& owner) {
     std::uint64_t h = 0x243f6a8885a308d3ull;
     for (std::uint32_t o : owner) {
@@ -59,6 +60,7 @@ std::uint64_t assignmentHash(const std::vector<std::uint32_t>& owner) {
     }
     return h;
 }
+// walb-lint: end(deterministic)
 
 } // namespace
 
@@ -74,8 +76,9 @@ MigrationStats migrate(sim::DistributedSimulation& sim,
 
     // All ranks must act on the identical assignment.
     std::uint64_t hashes[2] = {assignmentHash(newOwner), assignmentHash(newOwner)};
+    // walb-lint: allow(blocking): assignment-agreement collective guarding the migration itself (two reduces on the next lines)
     comm.allreduce(std::span<std::uint64_t>(hashes, 1), vmpi::ReduceOp::Min);
-    comm.allreduce(std::span<std::uint64_t>(hashes + 1, 1), vmpi::ReduceOp::Max);
+    comm.allreduce(std::span<std::uint64_t>(hashes + 1, 1), vmpi::ReduceOp::Max); // walb-lint: allow(blocking): second leg of the agreement check above
     WALB_ASSERT(hashes[0] == hashes[1],
                "migration assignment differs across ranks (collective broken)");
 
@@ -159,6 +162,7 @@ MigrationStats migrate(sim::DistributedSimulation& sim,
     for (std::size_t i = 0; i < setup.numBlocks(); ++i)
         if (newOwner[i] == myRank && oldOwner[i] != myRank) ++expected[oldOwner[i]];
     for (const auto& [srcRank, numBlocks] : expected) {
+        // walb-lint: allow(blocking): sender set derived from the agreed owner vectors on both sides, so the matching send exists; comm deadline bounds a lost peer
         RecvBuffer msg(comm.recv(int(srcRank), kMigrationTag));
         stats.bytesReceived += msg.size();
         std::uint32_t count = 0;

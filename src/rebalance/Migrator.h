@@ -28,14 +28,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "vmpi/Tags.h"
+
 namespace walb::sim {
 class DistributedSimulation;
 }
 
 namespace walb::rebalance {
 
-/// The message tag of block-migration traffic (ghost exchange uses 77).
-inline constexpr int kMigrationTag = 91;
+/// The message tag of block-migration traffic (vmpi::tags::kMigration;
+/// ghost exchange runs on vmpi::tags::kGhostExchange).
+inline constexpr int kMigrationTag = vmpi::tags::kMigration;
 
 struct MigrationStats {
     std::size_t blocksMoved = 0;   ///< global: blocks that changed rank

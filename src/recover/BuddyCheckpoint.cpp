@@ -31,6 +31,7 @@ void BuddyCheckpoint::refresh(sim::DistributedSimulation& sim, vmpi::Comm& comm,
         // Ring exchange: my copy travels to my successor; I hold my
         // predecessor's. Send first (buffered, non-blocking), then receive.
         comm.send((me + 1) % n, kBuddyTag, selfCopy_);
+        // walb-lint: allow(blocking): ring partner sent first (buffered, non-blocking), so the matching send exists; comm deadline bounds a dead partner
         partnerCopy_ = comm.recv((me - 1 + n) % n, kBuddyTag);
         partnerRank_ = (me - 1 + n) % n;
     } else {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "vmpi/Comm.h"
+#include "vmpi/Tags.h"
 
 namespace walb::sim {
 class DistributedSimulation;
@@ -36,9 +37,9 @@ namespace walb::recover {
 
 /// Tag of the ring exchange (plain user tag: epoch-shifted automatically
 /// when the active comm is a ShrunkComm).
-inline constexpr int kBuddyTag = 93;
+inline constexpr int kBuddyTag = vmpi::tags::kBuddyStore;
 /// Tag of recovery-time lost-block shipping (RecoveryManager).
-inline constexpr int kRestoreTag = 94;
+inline constexpr int kRestoreTag = vmpi::tags::kBuddyRestore;
 
 class BuddyCheckpoint {
 public:

@@ -19,7 +19,10 @@ double elapsedSeconds(std::chrono::steady_clock::time_point a,
 
 std::string rankList(const std::vector<int>& ranks) {
     std::string s;
-    for (int r : ranks) s += (s.empty() ? "" : ",") + std::to_string(r);
+    for (int r : ranks) {
+        if (!s.empty()) s += ',';
+        s += std::to_string(r);
+    }
     return s;
 }
 
@@ -314,6 +317,7 @@ bool RecoveryManager::restoreFromBuddy(const std::vector<std::uint32_t>& ownerWo
     for (const auto& [key, idxs] : plan) {
         if (key.second != me || key.first == me) continue;
         try {
+            // walb-lint: allow(blocking): restore plan is agreed collectively, so the matching send exists; the recovery comm carries a deadline
             RecvBuffer rb(comm.recv(key.first, kRestoreTag));
             std::uint32_t count = 0;
             rb >> count;

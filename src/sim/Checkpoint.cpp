@@ -144,6 +144,7 @@ bool checkpointSave(DistributedSimulation& sim, const std::string& path,
 
     // One-writer strategy: gather everything on rank 0, single write.
     const auto all =
+        // walb-lint: allow(blocking): checkpoint collective — every rank reaches it unconditionally; the run comm's recv deadline applies
         comm.gatherv(std::span<const std::uint8_t>(mine.data(), mine.size()), 0);
     bool ok = true;
     std::uint64_t fileBytes = 0;
@@ -170,6 +171,7 @@ bool checkpointSave(DistributedSimulation& sim, const std::string& path,
         sb << ok << fileBytes;
         status = sb.release();
     }
+    // walb-lint: allow(blocking): checkpoint collective — every rank reaches it unconditionally; the run comm's recv deadline applies
     comm.broadcast(status, 0);
     RecvBuffer rb(std::move(status));
     bool fileOk = false;
@@ -191,6 +193,7 @@ bool checkpointLoad(DistributedSimulation& sim, const std::string& path,
     if (comm.rank() == 0) {
         if (!readFile(path, bytes)) bytes.clear();
     }
+    // walb-lint: allow(blocking): checkpoint collective — every rank reaches it unconditionally; the run comm's recv deadline applies
     comm.broadcast(bytes, 0);
     if (bytes.empty()) {
         setError(error, "cannot read checkpoint file '" + path + "'");
@@ -256,6 +259,7 @@ bool checkpointPeek(const std::string& path, CheckpointHeader& out, std::string*
     }
 }
 
+// walb-lint: begin(deterministic)
 std::uint64_t checkpointDigest(DistributedSimulation& sim) {
     std::uint64_t local = 0;
     for (std::size_t b = 0; b < sim.forest().numLocalBlocks(); ++b) {
@@ -274,8 +278,10 @@ std::uint64_t checkpointDigest(DistributedSimulation& sim) {
                                 std::size_t(pdf.xSize()) * sizeof(real_t), crc);
         local += crc;
     }
+    // walb-lint: allow(blocking): digest reduction, reached by all ranks
     return vmpi::allreduceSum(sim.comm(), local);
 }
+// walb-lint: end(deterministic)
 
 CheckpointOptions CheckpointOptions::fromArgs(int argc, char** argv) {
     auto valueOf = [&](const std::string& flag, int i) -> std::string {

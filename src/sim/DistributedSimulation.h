@@ -31,6 +31,7 @@
 #include "lbm/KernelGeneric.h"
 #include "lbm/Sparse.h"
 #include "obs/FlightRecorder.h"
+#include "vmpi/Tags.h"
 #include "obs/Metrics.h"
 #include "obs/PerfDiag.h"
 #include "obs/TimingReduction.h"
@@ -50,7 +51,7 @@ public:
     PdfCommScheme(bf::BlockForest& forest, vmpi::Comm& comm,
                   bf::BlockForest::BlockDataID srcId, bool fullPdfSet = false)
         : forest_(forest), comm_(comm), srcId_(srcId), fullPdfSet_(fullPdfSet),
-          bufferSystem_(comm, /*tag=*/77) {
+          bufferSystem_(comm, vmpi::tags::kGhostExchange) {
         bufferSystem_.setReceiverInfo(std::vector<int>(forest.neighborProcesses().begin(),
                                                        forest.neighborProcesses().end()));
         // Map (sender block id, sender direction) -> local receiving block.
@@ -184,7 +185,8 @@ private:
     }
 
     vmpi::CommError makeCorruptError(int rank, const std::string& detail) const {
-        return vmpi::CommError(vmpi::CommError::Kind::Corrupt, rank, /*tag=*/77, 0.0,
+        return vmpi::CommError(vmpi::CommError::Kind::Corrupt, rank,
+                               vmpi::tags::kGhostExchange, 0.0,
                                detail);
     }
 
@@ -448,6 +450,7 @@ public:
         return n;
     }
     uint_t globalFluidCells() {
+        // walb-lint: allow(blocking): diagnostic collective, reached by all ranks; the run comm's recv deadline applies
         return vmpi::allreduceSum(*comm_, std::uint64_t(localFluidCells()));
     }
 
@@ -623,6 +626,7 @@ public:
             data[2] = u[2];
             data[3] = 1;
         }
+        // walb-lint: allow(blocking): diagnostic collective, reached by all ranks; the run comm's recv deadline applies
         comm_->allreduce(std::span<double>(data, 4), vmpi::ReduceOp::Sum);
         WALB_ASSERT(data[3] == 1.0, "global cell owned by " << data[3] << " ranks");
         return {data[0], data[1], data[2]};
@@ -639,6 +643,7 @@ public:
                     mass += lbm::cellDensity<M>(src, x, y, z);
             });
         }
+        // walb-lint: allow(blocking): diagnostic collective, reached by all ranks; the run comm's recv deadline applies
         return vmpi::allreduceSum(*comm_, mass);
     }
 

@@ -202,6 +202,7 @@ private:
                     vals[1] += lbm::cellDensity<M>(pdf, x, y, z);
             });
         }
+        // walb-lint: allow(blocking): invariant-check collective, reached by all ranks
         sim.comm().allreduce(std::span<double>(vals, 2), vmpi::ReduceOp::Sum);
         return {std::uint64_t(vals[0]), vals[1]};
     }

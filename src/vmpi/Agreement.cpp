@@ -5,6 +5,7 @@
 
 #include "core/Buffer.h"
 #include "core/Debug.h"
+#include "vmpi/Tags.h"
 
 namespace walb::vmpi {
 
@@ -19,9 +20,8 @@ struct AgreeState {
     std::vector<std::uint8_t> dead;
 };
 
-constexpr int kAgreeTagBase = -9300;
 /// Per-epoch tag so a retry of the whole recovery never reads stale gossip.
-int agreeTag(int epoch) { return kAgreeTagBase - epoch; }
+int agreeTag(int epoch) { return tags::kAgreeBase - epoch; }
 
 void encode(const AgreeState& s, SendBuffer& sb) {
     sb << s.attempt << s.round << s.stable << s.done << s.dead;

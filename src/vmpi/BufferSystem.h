@@ -136,6 +136,7 @@ public:
             const int src = pending_.front();
             std::vector<std::uint8_t> bytes;
             try {
+                // walb-lint: allow(blocking): sweep owner installs the recv deadline on comm_; a miss is accounted here and rethrown
                 bytes = comm_.recv(src, tag_);
             } catch (const CommError& e) {
                 if (e.kind == CommError::Kind::DeadlineExceeded) ++deadlineMisses_;

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "core/Buffer.h"
+#include "vmpi/Tags.h"
 #include "vmpi/Comm.h"
 
 namespace walb::vmpi {
@@ -66,7 +67,7 @@ public:
     /// Control tag of the NACK side channel; never used by upper layers
     /// (user tags are small non-negative ints, epoch-shifted tags stay far
     /// from it).
-    static constexpr int kNackTag = -9117;
+    static constexpr int kNackTag = tags::kNack;
 
     explicit ReliableComm(Comm& inner) : inner_(inner) {}
     ReliableComm(Comm& inner, RetryOptions opt) : inner_(inner), opt_(opt) {}
@@ -112,7 +113,7 @@ public:
             std::vector<std::uint8_t> raw;
             try {
                 ObserverGate gate(suppressObserver_, attempt < opt_.maxRetries);
-                raw = inner_.recv(src, tag);
+                raw = inner_.recv(src, tag); // walb-lint: allow(blocking): the retry loop exists to catch DeadlineExceeded — the deadline is installed by the owner on the inner comm
             } catch (const CommError& e) {
                 if (e.kind != CommError::Kind::DeadlineExceeded) throw;
                 if (attempt >= opt_.maxRetries) {
@@ -167,23 +168,23 @@ public:
         return false;
     }
 
-    void barrier() override { inner_.barrier(); }
+    void barrier() override { inner_.barrier(); } // walb-lint: allow(blocking): decorator forward — the wrapped comm honors the configured recv deadline
     void broadcast(std::vector<std::uint8_t>& data, int root) override {
-        inner_.broadcast(data, root);
+        inner_.broadcast(data, root); // walb-lint: allow(blocking): decorator forward — the wrapped comm honors the configured recv deadline
     }
     void allreduce(std::span<double> inout, ReduceOp op) override {
-        inner_.allreduce(inout, op);
+        inner_.allreduce(inout, op); // walb-lint: allow(blocking): decorator forward — the wrapped comm honors the configured recv deadline
     }
     void allreduce(std::span<std::uint64_t> inout, ReduceOp op) override {
-        inner_.allreduce(inout, op);
+        inner_.allreduce(inout, op); // walb-lint: allow(blocking): decorator forward — the wrapped comm honors the configured recv deadline
     }
     std::vector<std::vector<std::uint8_t>> allgatherv(
         std::span<const std::uint8_t> mine) override {
-        return inner_.allgatherv(mine);
+        return inner_.allgatherv(mine); // walb-lint: allow(blocking): decorator forward — the wrapped comm honors the configured recv deadline
     }
     std::vector<std::vector<std::uint8_t>> gatherv(std::span<const std::uint8_t> mine,
                                                    int root) override {
-        return inner_.gatherv(mine, root);
+        return inner_.gatherv(mine, root); // walb-lint: allow(blocking): decorator forward — the wrapped comm honors the configured recv deadline
     }
 
     // ---- instrumentation (feeds the recover.* metrics) -------------------

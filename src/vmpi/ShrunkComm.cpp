@@ -49,6 +49,7 @@ void ShrunkComm::send(int dest, int tag, std::vector<std::uint8_t> data) {
 std::vector<std::uint8_t> ShrunkComm::recv(int src, int tag) {
     // A thrown CommError names the *world* peer and the shifted tag —
     // exactly what a post-mortem needs to locate the failing epoch.
+    // walb-lint: allow(blocking): epoch-shift forward — the world comm honors the configured recv deadline
     return world_.recv(worldRank(src), shift(tag));
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "vmpi/Comm.h"
+#include "vmpi/Tags.h"
 
 namespace walb::vmpi {
 
@@ -39,7 +40,7 @@ public:
     /// Tag distance between recovery epochs. User tags are small (ghost
     /// exchange 77, migration 91, buddy 93/94); one band comfortably holds
     /// them all plus the internal collective tags.
-    static constexpr int kEpochTagStride = 1 << 20;
+    static constexpr int kEpochTagStride = tags::kEpochTagStride;
 
     /// `survivors` must be identical (and sorted ascending) on every
     /// participating rank — it is the agreement verdict's complement. The
@@ -86,10 +87,10 @@ private:
 
     /// Internal collective tags, placed well below zero so they can never
     /// collide with shifted user tags of any epoch.
-    static constexpr int kBarrierTag = -9501;
-    static constexpr int kBcastTag = -9502;
-    static constexpr int kReduceTag = -9503;
-    static constexpr int kGatherTag = -9504;
+    static constexpr int kBarrierTag = tags::kShrunkBarrier;
+    static constexpr int kBcastTag = tags::kShrunkBcast;
+    static constexpr int kReduceTag = tags::kShrunkReduce;
+    static constexpr int kGatherTag = tags::kShrunkGather;
 
     Comm& world_;
     std::vector<int> survivors_;

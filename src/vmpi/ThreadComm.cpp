@@ -127,9 +127,9 @@ void ThreadComm::barrier() { world_->barrier_.arrive_and_wait(); }
 void ThreadComm::broadcast(std::vector<std::uint8_t>& data, int root) {
     auto& slots = world_->byteSlots_;
     if (rank_ == root) slots[uint_c(root)] = data;
-    barrier();
+    barrier(); // walb-lint: allow(blocking): base-transport rendezvous; deadlines live in the decorators above
     if (rank_ != root) data = slots[uint_c(root)];
-    barrier(); // root may not clear/reuse its slot until all ranks copied
+    barrier(); // root may not clear/reuse its slot until all ranks copied — walb-lint: allow(blocking): base-transport rendezvous
 }
 
 namespace {
@@ -158,34 +158,34 @@ void reduceInto(std::span<T> inout, const std::vector<std::vector<T>>& slots, Re
 
 void ThreadComm::allreduce(std::span<double> inout, ReduceOp op) {
     world_->doubleSlots_[uint_c(rank_)].assign(inout.begin(), inout.end());
-    barrier();
+    barrier(); // walb-lint: allow(blocking): base-transport rendezvous; deadlines live in the decorators above
     reduceInto(inout, world_->doubleSlots_, op);
-    barrier();
+    barrier(); // walb-lint: allow(blocking): base-transport rendezvous; deadlines live in the decorators above
 }
 
 void ThreadComm::allreduce(std::span<std::uint64_t> inout, ReduceOp op) {
     world_->u64Slots_[uint_c(rank_)].assign(inout.begin(), inout.end());
-    barrier();
+    barrier(); // walb-lint: allow(blocking): base-transport rendezvous; deadlines live in the decorators above
     reduceInto(inout, world_->u64Slots_, op);
-    barrier();
+    barrier(); // walb-lint: allow(blocking): base-transport rendezvous; deadlines live in the decorators above
 }
 
 std::vector<std::vector<std::uint8_t>> ThreadComm::allgatherv(
     std::span<const std::uint8_t> mine) {
     world_->byteSlots_[uint_c(rank_)].assign(mine.begin(), mine.end());
-    barrier();
+    barrier(); // walb-lint: allow(blocking): base-transport rendezvous; deadlines live in the decorators above
     std::vector<std::vector<std::uint8_t>> result = world_->byteSlots_;
-    barrier();
+    barrier(); // walb-lint: allow(blocking): base-transport rendezvous; deadlines live in the decorators above
     return result;
 }
 
 std::vector<std::vector<std::uint8_t>> ThreadComm::gatherv(std::span<const std::uint8_t> mine,
                                                            int root) {
     world_->byteSlots_[uint_c(rank_)].assign(mine.begin(), mine.end());
-    barrier();
+    barrier(); // walb-lint: allow(blocking): base-transport rendezvous; deadlines live in the decorators above
     std::vector<std::vector<std::uint8_t>> result;
     if (rank_ == root) result = world_->byteSlots_;
-    barrier();
+    barrier(); // walb-lint: allow(blocking): base-transport rendezvous; deadlines live in the decorators above
     return result;
 }
 

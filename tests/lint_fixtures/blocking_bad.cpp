@@ -1,0 +1,20 @@
+// Fixture: every blocking call here is unguarded — walb_lint must flag
+// each one. test_lint.cpp asserts the exact (rule, line) set, so keep the
+// line numbers stable when editing.
+#include <vector>
+
+void unguarded(walb::vmpi::Comm& comm) {
+    auto bytes = comm.recv(0, kTag);                 // line 7: recv
+    comm.barrier();                                  // line 8: barrier
+    comm.broadcast(bytes, 0);                        // line 9: broadcast
+    double v = walb::vmpi::allreduceSum(comm, 1.0);  // line 10: helper
+    (void)v;
+}
+
+void guardInWrongScope(walb::vmpi::Comm& comm) {
+    {
+        comm.setRecvDeadline(std::chrono::seconds(5));
+    } // deadline scope closed: the recv below is NOT guarded
+    auto bytes = comm.recv(1, kTag);                 // line 18: recv
+    (void)bytes;
+}

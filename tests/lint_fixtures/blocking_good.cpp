@@ -1,0 +1,29 @@
+// Fixture: every blocking call here is either deadline-guarded or
+// annotated — walb_lint must report nothing.
+#include <vector>
+
+void deadlineGuarded(walb::vmpi::Comm& comm) {
+    comm.setRecvDeadline(std::chrono::seconds(5));
+    auto bytes = comm.recv(0, kTag); // guarded: deadline in this scope
+    comm.barrier();                  // guarded: same enclosing scope
+    (void)bytes;
+}
+
+void guardedFromOuterScope(walb::vmpi::Comm& comm) {
+    comm.setRecvDeadline(std::chrono::seconds(5));
+    for (int i = 0; i < 3; ++i) {
+        auto bytes = comm.recv(i, kTag); // guarded: deadline in outer scope
+        (void)bytes;
+    }
+}
+
+void annotated(walb::vmpi::Comm& comm) {
+    // walb-lint: allow(blocking): fixture — reason text goes here
+    comm.barrier();
+    comm.barrier(); // walb-lint: allow(blocking): same-line form
+}
+
+void nonBlockingIsFine(walb::vmpi::Comm& comm) {
+    std::vector<std::uint8_t> out;
+    while (comm.tryRecv(0, kTag, out)) consume(out);
+}

@@ -1,0 +1,19 @@
+// Fixture: banned constructs inside a deterministic region. Outside the
+// region the same constructs are fine (control at the bottom).
+#include <random>
+
+// walb-lint: begin(deterministic)
+std::uint64_t digest(const std::vector<std::uint32_t>& data) {
+    std::mt19937 rng(42);                    // line 7: randomness
+    double acc = 0;                          // line 8: float accumulation
+    std::uint64_t h = std::uint64_t(time(nullptr)); // line 9: clock
+    for (auto v : data) h ^= v + rng();
+    (void)acc;
+    return h + sizeof(double); // sizeof(double) is allowed
+}
+// walb-lint: end(deterministic)
+
+double outsideRegionIsFine() {
+    std::mt19937 rng(7);
+    return double(rng()) / 2.0;
+}

@@ -1,0 +1,15 @@
+// Fixture: comm/logging calls under a held mutex and a predicate-less
+// condition-variable wait outside a retry loop — lock-scope must flag each.
+#include <mutex>
+
+void commUnderLock(walb::vmpi::Comm& comm, std::mutex& m,
+                   std::vector<std::uint8_t> data) {
+    std::lock_guard<std::mutex> lk(m);
+    comm.send(1, kTag, std::move(data)); // line 8: send under lock
+    comm.barrier();                      // line 9: barrier under lock
+    WALB_LOG_INFO("under lock");         // line 10: logging under lock
+}
+
+void bareWait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk) {
+    cv.wait(lk); // line 14: predicate-less wait, no enclosing retry loop
+}

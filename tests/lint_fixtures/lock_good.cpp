@@ -1,0 +1,28 @@
+// Fixture: lock discipline done right — lock-scope must report nothing.
+#include <mutex>
+
+void commOutsideLock(walb::vmpi::Comm& comm, std::mutex& m,
+                     std::vector<std::uint8_t> data) {
+    {
+        std::lock_guard<std::mutex> lk(m);
+        prepare(data);
+    }
+    comm.send(1, kTag, std::move(data)); // lock scope already closed
+}
+
+void predicateWait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                   bool& ready) {
+    cv.wait(lk, [&] { return ready; }); // predicate form: always fine
+}
+
+void loopedBareWait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                    bool& ready) {
+    while (!ready) cv.wait(lk); // bare wait inside a retry loop: fine
+}
+
+void annotatedSend(walb::vmpi::Comm& comm, std::mutex& m,
+                   std::vector<std::uint8_t> data) {
+    std::lock_guard<std::mutex> lk(m);
+    // walb-lint: allow(lock-scope): fixture — non-blocking mailbox push
+    comm.send(1, kTag, std::move(data));
+}

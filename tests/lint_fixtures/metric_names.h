@@ -1,0 +1,10 @@
+// Fixture metric-name registry for test_lint.cpp. "dup.name" is declared
+// twice on purpose: loading this file must yield one metric-name
+// violation at the second declaration (line 9).
+#pragma once
+// walb-lint: metric-names-begin
+#define FIXTURE_METRIC_NAMES(X) \
+    X("sim.steps")              \
+    X("dup.name")               \
+    X("dup.name")
+// walb-lint: metric-names-end

@@ -1,0 +1,8 @@
+// Fixture: metric names not declared in the registry — metric-name must
+// flag each use. "sim.steps" IS declared (control: not flagged).
+void record(walb::obs::MetricsRegistry& metrics) {
+    metrics.counter("sim.steps").inc();          // declared: ok
+    metrics.counter("sim.stesp").inc();          // line 5: typo
+    metrics.gauge("lint.unknown_gauge").set(1);  // line 6: undeclared
+    metrics.histogram("lint.unknown_hist", edges()).observe(0.5); // line 7
+}

@@ -1,0 +1,13 @@
+// Fixture: integer tag literals at comm call sites and a tag constant
+// declared outside the registry — all must be flagged by tag-registry.
+#include <vector>
+
+constexpr int kLocalTag = 123; // line 5: stray tag constant
+
+void literals(walb::vmpi::Comm& comm, std::vector<std::uint8_t> data) {
+    comm.send(1, 42, std::move(data));        // line 8: literal tag
+    auto bytes = comm.recv(1, 42);            // line 9: literal tag
+    std::vector<std::uint8_t> out;
+    comm.tryRecv(1, -7, out);                 // line 11: literal tag
+    (void)bytes;
+}

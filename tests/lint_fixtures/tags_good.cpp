@@ -1,0 +1,14 @@
+// Fixture: tags taken from the registry (or forwarded as variables) —
+// tag-registry must report nothing.
+#include <vector>
+
+void fromRegistry(walb::vmpi::Comm& comm, std::vector<std::uint8_t> data) {
+    comm.send(1, walb::vmpi::tags::kGhostExchange, std::move(data));
+    auto bytes = comm.recv(1, walb::vmpi::tags::kGhostExchange);
+    (void)bytes;
+}
+
+void forwarded(walb::vmpi::Comm& comm, int tag) {
+    std::vector<std::uint8_t> out;
+    comm.tryRecv(0, tag, out); // variable tags are the decorator-forward case
+}

@@ -1,0 +1,19 @@
+// Fixture registry: four registry-consistency violations. Bands "a" and
+// "b" overlap; kOutOfBand lies outside its band; kDupA/kDupB share a
+// value; band "c" collides with band "a" after one epoch shift.
+#pragma once
+
+// walb-lint: tag-stride
+inline constexpr int kEpochTagStride = 1 << 4;
+
+// walb-lint: tag-band(a, 0, 15)
+inline constexpr int kInA = 3;
+inline constexpr int kDupA = 5;
+inline constexpr int kDupB = 5;
+inline constexpr int kOutOfBand = 99;
+
+// walb-lint: tag-band(b, 10, 20)
+inline constexpr int kInB = 12;
+
+// walb-lint: tag-band(c, -16, -14)
+inline constexpr int kInC = -15;

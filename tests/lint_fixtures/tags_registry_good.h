@@ -1,0 +1,13 @@
+// Fixture registry: disjoint bands, every tag inside its band, no value
+// reachable from another band under epoch shifting — loads clean.
+#pragma once
+
+// walb-lint: tag-stride
+inline constexpr int kEpochTagStride = 1 << 20;
+
+// walb-lint: tag-band(user, 0, 1023)
+inline constexpr int kPayload = 7;
+inline constexpr int kControl = 8;
+
+// walb-lint: tag-band(oob, -9000, -8000)
+inline constexpr int kOob = -8500;

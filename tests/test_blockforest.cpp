@@ -100,8 +100,8 @@ TEST(SetupBlockForest, NeighborsMatchGridAdjacency) {
         const bool corner = (b.gridPos.x == 0 || b.gridPos.x == 2) &&
                             (b.gridPos.y == 0 || b.gridPos.y == 2) &&
                             (b.gridPos.z == 0 || b.gridPos.z == 2);
-        if (b.gridPos == Cell{1, 1, 1}) EXPECT_EQ(neighbors.size(), 26u);
-        if (corner) EXPECT_EQ(neighbors.size(), 7u);
+        if (b.gridPos == Cell{1, 1, 1}) { EXPECT_EQ(neighbors.size(), 26u); }
+        if (corner) { EXPECT_EQ(neighbors.size(), 7u); }
     }
 }
 
@@ -130,7 +130,7 @@ TEST(SetupBlockForest, FluidWorkloadMatchesVoxelCounts) {
     for (const auto& b : forest.blocks()) {
         EXPECT_GT(b.workload, 0u) << "kept block with zero fluid cells";
         EXPECT_LE(b.workload, cfg.cellsPerBlock());
-        if (b.fullyInside) EXPECT_EQ(b.workload, cfg.cellsPerBlock());
+        if (b.fullyInside) { EXPECT_EQ(b.workload, cfg.cellsPerBlock()); }
         total += b.workload;
     }
     // Total fluid cells approximate the sphere volume.

@@ -204,7 +204,7 @@ TEST(Timer, MeasuresAndAccumulates) {
     Timer t;
     t.start();
     volatile double sink = 0;
-    for (int i = 0; i < 100000; ++i) sink += i;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
     t.stop();
     EXPECT_GT(t.total(), 0.0);
     EXPECT_EQ(t.count(), 1u);

@@ -109,8 +109,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DistCase{2, 4, true, KernelTier::Simd},    // graph-balanced
                       DistCase{2, 4, false, KernelTier::Generic},
                       DistCase{2, 4, false, KernelTier::D3Q19}),
-    [](const auto& info) {
-        const auto& p = info.param;
+    [](const auto& tinfo) {
+        const auto& p = tinfo.param;
         std::string name = std::to_string(p.blocksPerAxis) + "x_ranks" +
                            std::to_string(p.ranks) + (p.graphBalance ? "_graph" : "_morton");
         name += p.tier == KernelTier::Simd ? "_simd"

@@ -75,8 +75,8 @@ TEST_P(FieldLayoutTest, CopyConstructorDeepCopies) {
 
 INSTANTIATE_TEST_SUITE_P(BothLayouts, FieldLayoutTest,
                          ::testing::Values(Layout::fzyx, Layout::zyxf),
-                         [](const auto& info) {
-                             return info.param == Layout::fzyx ? "SoA" : "AoS";
+                         [](const auto& tinfo) {
+                             return tinfo.param == Layout::fzyx ? "SoA" : "AoS";
                          });
 
 TEST(Field, SoAHasUnitXStrideAndContiguousDirectionSlabs) {

@@ -136,7 +136,7 @@ TEST(MeshDistance, SphereMatchesAnalytic) {
         const real_t da = analytic.signedDistance(p);
         // Tolerance ~ faceting sag of the 48x24 tessellation.
         EXPECT_NEAR(dm, da, 0.01) << "at " << p;
-        if (std::abs(da) > 0.02) EXPECT_EQ(dm < 0, da < 0) << "sign flip at " << p;
+        if (std::abs(da) > 0.02) { EXPECT_EQ(dm < 0, da < 0) << "sign flip at " << p; }
     }
 }
 

@@ -181,8 +181,8 @@ TEST(ColorAssignment, TubeCapsBecomeInflowAndOutflow) {
     // ~1.3), so the split point is generous.
     flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
         const Vec3 p = mapping.cellCenter(x, y, z);
-        if (flags.isFlagSet(x, y, z, masks.ubb)) EXPECT_LT(p[0], 1.8);
-        if (flags.isFlagSet(x, y, z, masks.pressure)) EXPECT_GT(p[0], 2.2);
+        if (flags.isFlagSet(x, y, z, masks.ubb)) { EXPECT_LT(p[0], 1.8); }
+        if (flags.isFlagSet(x, y, z, masks.pressure)) { EXPECT_GT(p[0], 2.2); }
     });
 }
 

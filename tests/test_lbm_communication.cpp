@@ -26,13 +26,13 @@ TEST(CommDirections, FaceEdgeCornerCounts) {
     for (const auto& d : neighborhood26) {
         const int axes = std::abs(d[0]) + std::abs(d[1]) + std::abs(d[2]);
         const auto dirs = commDirections<D3Q19>(d);
-        if (axes == 1) EXPECT_EQ(dirs.size(), 5u) << "face";
-        if (axes == 2) EXPECT_EQ(dirs.size(), 1u) << "edge";
-        if (axes == 3) EXPECT_EQ(dirs.size(), 0u) << "corner (D3Q19 has no corner links)";
+        if (axes == 1) { EXPECT_EQ(dirs.size(), 5u) << "face"; }
+        if (axes == 2) { EXPECT_EQ(dirs.size(), 1u) << "edge"; }
+        if (axes == 3) { EXPECT_EQ(dirs.size(), 0u) << "corner (D3Q19 has no corner links)"; }
         // Every selected PDF actually streams across the interface.
         for (uint_t a : dirs)
             for (std::size_t i = 0; i < 3; ++i)
-                if (d[i] != 0) EXPECT_EQ(D3Q19::c[a][i], d[i]);
+                if (d[i] != 0) { EXPECT_EQ(D3Q19::c[a][i], d[i]); }
     }
 }
 
@@ -108,7 +108,7 @@ TEST_P(PackUnpack, RoundTripReconstructsTheGhostSlice) {
         bool inSubset[19] = {};
         for (uint_t q : dirs) inSubset[q] = true;
         for (uint_t q = 0; q < 19; ++q)
-            if (!inSubset[q]) EXPECT_EQ(b.get(x, y, z, cell_idx_c(q)), -1.0);
+            if (!inSubset[q]) { EXPECT_EQ(b.get(x, y, z, cell_idx_c(q)), -1.0); }
     });
 }
 

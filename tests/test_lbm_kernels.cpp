@@ -146,9 +146,9 @@ INSTANTIATE_TEST_SUITE_P(Operators, KernelEquivalence,
                          ::testing::Values(KernelCase{0.6, false}, KernelCase{1.2, false},
                                            KernelCase{1.9, false}, KernelCase{0.6, true},
                                            KernelCase{1.2, true}, KernelCase{1.9, true}),
-                         [](const auto& info) {
-                             return std::string(info.param.trt ? "TRT" : "SRT") + "_omega" +
-                                    std::to_string(int(info.param.omega * 10));
+                         [](const auto& tinfo) {
+                             return std::string(tinfo.param.trt ? "TRT" : "SRT") + "_omega" +
+                                    std::to_string(int(tinfo.param.omega * 10));
                          });
 
 // ---- sparse kernels --------------------------------------------------------
@@ -193,8 +193,8 @@ TEST_F(SparseKernels, RunListCoversExactlyTheFluidCells) {
 TEST_F(SparseKernels, RunsAreMaximal) {
     const FluidRunList list = buildFluidRuns(*flags_, fluid_);
     for (const auto& r : list.runs) {
-        if (r.xBegin > 0) EXPECT_FALSE(flags_->isFlagSet(r.xBegin - 1, r.y, r.z, fluid_));
-        if (r.xEnd < N - 1) EXPECT_FALSE(flags_->isFlagSet(r.xEnd + 1, r.y, r.z, fluid_));
+        if (r.xBegin > 0) { EXPECT_FALSE(flags_->isFlagSet(r.xBegin - 1, r.y, r.z, fluid_)); }
+        if (r.xEnd < N - 1) { EXPECT_FALSE(flags_->isFlagSet(r.xEnd + 1, r.y, r.z, fluid_)); }
     }
 }
 

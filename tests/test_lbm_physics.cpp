@@ -55,8 +55,8 @@ TEST_P(CouetteTest, LinearProfile) {
 INSTANTIATE_TEST_SUITE_P(AllTiers, CouetteTest,
                          ::testing::Values(KernelTier::Generic, KernelTier::D3Q19,
                                            KernelTier::Simd),
-                         [](const auto& info) {
-                             switch (info.param) {
+                         [](const auto& tinfo) {
+                             switch (tinfo.param) {
                                  case KernelTier::Generic: return "Generic";
                                  case KernelTier::D3Q19: return "D3Q19";
                                  default: return "Simd";

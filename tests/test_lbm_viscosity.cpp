@@ -81,8 +81,8 @@ TEST_P(ViscositySweep, TrtMatchesChapmanEnskog) {
 
 INSTANTIATE_TEST_SUITE_P(OmegaSweep, ViscositySweep,
                          ::testing::Values(0.6, 0.9, 1.2, 1.5, 1.8),
-                         [](const auto& info) {
-                             return "omega" + std::to_string(int(info.param * 100));
+                         [](const auto& tinfo) {
+                             return "omega" + std::to_string(int(tinfo.param * 100));
                          });
 
 TEST(ShearWave, DecayIsExponential) {

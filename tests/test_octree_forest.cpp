@@ -48,9 +48,10 @@ TEST(OctreeForest, AdaptiveRefinementAroundSurface) {
     // Fine leaves are near the surface; coarse leaves are not.
     for (auto li : forest.leaves()) {
         const auto& node = forest.node(li);
-        if (node.level == forest.maxLevelPresent())
+        if (node.level == forest.maxLevelPresent()) {
             EXPECT_LT(std::abs(sphere.signedDistance(node.aabb.center())),
                       4 * node.aabb.circumsphereRadius());
+        }
     }
 }
 

@@ -164,9 +164,13 @@ TEST(GhostWireFormatTest, PackBytesAndUnpackAreLayoutIndependent) {
             lbm::packPdfs<lbm::D3Q19>(soa, d, sbSoa, full);
             lbm::packPdfs<lbm::D3Q19>(aos, d, sbAos, full);
             ASSERT_EQ(sbSoa.size(), sbAos.size());
-            EXPECT_EQ(std::memcmp(sbSoa.data(), sbAos.data(), sbSoa.size()), 0)
-                << "dir (" << d[0] << "," << d[1] << "," << d[2]
-                << ") full=" << full;
+            // D3Q19 corner directions pack zero PDFs; memcmp on the empty
+            // buffers' null data() would be UB.
+            if (sbSoa.size() != 0) {
+                EXPECT_EQ(std::memcmp(sbSoa.data(), sbAos.data(), sbSoa.size()), 0)
+                    << "dir (" << d[0] << "," << d[1] << "," << d[2]
+                    << ") full=" << full;
+            }
 
             // Unpack the same bytes into both layouts; ghost slices must
             // carry identical logical values afterwards.

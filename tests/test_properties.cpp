@@ -134,7 +134,7 @@ TEST(AabbProperty, OctantsPartitionTheBox) {
         int containing = 0;
         for (unsigned c = 0; c < 8; ++c)
             if (box.octant(c).contains(p)) ++containing;
-        if (box.contains(p)) EXPECT_EQ(containing, 1) << p;
+        if (box.contains(p)) { EXPECT_EQ(containing, 1) << p; }
     }
 }
 

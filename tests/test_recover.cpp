@@ -22,6 +22,7 @@
 #include "vmpi/ReliableComm.h"
 #include "vmpi/SerialComm.h"
 #include "vmpi/ShrunkComm.h"
+#include "vmpi/Tags.h"
 #include "vmpi/ThreadComm.h"
 
 namespace walb {
@@ -468,7 +469,7 @@ TEST(RecoverEndToEnd, TransientFaultsHealWithZeroRecoveriesAndNonzeroRetries) {
     auto setup = makeCavitySetup(std::uint32_t(ranks));
     const std::uint64_t reference = uninterruptedDigest(setup, ranks, steps);
 
-    constexpr int kGhostTag = 77;
+    constexpr int kGhostTag = vmpi::tags::kGhostExchange;
     vmpi::FaultPlan plan;
     auto add = [&](vmpi::FaultPlan::Action action, int src, std::uint64_t matchIndex,
                    std::uint64_t delayBy = 1) {

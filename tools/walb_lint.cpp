@@ -1,0 +1,430 @@
+/// walb_lint — project-invariant static analyzer for the walb tree.
+///
+///   walb_lint --check <dir|file>... [--tags F] [--metrics F]
+///       Lint every .h/.cpp under the given paths. The tag registry
+///       (src/vmpi/Tags.h) and metric registry (src/obs/MetricNames.h) are
+///       located automatically inside the scanned set, or passed
+///       explicitly. Nonzero exit on any violation.
+///   walb_lint --dump-metrics <dir|file>...
+///       Print the metric-name literals used under the paths as
+///       X("...") lines, ready to paste into MetricNames.h.
+///   walb_lint --list-rules
+///       Print the rules table.
+///   walb_lint --selftest
+///       Falsifiability gate: run every rule against seeded-violation
+///       snippets (and seeded-clean ones) and fail unless each seeded
+///       violation is detected at its exact line — so a rule that rots
+///       into a no-op fails CI instead of silently passing everything.
+///
+/// See DESIGN.md "Static analysis & enforced invariants" for the rule
+/// semantics and the annotation syntax.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/Lint.h"
+
+using namespace walb;
+
+namespace {
+
+bool readFile(const std::string& path, std::string& out) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    if (is.bad()) return false;
+    out = ss.str();
+    return true;
+}
+
+bool hasSourceExtension(const std::filesystem::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc";
+}
+
+/// Expands the path arguments into a sorted list of source files.
+bool collectFiles(const std::vector<std::string>& roots, std::vector<std::string>& out) {
+    namespace fs = std::filesystem;
+    for (const std::string& root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            for (auto it = fs::recursive_directory_iterator(root, ec);
+                 it != fs::recursive_directory_iterator(); it.increment(ec)) {
+                if (ec) break;
+                if (it->is_regular_file(ec) && hasSourceExtension(it->path()))
+                    out.push_back(it->path().string());
+            }
+        } else if (fs::is_regular_file(root, ec)) {
+            out.push_back(root);
+        } else {
+            std::fprintf(stderr, "walb_lint: cannot read '%s'\n", root.c_str());
+            return false;
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return true;
+}
+
+bool endsWith(const std::string& s, const std::string& suffix) {
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void printViolations(const std::vector<lint::Violation>& vs) {
+    for (const lint::Violation& v : vs)
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                     v.message.c_str());
+}
+
+// ---- --check ---------------------------------------------------------------
+
+int runCheck(std::vector<std::string> paths, std::string tagsPath, std::string metricsPath) {
+    std::vector<std::string> files;
+    if (!collectFiles(paths, files)) return 2;
+    if (files.empty()) {
+        std::fprintf(stderr, "walb_lint: no source files under the given paths\n");
+        return 2;
+    }
+    // Locate the registries inside the scanned set unless given explicitly.
+    for (const std::string& f : files) {
+        if (tagsPath.empty() && endsWith(f, "vmpi/Tags.h")) tagsPath = f;
+        if (metricsPath.empty() && endsWith(f, "obs/MetricNames.h")) metricsPath = f;
+    }
+
+    lint::Linter linter;
+    std::vector<lint::Violation> violations;
+    std::string text;
+    if (!tagsPath.empty()) {
+        if (!readFile(tagsPath, text)) {
+            std::fprintf(stderr, "walb_lint: cannot read tag registry '%s'\n",
+                         tagsPath.c_str());
+            return 2;
+        }
+        linter.loadTagRegistry(tagsPath, text, violations);
+    } else {
+        std::fprintf(stderr, "walb_lint: warning: no tag registry (vmpi/Tags.h) in the "
+                             "scanned set — band checks skipped\n");
+    }
+    if (!metricsPath.empty()) {
+        if (!readFile(metricsPath, text)) {
+            std::fprintf(stderr, "walb_lint: cannot read metric registry '%s'\n",
+                         metricsPath.c_str());
+            return 2;
+        }
+        linter.loadMetricNames(metricsPath, text, violations);
+    }
+
+    for (const std::string& f : files) {
+        if (!readFile(f, text)) {
+            std::fprintf(stderr, "walb_lint: cannot read '%s'\n", f.c_str());
+            return 2;
+        }
+        std::vector<lint::Violation> vs = linter.checkFile(f, text);
+        violations.insert(violations.end(), vs.begin(), vs.end());
+    }
+
+    printViolations(violations);
+    std::printf("walb_lint: %zu file(s), %zu violation(s)\n", files.size(),
+                violations.size());
+    return violations.empty() ? 0 : 1;
+}
+
+// ---- --dump-metrics --------------------------------------------------------
+
+int runDumpMetrics(const std::vector<std::string>& paths) {
+    std::vector<std::string> files;
+    if (!collectFiles(paths, files)) return 2;
+    std::set<std::string> names;
+    std::string text;
+    for (const std::string& f : files) {
+        if (endsWith(f, "obs/MetricNames.h")) continue; // the registry itself
+        if (!readFile(f, text)) {
+            std::fprintf(stderr, "walb_lint: cannot read '%s'\n", f.c_str());
+            return 2;
+        }
+        for (const std::string& n : lint::Linter::collectMetricLiterals(text))
+            names.insert(n);
+    }
+    for (const std::string& n : names) std::printf("    X(\"%s\") \\\n", n.c_str());
+    return 0;
+}
+
+// ---- --selftest ------------------------------------------------------------
+
+/// A seeded-violation (or seeded-clean) snippet with the exact (rule, line)
+/// findings it must produce.
+struct SelfTestCase {
+    const char* name;
+    const char* source;
+    std::vector<std::pair<std::string, int>> expected;
+};
+
+/// Hermetic mini registries so the selftest does not depend on the tree.
+const char* kTestTags = R"walb(
+// walb-lint: tag-stride
+inline constexpr int kEpochTagStride = 1 << 20;
+// walb-lint: tag-band(user, 0, 1023)
+inline constexpr int kGhost = 77;
+// walb-lint: tag-band(control, -9200, -9100)
+inline constexpr int kNack = -9117;
+)walb";
+
+const char* kTestMetrics = R"walb(
+// walb-lint: metric-names-begin
+#define WALB_METRIC_NAMES(X) \
+    X("sim.steps") \
+    X("comm.hidden_seconds")
+// walb-lint: metric-names-end
+)walb";
+
+std::vector<SelfTestCase> fileCases() {
+    return {
+        {"blocking: unguarded recv flagged, annotated and guarded ones pass",
+         R"walb(void f(Comm& comm) {
+    auto a = comm.recv(0, kGhost);
+    comm.setRecvDeadline(std::chrono::milliseconds(100));
+    auto b = comm.recv(0, kGhost);
+}
+void g(Comm& comm) {
+    // walb-lint: allow(blocking): setup-time collective, world known alive
+    comm.barrier();
+    comm.broadcast(data, 0);
+}
+)walb",
+         {{"blocking-guard", 2}, {"blocking-guard", 9}}},
+        // (the annotation on line 7 covers the barrier on line 8 only —
+        // the unannotated broadcast on line 9 must still be flagged)
+
+        {"blocking: free helpers and bare collectives",
+         R"walb(void h(Comm& comm) {
+    double x = vmpi::allreduceSum(comm, 1.0);
+    barrier();
+}
+)walb",
+         {{"blocking-guard", 2}, {"blocking-guard", 3}}},
+
+        {"tag-registry: magic literals at call sites",
+         R"walb(void f(Comm& comm) {
+    comm.send(1, 91, bytes);
+    comm.tryRecv(0, 55, out);
+    sendObject(comm, 1, 42, obj);
+    // walb-lint: allow(tag-registry): fixture exercising the annotation
+    comm.send(1, 91, bytes);
+}
+constexpr int kMyTag = -9300;
+)walb",
+         {{"tag-registry", 2},
+          {"tag-registry", 3},
+          {"tag-registry", 4},
+          {"tag-registry", 8}}},
+
+        {"metric-name: typo'd series fails, declared one passes",
+         R"walb(void f(obs::MetricsRegistry& reg) {
+    reg.counter("sim.steps").inc();
+    reg.gauge("comm.hiden_seconds").set(1.0);
+}
+)walb",
+         {{"metric-name", 3}}},
+
+        {"determinism: clocks, randomness and float math in digest code",
+         R"walb(std::uint64_t digest(const Field& f) {
+    // walb-lint: begin(deterministic)
+    std::uint64_t h = 0;
+    double acc = 0;
+    h += std::rand();
+    auto t0 = std::chrono::steady_clock::now();
+    h += crc32(f.data(), f.cells() * sizeof(real_t));
+    // walb-lint: end(deterministic)
+    return h;
+}
+)walb",
+         {{"determinism", 4}, {"determinism", 5}, {"determinism", 6}}},
+
+        {"lock-scope: comm call under lock, predicate-less wait outside loop",
+         R"walb(void f() {
+    std::lock_guard<std::mutex> lock(m);
+    comm.send(0, kGhost, bytes);
+}
+void g() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock);
+}
+void ok() {
+    std::unique_lock<std::mutex> lock(m);
+    for (;;) {
+        cv.wait(lock);
+        return;
+    }
+}
+)walb",
+         {{"lock-scope", 3}, {"lock-scope", 7}}},
+
+        {"clean file: realistic guarded/annotated code produces nothing",
+         R"walb(void step(Comm& comm) {
+    comm.setRecvDeadline(std::chrono::milliseconds(2000));
+    while (pending > 0) {
+        auto bytes = comm.recv(src, kGhost);
+        pending -= 1;
+    }
+    // walb-lint: allow(blocking): epilogue reduction, all ranks alive here
+    vmpi::allreduceSum(comm, localCells);
+}
+)walb",
+         {}},
+    };
+}
+
+/// Seeded-violation registry sources for the band-overlap checks.
+struct RegistryCase {
+    const char* name;
+    const char* source;
+    std::vector<std::pair<std::string, int>> expected;
+};
+
+std::vector<RegistryCase> registryCases() {
+    return {
+        {"registry: overlapping bands",
+         R"walb(
+// walb-lint: tag-stride
+inline constexpr int kEpochTagStride = 1 << 20;
+// walb-lint: tag-band(user, 0, 1023)
+inline constexpr int kGhost = 77;
+// walb-lint: tag-band(migration, 900, 1100)
+inline constexpr int kMigration = 1000;
+)walb",
+         {{"tag-registry", 6}}},
+
+        {"registry: tag outside its band and duplicate values",
+         R"walb(
+// walb-lint: tag-stride
+inline constexpr int kEpochTagStride = 1 << 20;
+// walb-lint: tag-band(user, 0, 1023)
+inline constexpr int kGhost = 77;
+inline constexpr int kStray = 5000;
+inline constexpr int kGhost2 = 77;
+)walb",
+         {{"tag-registry", 6}, {"tag-registry", 7}}},
+
+        {"registry: epoch-shift collision",
+         R"walb(
+// walb-lint: tag-stride
+inline constexpr int kEpochTagStride = 1 << 10;
+// walb-lint: tag-band(user, 0, 1023)
+inline constexpr int kGhost = 77;
+// walb-lint: tag-band(control, -9200, -9100)
+inline constexpr int kNack = -9117;
+)walb",
+         // user+d*1024 walks over itself is impossible (disjoint bands are
+         // re-checked per d); control shifted by 9 strides lands in user.
+         {{"tag-registry", 6}}},
+
+        {"registry: missing stride marker",
+         R"walb(
+// walb-lint: tag-band(user, 0, 1023)
+inline constexpr int kGhost = 77;
+)walb",
+         {{"tag-registry", 1}}},
+
+        {"registry: clean mini registry",
+         kTestTags,
+         {}},
+    };
+}
+
+bool sameFindings(const std::vector<lint::Violation>& got,
+                  const std::vector<std::pair<std::string, int>>& want) {
+    if (got.size() != want.size()) return false;
+    std::vector<std::pair<std::string, int>> g;
+    for (const lint::Violation& v : got) g.emplace_back(v.rule, v.line);
+    std::vector<std::pair<std::string, int>> w = want;
+    std::sort(g.begin(), g.end());
+    std::sort(w.begin(), w.end());
+    return g == w;
+}
+
+int selftest() {
+    int failures = 0;
+
+    lint::Linter linter;
+    std::vector<lint::Violation> setupViolations;
+    linter.loadTagRegistry("test/Tags.h", kTestTags, setupViolations);
+    linter.loadMetricNames("test/MetricNames.h", kTestMetrics, setupViolations);
+    if (!setupViolations.empty()) {
+        std::fprintf(stderr, "walb_lint: selftest registries are not clean:\n");
+        printViolations(setupViolations);
+        ++failures;
+    }
+
+    for (const SelfTestCase& c : fileCases()) {
+        const auto got = linter.checkFile("fixture.cpp", c.source);
+        if (!sameFindings(got, c.expected)) {
+            std::fprintf(stderr, "walb_lint: selftest FAILED: %s\n  got:\n", c.name);
+            printViolations(got);
+            std::fprintf(stderr, "  want:\n");
+            for (const auto& [rule, line] : c.expected)
+                std::fprintf(stderr, "    line %d: [%s]\n", line, rule.c_str());
+            ++failures;
+        }
+    }
+
+    for (const RegistryCase& c : registryCases()) {
+        lint::Linter reg;
+        std::vector<lint::Violation> got;
+        reg.loadTagRegistry("Tags.h", c.source, got);
+        if (!sameFindings(got, c.expected)) {
+            std::fprintf(stderr, "walb_lint: selftest FAILED: %s\n  got:\n", c.name);
+            printViolations(got);
+            ++failures;
+        }
+    }
+
+    if (failures) {
+        std::fprintf(stderr, "walb_lint: selftest: %d case(s) failed\n", failures);
+        return 1;
+    }
+    std::printf("selftest OK (%zu file cases, %zu registry cases)\n", fileCases().size(),
+                registryCases().size());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        std::fprintf(stderr,
+                     "usage: walb_lint --check <dir|file>... [--tags F] [--metrics F]\n"
+                     "       walb_lint --dump-metrics <dir|file>...\n"
+                     "       walb_lint --list-rules | --selftest\n");
+        return 2;
+    }
+    if (args[0] == "--selftest") return selftest();
+    if (args[0] == "--list-rules") {
+        for (const lint::RuleInfo& r : lint::ruleTable())
+            std::printf("%-16s %s\n", r.name, r.description);
+        return 0;
+    }
+    if (args[0] == "--check" || args[0] == "--dump-metrics") {
+        std::vector<std::string> paths;
+        std::string tagsPath, metricsPath;
+        for (std::size_t i = 1; i < args.size(); ++i) {
+            if (args[i] == "--tags" && i + 1 < args.size()) tagsPath = args[++i];
+            else if (args[i] == "--metrics" && i + 1 < args.size()) metricsPath = args[++i];
+            else paths.push_back(args[i]);
+        }
+        if (paths.empty()) {
+            std::fprintf(stderr, "walb_lint: no paths given\n");
+            return 2;
+        }
+        return args[0] == "--check" ? runCheck(paths, tagsPath, metricsPath)
+                                    : runDumpMetrics(paths);
+    }
+    std::fprintf(stderr, "walb_lint: unknown mode '%s'\n", args[0].c_str());
+    return 2;
+}
