@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Scenario-service smoke test (wired into ctest as `serve_smoke`): the
+# fig_serve fleet drill queues ~100 jobs — a tenants × geometries × omegas
+# parameter study plus long background studies and a late urgent burst —
+# onto a 5-rank pool (dispatcher + two gangs of two), kills one rank of
+# EACH gang mid-job, and forces at least one checkpoint-backed preemption.
+# This script asserts the acceptance criteria of the walb::serve subsystem:
+#
+#   1. lost=0, completed=jobs   — rank deaths and preemptions may requeue
+#                                 jobs, but can never lose one;
+#   2. digest_mismatches=0      — every job's final state digest is
+#                                 bit-exact with the same scenario run
+#                                 alone on a fresh 1-rank world;
+#   3. ranks_lost=kills=2, failed_attempts>=2 — both injected kills were
+#                                 absorbed by gang-scoped recovery;
+#   4. preemptions>=1           — the urgent burst actually evicted a
+#                                 running job (checkpoint + requeue);
+#   5. BENCH_serve.json carries the dispatcher's accounting (per-tenant
+#                                 cell-seconds, per-job records), and
+#      walb_blockinfo --json renders the drill's gang-shaped block forest
+#                                 machine-readably.
+#
+# Usage: serve_smoke.sh <fig_serve binary> <walb_blockinfo binary> <scratch dir>
+set -u
+
+bin="$1"
+blockinfo="$2"
+dir="$3"
+mkdir -p "$dir"
+json="$dir/BENCH_serve.json"
+log="$dir/serve_smoke.log"
+rm -f "$json" "$log" "$dir"/job*.wckp "$dir"/serve_job*.wfr "$dir"/serve_forest.walb
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== fig_serve fleet drill: ~100 jobs, 2 rank kills, forced preemption"
+(cd "$dir" && "$bin" --out "$json" --scratch "$dir") > "$log" 2>&1 \
+    || { tail -20 "$log" >&2; fail "drill run exited nonzero"; }
+
+line=$(grep 'serve drill:' "$log") || fail "no 'serve drill:' line printed"
+
+# Pull `key=value` tokens out of the drill line. The leading space anchors
+# the key so `lost` cannot greedily match `ranks_lost`.
+kv() { echo "$line" | sed -n "s/.* $1=\([0-9.][0-9.]*\).*/\1/p"; }
+
+jobs=$(kv jobs)
+completed=$(kv completed)
+lost=$(kv lost)
+kills=$(kv kills)
+ranks_lost=$(kv ranks_lost)
+preemptions=$(kv preemptions)
+requeued=$(kv requeued)
+failed=$(kv failed_attempts)
+mismatches=$(kv digest_mismatches)
+for v in jobs completed lost kills ranks_lost preemptions requeued failed mismatches; do
+    eval "val=\$$v"
+    [ -n "$val" ] || fail "field '$v' missing from drill line: $line"
+done
+
+[ "$jobs" -ge 100 ] || fail "drill queued only $jobs jobs (need >= 100)"
+[ "$lost" = "0" ] || fail "$lost job(s) lost"
+[ "$completed" = "$jobs" ] || fail "only $completed of $jobs jobs completed"
+echo "   fleet: $completed/$jobs jobs completed, zero lost"
+
+[ "$mismatches" = "0" ] || fail "$mismatches job digest(s) differ from the run-alone baseline"
+echo "   digests: every job bit-exact with its serial baseline"
+
+[ "$kills" = "2" ] || fail "drill planned $kills kills, expected 2"
+[ "$ranks_lost" = "$kills" ] || fail "injected $kills kills but lost $ranks_lost ranks"
+[ "$failed" -ge "$kills" ] || fail "only $failed failed attempts for $kills kills"
+echo "   kills: $kills rank deaths absorbed, $failed failed attempts requeued"
+
+[ "$preemptions" -ge 1 ] || fail "the urgent burst forced no preemption"
+[ "$requeued" -ge "$((failed + preemptions))" ] \
+    || fail "requeue count $requeued below failed+preempted"
+echo "   preemption: $preemptions checkpoint-backed eviction(s)"
+
+# The report JSON must carry the dispatcher's accounting.
+[ -f "$json" ] || fail "no report JSON written"
+for key in jobs_total jobs_completed jobs_lost requeues preemptions \
+           failed_attempts ranks_lost tenants cell_seconds turnaround_seconds; do
+    grep -q "\"$key\"" "$json" || fail "key '$key' missing from $json"
+done
+grep -q '"jobs_lost": 0' "$json" || fail "report JSON does not record zero lost jobs"
+echo "   report JSON: ok ($json)"
+
+# The drill dumps its gang-shaped forest; walb_blockinfo --json must render
+# it machine-readably (the no-screen-scraping contract for placement CI).
+[ -f "$dir/serve_forest.walb" ] || fail "drill dumped no forest file"
+binfo=$("$blockinfo" --json "$dir/serve_forest.walb") \
+    || fail "walb_blockinfo --json exited nonzero"
+for key in total_workload imbalance processes ranks weight share; do
+    echo "$binfo" | grep -q "\"$key\"" \
+        || fail "key '$key' missing from walb_blockinfo --json output"
+done
+echo "   walb_blockinfo --json: ok"
+
+echo "serve_smoke: PASS (zero lost jobs, bit-exact digests under kills + preemption)"
+exit 0

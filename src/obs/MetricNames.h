@@ -57,6 +57,17 @@
     X("recover.resends")                \
     X("recover.retries")                \
     X("recover.seconds")                \
+    X("serve.cell_seconds")             \
+    X("serve.gangs")                    \
+    X("serve.jobs_completed")           \
+    X("serve.jobs_failed")              \
+    X("serve.jobs_preempted")           \
+    X("serve.jobs_queued")              \
+    X("serve.jobs_requeued")            \
+    X("serve.jobs_running")             \
+    X("serve.pool_ranks_lost")          \
+    X("serve.turnaround_seconds")       \
+    X("serve.wait_seconds")             \
     X("sim.fluidCells")                 \
     X("sim.mlups")                      \
     X("sim.step_seconds")               \

@@ -1,0 +1,59 @@
+#include "recover/GangRecovery.h"
+
+#include "core/Logging.h"
+
+namespace walb::recover {
+
+GangRecoveryResult recoverGang(vmpi::SubComm& gang, const vmpi::CommError& trigger,
+                               const vmpi::AgreementOptions& opt) {
+    GangRecoveryResult res;
+    std::vector<std::uint8_t> knownDead(std::size_t(gang.size()), 0);
+    std::vector<std::uint8_t> suspects(std::size_t(gang.size()), 0);
+    const int suspect = gang.subRankOf(trigger.peer);
+    if (suspect >= 0 && suspect != gang.rank()) {
+        if (gang.size() == 2) {
+            // A lone survivor has no third party to poll: the agreement's
+            // partition sanity check would (rightly) refuse a verdict that
+            // buries the whole rest of the world on silence alone. Within
+            // a 2-rank gang the trigger IS the roll call — promote the
+            // suspect to known-dead, and the agreement short-circuits to
+            // that verdict deterministically (fail-stop model; a spurious
+            // deadline costs a requeue, never the answer).
+            knownDead[std::size_t(suspect)] = 1;
+        } else {
+            suspects[std::size_t(suspect)] = 1;
+        }
+    }
+    try {
+        // Epoch 0 is safe here even across repeated gang failures: the
+        // agreement runs over the gang SubComm, whose per-attempt
+        // generation shift already isolates this gossip from every other
+        // attempt's.
+        const vmpi::AgreementResult verdict =
+            vmpi::agreeOnDeadRanks(gang, knownDead, suspects, opt, /*epoch=*/0);
+        for (int r = 0; r < gang.size(); ++r) {
+            if (verdict.dead[std::size_t(r)]) res.dead.push_back(gang.parentRank(r));
+            else res.survivors.push_back(gang.parentRank(r));
+        }
+    } catch (const vmpi::CommError& e) {
+        if (e.kind == vmpi::CommError::Kind::RankKilled && e.peer == gang.rank()) {
+            WALB_LOG_ERROR("gang agreement excommunicated this rank (pool rank "
+                           << gang.parent().rank() << "): " << e.what());
+            res.selfDead = true;
+            return res;
+        }
+        throw;
+    } catch (const vmpi::AgreementError& e) {
+        // "Heard nobody, would bury everyone" — the agreement refuses to
+        // trust this rank's own connectivity. Stop serving: wedging the
+        // whole pool on an unkillable exception is the one unacceptable
+        // outcome, and the dispatcher requeues the job either way.
+        WALB_LOG_ERROR("gang agreement gave up on pool rank "
+                       << gang.parent().rank() << ": " << e.what());
+        res.selfDead = true;
+        return res;
+    }
+    return res;
+}
+
+} // namespace walb::recover

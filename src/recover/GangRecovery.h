@@ -1,0 +1,43 @@
+#pragma once
+/// \file GangRecovery.h
+/// Gang-scoped failure recovery for the scenario service (walb::serve).
+///
+/// The full RecoveryManager pipeline (agree → shrink → restore → rewind)
+/// heals ONE simulation in place. A serve gang needs less: its job state
+/// lives in on-disk checkpoints, so when a member dies mid-job the
+/// survivors only have to agree on who is gone and hand the job back to
+/// the dispatcher — the requeue hook — which reruns it from the last
+/// checkpoint on the shrunken gang. This header is that shared kernel: the
+/// same failure agreement as the world-level pipeline (Agreement.h), run
+/// over the job's gang SubComm so its gossip is isolated to the gang (and,
+/// via the SubComm generation shift, to this job attempt).
+
+#include <vector>
+
+#include "vmpi/Agreement.h"
+#include "vmpi/SubComm.h"
+
+namespace walb::recover {
+
+struct GangRecoveryResult {
+    /// Surviving members in PARENT (pool) rank space, sorted — the next
+    /// attempt's gang. Identical on every survivor (agreement property).
+    std::vector<int> survivors;
+    /// Members agreed dead, parent rank space.
+    std::vector<int> dead;
+    /// True when the agreement declared THIS rank dead (excommunicated —
+    /// e.g. it was only slow). The caller must stop serving.
+    bool selfDead = false;
+};
+
+/// Runs the failure agreement over a job's gang after `trigger` surfaced
+/// from the gang's communication. `trigger.peer` names the suspect in
+/// parent rank space (SubComm errors carry parent peers); errors that do
+/// not name a member (tag mismatch escalations, self reports) start with
+/// an empty suspect set — gossip still converges on whoever is silent.
+/// Every survivor returns the identical verdict; an excommunicated caller
+/// gets `selfDead = true` instead of a throw.
+GangRecoveryResult recoverGang(vmpi::SubComm& gang, const vmpi::CommError& trigger,
+                               const vmpi::AgreementOptions& opt);
+
+} // namespace walb::recover

@@ -1,0 +1,110 @@
+#pragma once
+/// \file Job.h
+/// Job descriptions for the scenario service (walb::serve).
+///
+/// A JobSpec is a pure value: everything a gang needs to run one scenario
+/// end-to-end — geometry family, resolution, physics knobs, step budget —
+/// plus scheduling metadata (tenant, priority, deterministic release
+/// trigger). Two jobs with the same scenarioKey() simulate bit-identical
+/// physics, so their final state digests must agree no matter which gang
+/// ran them, how often they were preempted, or how many ranks died along
+/// the way. That property is the serve acceptance gate (bench/fig_serve).
+
+#include <cstdint>
+#include <string>
+
+#include "core/Buffer.h"
+
+namespace walb::serve {
+
+/// Geometry families the scenario builder knows. All are pure functions of
+/// the global cell position (and the spec), so every gang size produces the
+/// same flag field.
+enum class ScenarioKind : std::uint8_t {
+    Cavity = 0,   ///< lid-driven cavity (moving top wall)
+    Voxel = 1,    ///< cavity with seeded random voxel obstacles
+    Cylinder = 2, ///< cavity with a solid cylinder spanning the z axis
+};
+
+inline const char* toString(ScenarioKind k) {
+    switch (k) {
+        case ScenarioKind::Cavity: return "cavity";
+        case ScenarioKind::Voxel: return "voxel";
+        case ScenarioKind::Cylinder: return "cylinder";
+    }
+    return "?";
+}
+
+struct JobSpec {
+    // ---- scheduling metadata (does not influence the physics) ------------
+    std::uint64_t id = 0;       ///< assigned by JobQueue::push (1-based)
+    std::string name;           ///< human label (sweep point)
+    std::string tenant = "default";
+    int priority = 0;           ///< higher preempts lower
+    /// Deterministic late arrival: the job becomes eligible once this many
+    /// jobs have completed fleet-wide. 0 = eligible immediately. Replaces
+    /// wall-clock arrival times so drills replay exactly.
+    std::uint64_t releaseAfterCompleted = 0;
+
+    // ---- scenario (the physics identity) ---------------------------------
+    ScenarioKind kind = ScenarioKind::Cavity;
+    std::uint32_t blocksX = 2, blocksY = 1, blocksZ = 1;
+    std::uint32_t cellsPerBlock = 8;
+    std::uint64_t voxelSeed = 0;     ///< Voxel: obstacle hash seed
+    double obstacleFraction = 0.12;  ///< Voxel: solid probability per cell
+    double omega = 1.5;              ///< TRT relaxation (viscosity lever)
+    double lidVelocity = 0.05;       ///< moving-wall speed (Reynolds lever)
+    std::uint64_t steps = 12;        ///< total LBM steps
+
+    std::uint32_t cellsX() const { return blocksX * cellsPerBlock; }
+    std::uint32_t cellsY() const { return blocksY * cellsPerBlock; }
+    std::uint32_t cellsZ() const { return blocksZ * cellsPerBlock; }
+
+    /// Lattice Reynolds number of the sweep point: U·L/nu with L the cavity
+    /// height and nu = (1/omega - 1/2)/3.
+    double reynolds() const {
+        const double nu = (1.0 / omega - 0.5) / 3.0;
+        return lidVelocity * double(cellsZ()) / nu;
+    }
+
+    /// Physics identity: jobs with equal keys must reach equal final-state
+    /// digests. Excludes id/name/tenant/priority/release — scheduling is
+    /// not allowed to change the answer.
+    std::string scenarioKey() const {
+        return std::string(toString(kind)) + ":" + std::to_string(blocksX) + "x" +
+               std::to_string(blocksY) + "x" + std::to_string(blocksZ) + ":c" +
+               std::to_string(cellsPerBlock) + ":s" + std::to_string(voxelSeed) +
+               ":f" + std::to_string(obstacleFraction) + ":w" +
+               std::to_string(omega) + ":u" + std::to_string(lidVelocity) + ":n" +
+               std::to_string(steps);
+    }
+};
+
+/// Wire form for the dispatcher → leader → member fan-out.
+inline void writeSpec(SendBuffer& sb, const JobSpec& s) {
+    sb << s.id << s.name << s.tenant << std::int32_t(s.priority)
+       << s.releaseAfterCompleted << std::uint8_t(s.kind) << s.blocksX << s.blocksY
+       << s.blocksZ << s.cellsPerBlock << s.voxelSeed << s.obstacleFraction
+       << s.omega << s.lidVelocity << s.steps;
+}
+
+inline JobSpec readSpec(RecvBuffer& rb) {
+    JobSpec s;
+    std::int32_t priority = 0;
+    std::uint8_t kind = 0;
+    rb >> s.id >> s.name >> s.tenant >> priority >> s.releaseAfterCompleted >>
+        kind >> s.blocksX >> s.blocksY >> s.blocksZ >> s.cellsPerBlock >>
+        s.voxelSeed >> s.obstacleFraction >> s.omega >> s.lidVelocity >> s.steps;
+    s.priority = priority;
+    s.kind = ScenarioKind(kind);
+    return s;
+}
+
+/// Lifecycle of a job inside the queue.
+enum class JobState : std::uint8_t {
+    Queued = 0,   ///< waiting (initial, or requeued after preempt/failure)
+    Running = 1,  ///< granted to a gang
+    Completed = 2 ///< final digest reported
+};
+
+} // namespace walb::serve

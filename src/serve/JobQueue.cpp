@@ -1,0 +1,112 @@
+#include "serve/JobQueue.h"
+
+#include "core/Debug.h"
+
+namespace walb::serve {
+
+std::uint64_t JobQueue::push(JobSpec spec) {
+    spec.id = records_.size() + 1;
+    JobRecord rec;
+    rec.spec = std::move(spec);
+    records_.push_back(std::move(rec));
+    return records_.back().spec.id;
+}
+
+void JobQueue::setTenantQuota(const std::string& tenant, int maxRunning) {
+    quotas_[tenant] = maxRunning;
+}
+
+bool JobQueue::tenantAtQuota(const std::string& tenant) const {
+    const auto q = quotas_.find(tenant);
+    if (q == quotas_.end()) return false;
+    const auto r = runningPerTenant_.find(tenant);
+    return r != runningPerTenant_.end() && r->second >= q->second;
+}
+
+std::optional<std::uint64_t> JobQueue::claim(std::uint64_t completedCount) {
+    const JobRecord* best = nullptr;
+    for (const auto& rec : records_) {
+        if (rec.state != JobState::Queued) continue;
+        if (rec.spec.releaseAfterCompleted > completedCount) continue;
+        if (tenantAtQuota(rec.spec.tenant)) continue;
+        // Highest priority wins; lowest id breaks ties (records_ is in id
+        // order, so the first hit of a priority class is its FIFO head).
+        if (!best || rec.spec.priority > best->spec.priority) best = &rec;
+    }
+    if (!best) return std::nullopt;
+    JobRecord& rec = record(best->spec.id);
+    rec.state = JobState::Running;
+    ++rec.attempts;
+    ++runningPerTenant_[rec.spec.tenant];
+    return rec.spec.id;
+}
+
+void JobQueue::requeue(std::uint64_t id, bool preempted) {
+    JobRecord& rec = record(id);
+    WALB_ASSERT(rec.state == JobState::Running,
+                "requeue of job " << id << " which is not running");
+    rec.state = JobState::Queued;
+    ++rec.requeues;
+    if (preempted) ++rec.preemptions;
+    --runningPerTenant_[rec.spec.tenant];
+}
+
+void JobQueue::complete(std::uint64_t id, std::uint64_t digest,
+                        std::uint64_t finalStep) {
+    JobRecord& rec = record(id);
+    WALB_ASSERT(rec.state == JobState::Running,
+                "completion of job " << id << " which is not running");
+    rec.state = JobState::Completed;
+    rec.digest = digest;
+    rec.finalStep = finalStep;
+    --runningPerTenant_[rec.spec.tenant];
+    ++completed_;
+}
+
+std::optional<int> JobQueue::bestQueuedPriority(std::uint64_t completedCount) const {
+    std::optional<int> best;
+    for (const auto& rec : records_) {
+        if (rec.state != JobState::Queued) continue;
+        if (rec.spec.releaseAfterCompleted > completedCount) continue;
+        if (tenantAtQuota(rec.spec.tenant)) continue;
+        if (!best || rec.spec.priority > *best) best = rec.spec.priority;
+    }
+    return best;
+}
+
+std::optional<std::uint64_t> JobQueue::lowestPriorityRunning() const {
+    const JobRecord* victim = nullptr;
+    for (const auto& rec : records_) {
+        if (rec.state != JobState::Running) continue;
+        // <= so the newest (highest id) of the lowest priority class loses.
+        if (!victim || rec.spec.priority <= victim->spec.priority) victim = &rec;
+    }
+    if (!victim) return std::nullopt;
+    return victim->spec.id;
+}
+
+std::uint64_t JobQueue::queuedCount() const {
+    std::uint64_t n = 0;
+    for (const auto& rec : records_)
+        if (rec.state == JobState::Queued) ++n;
+    return n;
+}
+
+std::uint64_t JobQueue::runningCount() const {
+    std::uint64_t n = 0;
+    for (const auto& rec : records_)
+        if (rec.state == JobState::Running) ++n;
+    return n;
+}
+
+JobRecord& JobQueue::record(std::uint64_t id) {
+    WALB_ASSERT(id >= 1 && id <= records_.size(), "unknown job id " << id);
+    return records_[std::size_t(id - 1)];
+}
+
+const JobRecord& JobQueue::record(std::uint64_t id) const {
+    WALB_ASSERT(id >= 1 && id <= records_.size(), "unknown job id " << id);
+    return records_[std::size_t(id - 1)];
+}
+
+} // namespace walb::serve

@@ -1,0 +1,92 @@
+#pragma once
+/// \file JobQueue.h
+/// Deterministic multi-tenant job queue of the scenario service.
+///
+/// A plain data structure, owned by the dispatcher rank only — no
+/// communication, no clocks, no randomness. Ordering is a pure function of
+/// the queue contents: among eligible queued jobs, highest priority first,
+/// lowest id breaking ties (FIFO within a priority class — requeued jobs
+/// keep their original id and therefore their place). Eligibility is
+/// deterministic too: a job with `releaseAfterCompleted = N` enters the
+/// race once N jobs have completed fleet-wide (replaying a drill replays
+/// the schedule), and a tenant at its running-job quota is skipped until
+/// one of its jobs finishes. Everything the scheduler decides is therefore
+/// reproducible from the job list alone.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/Job.h"
+
+namespace walb::serve {
+
+/// Queue-side bookkeeping of one job (accounting filled in by the
+/// dispatcher as events arrive).
+struct JobRecord {
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    bool hasCheckpoint = false;  ///< an on-disk .wckp exists to resume from
+    std::uint64_t resumeHint = 0;///< newest known checkpoint step (hint only)
+    int attempts = 0;            ///< grants (first run + every rerun)
+    int preemptions = 0;
+    int requeues = 0;            ///< preemptions + failure requeues
+    int gang = -1;               ///< gang of the current/last attempt
+    std::uint64_t digest = 0;    ///< final state digest (valid once Completed)
+    std::uint64_t finalStep = 0;
+    double cellSeconds = 0;      ///< accumulated fluid-cells × wall-seconds
+    double waitSeconds = 0;      ///< enqueue → first grant
+    double turnaroundSeconds = 0;///< enqueue → completion
+};
+
+class JobQueue {
+public:
+    /// Adds a job, assigns its id (1-based, in push order). Returns the id.
+    std::uint64_t push(JobSpec spec);
+
+    /// Caps the number of concurrently running jobs of a tenant. Absent
+    /// tenants are unlimited.
+    void setTenantQuota(const std::string& tenant, int maxRunning);
+
+    /// Claims the next runnable job: eligible (released, tenant below
+    /// quota), highest priority, lowest id. Marks it Running and counts the
+    /// attempt. Returns nullopt when nothing is runnable right now.
+    std::optional<std::uint64_t> claim(std::uint64_t completedCount);
+
+    /// Returns a Running job to the queue (preemption or gang failure).
+    void requeue(std::uint64_t id, bool preempted);
+
+    /// Marks a Running job Completed with its reported final state.
+    void complete(std::uint64_t id, std::uint64_t digest, std::uint64_t finalStep);
+
+    /// Priority of the best eligible queued job, or nullopt when none is
+    /// eligible (quota-blocked jobs are still reported — preemption may be
+    /// what unblocks them is *not* true for quotas, so they are excluded).
+    std::optional<int> bestQueuedPriority(std::uint64_t completedCount) const;
+
+    /// The Running job with the lowest priority (highest id breaking ties
+    /// — evict the newest work first), or nullopt when none is running.
+    std::optional<std::uint64_t> lowestPriorityRunning() const;
+
+    std::uint64_t queuedCount() const;
+    std::uint64_t runningCount() const;
+    std::uint64_t completedCount() const { return completed_; }
+    std::uint64_t totalCount() const { return records_.size(); }
+    bool allCompleted() const { return completed_ == records_.size(); }
+
+    JobRecord& record(std::uint64_t id);
+    const JobRecord& record(std::uint64_t id) const;
+    const std::vector<JobRecord>& records() const { return records_; }
+
+private:
+    bool tenantAtQuota(const std::string& tenant) const;
+
+    std::vector<JobRecord> records_; ///< index = id - 1
+    std::map<std::string, int> quotas_;
+    std::map<std::string, int> runningPerTenant_;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace walb::serve

@@ -1,0 +1,77 @@
+#include "serve/Scenario.h"
+
+namespace walb::serve {
+
+namespace {
+
+/// splitmix64 of the cell coordinates: a pure function of global position,
+/// as the flag-initializer contract requires (blocks re-derive their flags
+/// after a gang shrink or rebalance).
+std::uint64_t cellHash(std::uint64_t seed, cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+    std::uint64_t h = seed ^ (std::uint64_t(std::uint32_t(x)) << 42) ^
+                      (std::uint64_t(std::uint32_t(y)) << 21) ^
+                      std::uint64_t(std::uint32_t(z));
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+}
+
+} // namespace
+
+bf::SetupBlockForest makeScenarioSetup(const JobSpec& spec, std::uint32_t gangRanks) {
+    bf::SetupConfig cfg;
+    cfg.domain = AABB(0, 0, 0, real_c(spec.cellsX()), real_c(spec.cellsY()),
+                      real_c(spec.cellsZ()));
+    cfg.rootBlocksX = spec.blocksX;
+    cfg.rootBlocksY = spec.blocksY;
+    cfg.rootBlocksZ = spec.blocksZ;
+    cfg.cellsPerBlockX = cfg.cellsPerBlockY = cfg.cellsPerBlockZ = spec.cellsPerBlock;
+    auto setup = bf::SetupBlockForest::create(cfg);
+    setup.balanceMorton(gangRanks);
+    return setup;
+}
+
+sim::DistributedSimulation::FlagInitializer scenarioFlags(const JobSpec& spec) {
+    const cell_idx_t NX = cell_idx_c(spec.cellsX());
+    const cell_idx_t NY = cell_idx_c(spec.cellsY());
+    const cell_idx_t NZ = cell_idx_c(spec.cellsZ());
+    const ScenarioKind kind = spec.kind;
+    const std::uint64_t seed = spec.voxelSeed;
+    // Voxel: solid with probability obstacleFraction, decided per cell by
+    // the seeded hash — a pure function of global position.
+    const std::uint64_t solidBelow =
+        std::uint64_t(spec.obstacleFraction * 1024.0);
+    // Cylinder: solid column through all z, centered in the front third.
+    const double cx = double(NX) / 3.0, cy = double(NY) / 2.0;
+    const double r2 = (double(NY) / 5.0) * (double(NY) / 5.0);
+    return [=](field::FlagField& flags, const lbm::BoundaryFlags& masks,
+               const bf::BlockForest::Block&, const geometry::CellMapping& mapping) {
+        flags.forAllIncludingGhost([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            const Vec3 p = mapping.cellCenter(x, y, z);
+            if (p[0] < 0 || p[1] < 0 || p[2] < 0 || p[0] > real_c(NX) ||
+                p[1] > real_c(NY) || p[2] > real_c(NZ))
+                return;
+            const Cell g{cell_idx_t(p[0]), cell_idx_t(p[1]), cell_idx_t(p[2])};
+            if (g.z == NZ - 1) {
+                flags.addFlag(x, y, z, masks.ubb); // moving lid
+                return;
+            }
+            if (g.x == 0 || g.x == NX - 1 || g.y == 0 || g.y == NY - 1 || g.z == 0) {
+                flags.addFlag(x, y, z, masks.noSlip);
+                return;
+            }
+            bool solid = false;
+            if (kind == ScenarioKind::Voxel) {
+                solid = cellHash(seed, g.x, g.y, g.z) % 1024 < solidBelow;
+            } else if (kind == ScenarioKind::Cylinder) {
+                const double dx = double(g.x) + 0.5 - cx;
+                const double dy = double(g.y) + 0.5 - cy;
+                solid = dx * dx + dy * dy < r2;
+            }
+            flags.addFlag(x, y, z, solid ? masks.noSlip : masks.fluid);
+        });
+    };
+}
+
+} // namespace walb::serve

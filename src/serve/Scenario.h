@@ -1,0 +1,33 @@
+#pragma once
+/// \file Scenario.h
+/// Scenario builders: a JobSpec → block forest + flag field + collision op.
+///
+/// Everything here is a pure function of the spec and the global cell
+/// position. That is the load-bearing property of the whole service: a
+/// job's flag field never depends on which gang runs it or how many ranks
+/// the gang has, so the interior-only state digest is identical across
+/// gang sizes, resumes and re-balances — and can be checked against a
+/// serial one-job-at-a-time baseline (bench/fig_serve).
+
+#include "blockforest/SetupBlockForest.h"
+#include "lbm/Collision.h"
+#include "serve/Job.h"
+#include "sim/DistributedSimulation.h"
+
+namespace walb::serve {
+
+/// Dense block forest for the spec's grid, statically balanced over
+/// `gangRanks` processes. Gang shrinks rebuild with the survivor count; the
+/// digest is balancing-invariant.
+bf::SetupBlockForest makeScenarioSetup(const JobSpec& spec, std::uint32_t gangRanks);
+
+/// Flag initializer for the spec's geometry family (pure function of
+/// global position).
+sim::DistributedSimulation::FlagInitializer scenarioFlags(const JobSpec& spec);
+
+/// Collision operator of the sweep point.
+inline lbm::TRT scenarioCollision(const JobSpec& spec) {
+    return lbm::TRT::fromOmegaAndMagic(real_c(spec.omega));
+}
+
+} // namespace walb::serve

@@ -1090,4 +1090,77 @@ std::uint64_t runWithCheckpoints(DistributedSimulation& sim, const CheckpointOpt
     return executed;
 }
 
+/// Verdict of the between-chunk control callback of runResumableChunks().
+enum class ChunkControl : std::uint8_t { Continue = 0, Preempt = 1 };
+
+/// Result of one runResumableChunks() leg.
+struct ResumableRunResult {
+    bool preempted = false;          ///< stopped early on a Preempt verdict
+    std::uint64_t step = 0;          ///< sim step when the leg ended
+    std::uint64_t checkpointStep = 0;///< step of the newest on-disk checkpoint
+    bool hasCheckpoint = false;      ///< false when no checkpoint was written
+};
+
+/// Resumable job entry point (walb::serve): advances the simulation to
+/// `targetStep` total steps in chunks of `chunkSteps`, consulting `control`
+/// between chunks so an external scheduler can preempt the job at a
+/// deterministic step. `control(currentStep)` MUST return the identical
+/// verdict on every rank of the simulation's communicator (serve's gang
+/// leader broadcasts the word before returning it) — a split verdict
+/// deadlocks the next ghost exchange. Checkpoints are written every
+/// `checkpointEvery` steps and on preemption, so the job can later resume
+/// from `checkpointStep` via DistributedSimulation::loadCheckpoint. The
+/// final completed state is NOT checkpointed here — callers digest/persist
+/// it themselves. Propagates CommError from the step loop (rank failure);
+/// `liveProgress`, when given, tracks the result so far and stays valid
+/// across such a throw (the serve scheduler reads the last checkpoint step
+/// off it when a gang member dies mid-job).
+template <typename Op, typename Control>
+ResumableRunResult runResumableChunks(DistributedSimulation& sim,
+                                      const std::string& checkpointPath,
+                                      std::uint64_t targetStep,
+                                      std::uint64_t checkpointEvery,
+                                      std::uint64_t chunkSteps, const Op& op,
+                                      const Control& control,
+                                      ResumableRunResult* liveProgress = nullptr) {
+    WALB_ASSERT(chunkSteps > 0, "chunkSteps must be positive");
+    ResumableRunResult local;
+    ResumableRunResult& res = liveProgress ? *liveProgress : local;
+    res = {};
+    res.step = sim.currentStep();
+    res.checkpointStep = res.step;
+    res.hasCheckpoint = false;
+    while (sim.currentStep() < targetStep) {
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(chunkSteps, targetStep - sim.currentStep());
+        sim.run(uint_t(chunk), op);
+        res.step = sim.currentStep();
+        const bool done = sim.currentStep() >= targetStep;
+        const ChunkControl word = control(sim.currentStep());
+        if (word == ChunkControl::Preempt && !done) {
+            std::string err;
+            if (!sim.saveCheckpoint(checkpointPath, &err))
+                WALB_LOG_ERROR("preemption checkpoint to '" << checkpointPath
+                                                            << "' failed: " << err);
+            else {
+                res.checkpointStep = sim.currentStep();
+                res.hasCheckpoint = true;
+            }
+            res.preempted = true;
+            return res;
+        }
+        if (!done && checkpointEvery > 0 && sim.currentStep() % checkpointEvery == 0) {
+            std::string err;
+            if (!sim.saveCheckpoint(checkpointPath, &err))
+                WALB_LOG_ERROR("periodic checkpoint to '" << checkpointPath
+                                                          << "' failed: " << err);
+            else {
+                res.checkpointStep = sim.currentStep();
+                res.hasCheckpoint = true;
+            }
+        }
+    }
+    return res;
+}
+
 } // namespace walb::sim

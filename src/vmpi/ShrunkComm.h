@@ -4,98 +4,49 @@
 /// renumbered densely, with every collective rebuilt on point-to-point.
 ///
 /// After the failure agreement (Agreement.h) the survivors hold an
-/// identical sorted list of live world ranks. ShrunkComm wraps the original
-/// per-rank comm handle and presents that list as a fresh world:
+/// identical sorted list of live world ranks. ShrunkComm presents that
+/// list as a fresh world, exactly like the rank map MPI_Comm_shrink hands
+/// back under ULFM. The carve/renumber/collective/tag-isolation mechanics
+/// are shared with walb::serve's gang communicators and live in SubComm
+/// (SubComm.h); this class keeps the recovery-flavored vocabulary:
 ///
-///   * rank()/size() are the *new* dense numbering (index in the sorted
-///     survivor list); worldRank()/newRankOf() translate between the
-///     spaces, exactly like the rank map MPI_Comm_shrink hands back under
-///     ULFM.
-///   * Collectives never touch the wrapped comm's own collectives — those
-///     synchronize the full original world (ThreadComm's std::barrier) and
-///     would hang on the dead ranks forever. barrier / broadcast /
-///     allreduce / allgatherv / gatherv are reimplemented here as fan-in /
-///     fan-out trees over send/recv among survivors only. Through a
-///     ReliableComm underneath they inherit transient-fault healing; a
-///     *second* failure surfaces as an escalated CommError from one of
-///     these p2p legs and triggers the next recovery epoch.
-///   * Epoch tag isolation: every user tag is shifted by
-///     epoch × kEpochTagStride. The rewind abandons a half-delivered time
-///     step whose ghost-exchange messages are still sitting in mailboxes;
-///     after the shrink those stale frames can never match a current recv,
-///     because the whole epoch lives in its own tag band.
-///
-/// Over a SerialComm (or any 1-survivor world) everything degenerates to
-/// the trivial no-op semantics of a single-rank world.
+///   * `survivors` is the agreement verdict's complement — sorted,
+///     identical on every rank; worldRank()/newRankOf() translate between
+///     the old and new rank spaces.
+///   * `epoch` >= 1 numbers the recovery generation (0 is the unshrunken
+///     world). Every tag is shifted by epoch × kEpochTagStride: the rewind
+///     abandons a half-delivered time step whose ghost-exchange messages
+///     are still sitting in mailboxes; after the shrink those stale frames
+///     can never match a current recv, because the whole epoch lives in
+///     its own tag band.
 
 #include <vector>
 
-#include "vmpi/Comm.h"
-#include "vmpi/Tags.h"
+#include "vmpi/SubComm.h"
 
 namespace walb::vmpi {
 
-class ShrunkComm final : public Comm {
+class ShrunkComm final : public SubComm {
 public:
-    /// Tag distance between recovery epochs. User tags are small (ghost
-    /// exchange 77, migration 91, buddy 93/94); one band comfortably holds
-    /// them all plus the internal collective tags.
-    static constexpr int kEpochTagStride = tags::kEpochTagStride;
+    /// Tag distance between recovery epochs (= SubComm's generation
+    /// stride).
+    static constexpr int kEpochTagStride = SubComm::kGenerationTagStride;
 
     /// `survivors` must be identical (and sorted ascending) on every
     /// participating rank — it is the agreement verdict's complement. The
     /// calling rank's world rank must be in the list. `epoch` >= 1 numbers
     /// the recovery generation (0 is the unshrunken world).
-    ShrunkComm(Comm& world, std::vector<int> survivors, int epoch);
+    ShrunkComm(Comm& world, std::vector<int> survivors, int epoch)
+        : SubComm(world, std::move(survivors), epoch) {}
 
-    int rank() const override { return newRank_; }
-    int size() const override { return int(survivors_.size()); }
-
-    int epoch() const { return epoch_; }
-    const std::vector<int>& survivors() const { return survivors_; }
+    int epoch() const { return generation(); }
+    const std::vector<int>& survivors() const { return members(); }
     /// New dense rank → original world rank.
-    int worldRank(int newRank) const { return survivors_[std::size_t(newRank)]; }
+    int worldRank(int newRank) const { return parentRank(newRank); }
     /// Original world rank → new dense rank, -1 for dead ranks.
-    int newRankOf(int worldRank) const;
+    int newRankOf(int worldRankIndex) const { return subRankOf(worldRankIndex); }
 
-    void setRecvDeadline(std::chrono::milliseconds deadline) override;
-    void setErrorObserver(ErrorObserver observer) override;
-
-    void send(int dest, int tag, std::vector<std::uint8_t> data) override;
-    std::vector<std::uint8_t> recv(int src, int tag) override;
-    bool tryRecv(int src, int tag, std::vector<std::uint8_t>& out) override;
-
-    void barrier() override;
-    void broadcast(std::vector<std::uint8_t>& data, int root) override;
-    void allreduce(std::span<double> inout, ReduceOp op) override;
-    void allreduce(std::span<std::uint64_t> inout, ReduceOp op) override;
-    std::vector<std::vector<std::uint8_t>> allgatherv(
-        std::span<const std::uint8_t> mine) override;
-    std::vector<std::vector<std::uint8_t>> gatherv(std::span<const std::uint8_t> mine,
-                                                   int root) override;
-
-    Comm& world() { return world_; }
-
-private:
-    /// Shifts a tag into this epoch's band (applied uniformly, internal
-    /// collective tags included).
-    int shift(int tag) const { return tag + epoch_ * kEpochTagStride; }
-
-    /// Hub-reduce worker shared by both allreduce element types.
-    template <typename T>
-    void allreduceHub(std::span<T> inout, ReduceOp op);
-
-    /// Internal collective tags, placed well below zero so they can never
-    /// collide with shifted user tags of any epoch.
-    static constexpr int kBarrierTag = tags::kShrunkBarrier;
-    static constexpr int kBcastTag = tags::kShrunkBcast;
-    static constexpr int kReduceTag = tags::kShrunkReduce;
-    static constexpr int kGatherTag = tags::kShrunkGather;
-
-    Comm& world_;
-    std::vector<int> survivors_;
-    int epoch_;
-    int newRank_;
+    Comm& world() { return parent(); }
 };
 
 } // namespace walb::vmpi

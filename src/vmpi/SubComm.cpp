@@ -1,4 +1,4 @@
-#include "vmpi/ShrunkComm.h"
+#include "vmpi/SubComm.h"
 
 #include <algorithm>
 #include <cstring>
@@ -8,65 +8,65 @@
 
 namespace walb::vmpi {
 
-ShrunkComm::ShrunkComm(Comm& world, std::vector<int> survivors, int epoch)
-    : world_(world), survivors_(std::move(survivors)), epoch_(epoch) {
-    WALB_ASSERT(!survivors_.empty(), "a shrunken world needs at least one survivor");
-    WALB_ASSERT(std::is_sorted(survivors_.begin(), survivors_.end()),
-                "survivor list must be sorted (identical on every rank)");
+SubComm::SubComm(Comm& parent, std::vector<int> members, int generation)
+    : parent_(parent), members_(std::move(members)), generation_(generation) {
+    WALB_ASSERT(!members_.empty(), "a sub-communicator needs at least one member");
+    WALB_ASSERT(std::is_sorted(members_.begin(), members_.end()),
+                "member list must be sorted (identical on every rank)");
     const auto it =
-        std::find(survivors_.begin(), survivors_.end(), world_.rank());
-    WALB_ASSERT(it != survivors_.end(),
-                "the calling rank is not in the survivor list");
-    newRank_ = int(it - survivors_.begin());
-    // Inherit the wrapped comm's failure-detection settings.
-    Comm::setRecvDeadline(world_.recvDeadline());
+        std::find(members_.begin(), members_.end(), parent_.rank());
+    WALB_ASSERT(it != members_.end(),
+                "the calling rank is not in the member list");
+    myRank_ = int(it - members_.begin());
+    // Inherit the parent comm's failure-detection settings.
+    Comm::setRecvDeadline(parent_.recvDeadline());
 }
 
-int ShrunkComm::newRankOf(int worldRank) const {
+int SubComm::subRankOf(int parentRank) const {
     const auto it =
-        std::lower_bound(survivors_.begin(), survivors_.end(), worldRank);
-    if (it == survivors_.end() || *it != worldRank) return -1;
-    return int(it - survivors_.begin());
+        std::lower_bound(members_.begin(), members_.end(), parentRank);
+    if (it == members_.end() || *it != parentRank) return -1;
+    return int(it - members_.begin());
 }
 
-void ShrunkComm::setRecvDeadline(std::chrono::milliseconds deadline) {
+void SubComm::setRecvDeadline(std::chrono::milliseconds deadline) {
     Comm::setRecvDeadline(deadline);
-    world_.setRecvDeadline(deadline);
+    parent_.setRecvDeadline(deadline);
 }
 
-void ShrunkComm::setErrorObserver(ErrorObserver observer) {
+void SubComm::setErrorObserver(ErrorObserver observer) {
     // Stored locally (reportError() on this comm — the exchange layer's
     // corrupt-message guard — must fire it) and forwarded so errors raised
     // deeper in the stack reach the same last-breath hooks.
     Comm::setErrorObserver(observer);
-    world_.setErrorObserver(std::move(observer));
+    parent_.setErrorObserver(std::move(observer));
 }
 
-void ShrunkComm::send(int dest, int tag, std::vector<std::uint8_t> data) {
-    world_.send(worldRank(dest), shift(tag), std::move(data));
+void SubComm::send(int dest, int tag, std::vector<std::uint8_t> data) {
+    parent_.send(parentRank(dest), shift(tag), std::move(data));
 }
 
-std::vector<std::uint8_t> ShrunkComm::recv(int src, int tag) {
-    // A thrown CommError names the *world* peer and the shifted tag —
-    // exactly what a post-mortem needs to locate the failing epoch.
-    // walb-lint: allow(blocking): epoch-shift forward — the world comm honors the configured recv deadline
-    return world_.recv(worldRank(src), shift(tag));
+std::vector<std::uint8_t> SubComm::recv(int src, int tag) {
+    // A thrown CommError names the *parent* peer and the shifted tag —
+    // exactly what a post-mortem needs to locate the failing generation.
+    // walb-lint: allow(blocking): generation-shift forward — the parent comm honors the configured recv deadline
+    return parent_.recv(parentRank(src), shift(tag));
 }
 
-bool ShrunkComm::tryRecv(int src, int tag, std::vector<std::uint8_t>& out) {
-    return world_.tryRecv(worldRank(src), shift(tag), out);
+bool SubComm::tryRecv(int src, int tag, std::vector<std::uint8_t>& out) {
+    return parent_.tryRecv(parentRank(src), shift(tag), out);
 }
 
-// ---- collectives: fan-in/fan-out over survivors only ---------------------
+// ---- collectives: fan-in/fan-out over members only ------------------------
 //
-// New rank 0 is the hub. Per-(src, tag) FIFO of the transport keeps
+// Sub rank 0 is the hub. Per-(src, tag) FIFO of the transport keeps
 // back-to-back collectives of the same kind ordered, so one tag per kind
 // suffices.
 
-void ShrunkComm::barrier() {
+void SubComm::barrier() {
     const int n = size();
     if (n <= 1) return;
-    if (newRank_ == 0) {
+    if (myRank_ == 0) {
         for (int r = 1; r < n; ++r) (void)recv(r, kBarrierTag);
         for (int r = 1; r < n; ++r) send(r, kBarrierTag, {});
     } else {
@@ -75,10 +75,10 @@ void ShrunkComm::barrier() {
     }
 }
 
-void ShrunkComm::broadcast(std::vector<std::uint8_t>& data, int root) {
+void SubComm::broadcast(std::vector<std::uint8_t>& data, int root) {
     const int n = size();
     if (n <= 1) return;
-    if (newRank_ == root) {
+    if (myRank_ == root) {
         for (int r = 0; r < n; ++r)
             if (r != root) send(r, kBcastTag, data);
     } else {
@@ -113,10 +113,10 @@ std::vector<std::uint8_t> toBytes(std::span<const T> v) {
 } // namespace
 
 template <typename T>
-void ShrunkComm::allreduceHub(std::span<T> inout, ReduceOp op) {
+void SubComm::allreduceHub(std::span<T> inout, ReduceOp op) {
     const int n = size();
     if (n <= 1) return;
-    if (newRank_ == 0) {
+    if (myRank_ == 0) {
         for (int r = 1; r < n; ++r) reduceInto(inout, recv(r, kReduceTag), op);
         const auto result =
             toBytes(std::span<const T>(inout.data(), inout.size()));
@@ -133,21 +133,21 @@ void ShrunkComm::allreduceHub(std::span<T> inout, ReduceOp op) {
     }
 }
 
-void ShrunkComm::allreduce(std::span<double> inout, ReduceOp op) {
+void SubComm::allreduce(std::span<double> inout, ReduceOp op) {
     allreduceHub(inout, op);
 }
 
-void ShrunkComm::allreduce(std::span<std::uint64_t> inout, ReduceOp op) {
+void SubComm::allreduce(std::span<std::uint64_t> inout, ReduceOp op) {
     allreduceHub(inout, op);
 }
 
-std::vector<std::vector<std::uint8_t>> ShrunkComm::allgatherv(
+std::vector<std::vector<std::uint8_t>> SubComm::allgatherv(
     std::span<const std::uint8_t> mine) {
     const int n = size();
     std::vector<std::vector<std::uint8_t>> parts(static_cast<std::size_t>(n));
-    parts[std::size_t(newRank_)].assign(mine.begin(), mine.end());
+    parts[std::size_t(myRank_)].assign(mine.begin(), mine.end());
     if (n <= 1) return parts;
-    if (newRank_ == 0) {
+    if (myRank_ == 0) {
         for (int r = 1; r < n; ++r) parts[std::size_t(r)] = recv(r, kGatherTag);
         SendBuffer sb;
         sb << std::uint32_t(n);
@@ -156,7 +156,7 @@ std::vector<std::vector<std::uint8_t>> ShrunkComm::allgatherv(
         for (int r = 1; r < n; ++r)
             send(r, kGatherTag, std::vector<std::uint8_t>(wire));
     } else {
-        send(0, kGatherTag, parts[std::size_t(newRank_)]);
+        send(0, kGatherTag, parts[std::size_t(myRank_)]);
         RecvBuffer rb(recv(0, kGatherTag));
         std::uint32_t count = 0;
         rb >> count;
@@ -166,12 +166,12 @@ std::vector<std::vector<std::uint8_t>> ShrunkComm::allgatherv(
     return parts;
 }
 
-std::vector<std::vector<std::uint8_t>> ShrunkComm::gatherv(
+std::vector<std::vector<std::uint8_t>> SubComm::gatherv(
     std::span<const std::uint8_t> mine, int root) {
     const int n = size();
     if (n <= 1)
         return {std::vector<std::uint8_t>(mine.begin(), mine.end())};
-    if (newRank_ == root) {
+    if (myRank_ == root) {
         std::vector<std::vector<std::uint8_t>> parts(static_cast<std::size_t>(n));
         parts[std::size_t(root)].assign(mine.begin(), mine.end());
         for (int r = 0; r < n; ++r)

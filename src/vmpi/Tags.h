@@ -42,6 +42,23 @@ inline constexpr int kBuddyStore = 93;
 /// to the adopting rank (recover::RecoveryManager).
 inline constexpr int kBuddyRestore = 94;
 
+// ---- serve band: scenario-service control traffic ------------------------
+// walb-lint: tag-band(serve, 1024, 1027)
+
+/// Worker → dispatcher job events (done / failed / preempted) on the pool
+/// comm (serve::Scheduler). Carried outside any gang SubComm so a shrunken
+/// gang's new leader can still reach rank 0.
+inline constexpr int kServeEvent = 1024;
+/// Dispatcher → gang-leader control (grant / preempt / shutdown) on the
+/// pool comm.
+inline constexpr int kServeCtrl = 1025;
+/// Gang-leader → member job launch and shutdown fan-out on the pool comm;
+/// per-attempt traffic then moves onto a fresh-generation SubComm.
+inline constexpr int kServeGangCtrl = 1026;
+/// Chunk-boundary continue/preempt word the leader broadcasts to the gang
+/// (sent through the job's SubComm, i.e. generation-shifted).
+inline constexpr int kServeChunkWord = 1027;
+
 // ---- reliable band: ReliableComm control traffic -------------------------
 // walb-lint: tag-band(reliable, -9117, -9117)
 

@@ -61,8 +61,9 @@ TEST(Lint, RealRegistriesAreSelfConsistent) {
     Linter lint = realLinter();
     EXPECT_TRUE(lint.hasTagRegistry());
     EXPECT_TRUE(lint.hasMetricNames());
-    EXPECT_EQ(lint.tagBands().size(), 4u) << "user/reliable/agreement/shrunk";
-    EXPECT_GE(lint.tagConstants().size(), 9u);
+    EXPECT_EQ(lint.tagBands().size(), 5u)
+        << "user/reliable/agreement/shrunk/serve";
+    EXPECT_GE(lint.tagConstants().size(), 13u);
     EXPECT_TRUE(lint.metricNames().count("sim.steps"));
     EXPECT_TRUE(lint.metricNames().count("sim.step_seconds"));
 }

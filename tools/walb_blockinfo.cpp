@@ -1,6 +1,6 @@
 /// walb_blockinfo — inspect a block-structure file (paper §2.2 format).
 ///
-/// Usage: walb_blockinfo [--loads] <forest.walb>
+/// Usage: walb_blockinfo [--loads] [--json] <forest.walb>
 ///
 /// Prints the domain, grid configuration, per-process workload statistics
 /// and the level histogram, without loading any cell data — the file holds
@@ -9,47 +9,120 @@
 /// --loads switches to the per-rank load table: block count and weight sum
 /// of every process plus the imbalance factor max/avg — the offline view
 /// of the assignment the rebalance subsystem acts on at runtime.
+///
+/// --json emits the same information (summary AND per-rank loads) as one
+/// machine-readable JSON document, so CI gates and the serve drill can
+/// assert on placement without screen-scraping the tables above.
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <vector>
 
 #include "blockforest/SetupBlockForest.h"
+#include "obs/Json.h"
 
 namespace {
+
+struct RankLoads {
+    std::vector<std::uint64_t> work;
+    std::vector<walb::uint_t> count;
+    std::uint64_t maxWork = 0;
+    double avg = 0;
+    bool ok = true;
+};
+
+RankLoads computeLoads(const walb::bf::SetupBlockForest& forest) {
+    RankLoads loads;
+    const std::uint32_t ranks = forest.numProcesses();
+    loads.work.assign(ranks, 0);
+    loads.count.assign(ranks, 0);
+    for (const auto& b : forest.blocks()) {
+        if (b.process >= ranks) {
+            std::fprintf(stderr, "error: block assigned to process %u of %u\n",
+                         b.process, ranks);
+            loads.ok = false;
+            return loads;
+        }
+        loads.work[b.process] += b.workload;
+        ++loads.count[b.process];
+    }
+    for (const std::uint64_t w : loads.work) loads.maxWork = std::max(loads.maxWork, w);
+    loads.avg = ranks > 0 ? double(forest.totalWorkload()) / double(ranks) : 0.0;
+    return loads;
+}
 
 /// Per-rank block counts, workload sums and the max/avg imbalance factor.
 int printLoads(const walb::bf::SetupBlockForest& forest, const char* path) {
     using namespace walb;
     const std::uint32_t ranks = forest.numProcesses();
-    std::vector<std::uint64_t> work(ranks, 0);
-    std::vector<uint_t> count(ranks, 0);
-    for (const auto& b : forest.blocks()) {
-        if (b.process >= ranks) {
-            std::fprintf(stderr, "error: block assigned to process %u of %u\n", b.process,
-                         ranks);
-            return 1;
-        }
-        work[b.process] += b.workload;
-        ++count[b.process];
-    }
+    const RankLoads loads = computeLoads(forest);
+    if (!loads.ok) return 1;
     const double total = double(forest.totalWorkload());
-    const double avg = ranks > 0 ? total / double(ranks) : 0.0;
 
     std::printf("per-rank loads: %s\n", path);
     std::printf("%8s %10s %16s %10s\n", "rank", "blocks", "weight", "share");
-    std::uint64_t maxWork = 0;
-    for (std::uint32_t r = 0; r < ranks; ++r) {
-        std::printf("%8u %10llu %16llu %9.2f%%\n", r, (unsigned long long)count[r],
-                    (unsigned long long)work[r],
-                    total > 0 ? 100.0 * double(work[r]) / total : 0.0);
-        maxWork = std::max(maxWork, work[r]);
-    }
+    for (std::uint32_t r = 0; r < ranks; ++r)
+        std::printf("%8u %10llu %16llu %9.2f%%\n", r,
+                    (unsigned long long)loads.count[r], (unsigned long long)loads.work[r],
+                    total > 0 ? 100.0 * double(loads.work[r]) / total : 0.0);
     std::printf("total workload   %llu over %u rank(s)\n",
                 (unsigned long long)forest.totalWorkload(), ranks);
     std::printf("imbalance factor %.4f (max/avg)\n",
-                avg > 0 ? double(maxWork) / avg : 1.0);
+                loads.avg > 0 ? double(loads.maxWork) / loads.avg : 1.0);
+    return 0;
+}
+
+/// Machine-readable dump: summary, balance statistics and the per-rank
+/// load table in one JSON object.
+int printJson(const walb::bf::SetupBlockForest& forest, const char* path) {
+    using namespace walb;
+    const auto& cfg = forest.config();
+    const RankLoads loads = computeLoads(forest);
+    if (!loads.ok) return 1;
+    const auto stats = forest.balanceStats();
+    const double total = double(forest.totalWorkload());
+
+    obs::json::Writer w(std::cout);
+    w.beginObject();
+    w.kv("path", path);
+    w.key("domain").beginObject();
+    w.key("min").beginArray();
+    for (int i = 0; i < 3; ++i) w.value(double(cfg.domain.min()[std::size_t(i)]));
+    w.endArray();
+    w.key("max").beginArray();
+    for (int i = 0; i < 3; ++i) w.value(double(cfg.domain.max()[std::size_t(i)]));
+    w.endArray();
+    w.endObject();
+    w.key("root_grid").beginArray();
+    w.value(cfg.rootBlocksX).value(cfg.rootBlocksY).value(cfg.rootBlocksZ);
+    w.endArray();
+    w.kv("refinement_level", std::uint64_t(cfg.refinementLevel));
+    w.key("cells_per_block").beginArray();
+    w.value(cfg.cellsPerBlockX).value(cfg.cellsPerBlockY).value(cfg.cellsPerBlockZ);
+    w.endArray();
+    w.kv("dx", double(cfg.dx()));
+    w.kv("blocks", std::uint64_t(forest.numBlocks()));
+    w.kv("blocks_possible",
+         std::uint64_t(cfg.blocksX()) * cfg.blocksY() * cfg.blocksZ());
+    w.kv("processes", forest.numProcesses());
+    w.kv("total_workload", forest.totalWorkload());
+    w.kv("imbalance", stats.imbalance);
+    w.kv("max_blocks_per_process", stats.maxBlocksPerProcess);
+    w.kv("empty_processes", stats.emptyProcesses);
+    w.key("ranks").beginArray();
+    for (std::uint32_t r = 0; r < forest.numProcesses(); ++r) {
+        w.beginObject();
+        w.kv("rank", r);
+        w.kv("blocks", std::uint64_t(loads.count[r]));
+        w.kv("weight", loads.work[r]);
+        w.kv("share", total > 0 ? double(loads.work[r]) / total : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::cout << "\n";
     return 0;
 }
 
@@ -58,17 +131,20 @@ int printLoads(const walb::bf::SetupBlockForest& forest, const char* path) {
 int main(int argc, char** argv) {
     using namespace walb;
     bool loads = false;
+    bool json = false;
     const char* path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--loads") == 0)
             loads = true;
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
         else if (!path)
             path = argv[i];
         else
             path = ""; // more than one positional argument -> usage error
     }
     if (!path || path[0] == '\0') {
-        std::fprintf(stderr, "usage: %s [--loads] <forest.walb>\n", argv[0]);
+        std::fprintf(stderr, "usage: %s [--loads] [--json] <forest.walb>\n", argv[0]);
         return 2;
     }
     const auto forest = bf::SetupBlockForest::loadFromFile(path);
@@ -76,6 +152,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: cannot read '%s'\n", path);
         return 1;
     }
+    if (json) return printJson(*forest, path);
     if (loads) return printLoads(*forest, path);
 
     const auto& cfg = forest->config();
