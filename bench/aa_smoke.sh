@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# AA-pattern kernel gate (wired into ctest as `fig3_aa_smoke`): runs the
+# fig3 kernel sweep with its --metrics-json exporter and gates the in-place
+# AA tier against the two-grid SIMD tier with tools/walb_perfdiag:
+#
+#   1. absolute bounds (`walb_perfdiag check`): the AA TRT kernel must be at
+#      least as fast as the two-grid SIMD TRT kernel on the dense 64^3
+#      domain (it moves 304 B/LUP instead of 456 and shares the SIMD
+#      arithmetic, so losing would mean a streaming-pattern regression), and
+#      the realized fraction of the ideal 1.5x traffic ratio must stay in a
+#      physically plausible band;
+#   2. drift vs the committed baseline (`walb_perfdiag compare`,
+#      BENCH_aa.json at the repo root): structural keys exact (bytes/LUP,
+#      modeled saturation rates), the measured AA/SIMD ratio within a wide
+#      band — absolute MLUP/s move with the machine, the ratio should not;
+#   3. failure-mode self-test: a degraded copy of the fresh artifact (AA
+#      ratio zeroed) must make both `check` and `compare` exit nonzero.
+#
+# Usage: aa_smoke.sh <fig3_kernels binary> <walb_perfdiag binary> \
+#                    <baseline json> <scratch dir>
+set -u
+
+bin="$1"
+perfdiag="$2"
+baseline="$3"
+dir="$4"
+mkdir -p "$dir"
+fresh="$dir/aa_fresh.json"
+degraded="$dir/aa_degraded.json"
+log="$dir/aa_smoke.log"
+rm -f "$fresh" "$degraded" "$log"
+
+fail() { echo "aa_smoke: FAIL: $*" >&2; exit 1; }
+
+[ -f "$baseline" ] || fail "baseline artifact '$baseline' not found"
+
+echo "== fig3 kernel sweep (dense 64^3, two-grid tiers vs in-place AA)"
+"$bin" --metrics-json "$fresh" | tee "$log" || fail "fig3 run exited nonzero"
+[ -f "$fresh" ] || fail "no fresh artifact written"
+
+echo "== gate 1: AA must not fall behind the two-grid SIMD kernel"
+"$perfdiag" check "$fresh" \
+    --require aa_trt_mlups \
+    --require simd_trt_mlups \
+    --require aa_traffic_efficiency_trt \
+    --min aa_over_simd_trt=1.0 \
+    --min aa_traffic_efficiency_trt=0.60 \
+    --max aa_traffic_efficiency_trt=1.40 \
+    || fail "AA kernel lost to the two-grid SIMD kernel or left the efficiency band"
+
+echo "== gate 2: drift vs committed baseline ($baseline)"
+"$perfdiag" compare "$baseline" "$fresh" \
+    --key bytes_per_lup_aa:0 \
+    --key bytes_per_lup_two_grid:0 \
+    --key ideal_traffic_ratio:0 \
+    --key supermuc_simd_saturation_mlups:0 \
+    --key supermuc_aa_saturation_mlups:0 \
+    --key aa_over_simd_trt:0.35 \
+    || fail "fresh artifact drifted outside baseline tolerances"
+
+echo "== gate 3: self-test — the gate must fail on a degraded artifact"
+sed -e 's/"aa_over_simd_trt": [0-9.eE+-]*/"aa_over_simd_trt": 0.1/' \
+    "$fresh" > "$degraded"
+cmp -s "$fresh" "$degraded" && fail "degradation sed did not change the artifact"
+if "$perfdiag" check "$degraded" --min aa_over_simd_trt=1.0 >/dev/null; then
+    fail "check accepted the degraded artifact"
+fi
+if "$perfdiag" compare "$baseline" "$degraded" --key aa_over_simd_trt:0.35 >/dev/null; then
+    fail "compare accepted the degraded artifact"
+fi
+echo "   degraded artifact rejected by both check and compare"
+
+echo "aa_smoke: PASS (in-place AA kernel >= two-grid SIMD, baseline held, gate falsifiable)"
+exit 0

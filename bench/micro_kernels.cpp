@@ -16,9 +16,12 @@
 #include "lbm/Boundary.h"
 #include "geometry/SignedDistance.h"
 #include "lbm/Communication.h"
+#include "lbm/KernelAa.h"
+#include "lbm/KernelAaSimd.h"
 #include "lbm/KernelD3Q19Simd.h"
 #include "lbm/KernelGeneric.h"
 #include "lbm/Sparse.h"
+#include "perf/Machine.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "partition/Partitioner.h"
@@ -89,6 +92,82 @@ BENCHMARK(BM_SimdKernel<simd::SseD>)->Unit(benchmark::kMillisecond);
 #if defined(__AVX__)
 BENCHMARK(BM_SimdKernel<simd::AvxD>)->Unit(benchmark::kMillisecond);
 #endif
+
+// ---- AA-pattern in-place streaming (tiers 4/5) -------------------------------
+// One grid instead of two: the model traffic drops from 456 B/cell
+// (19 reads + 19 writes + 19 write-allocate lines on the shadow grid) to
+// 304 B/cell, and there is no swap. The even and odd kernels touch different
+// address patterns, so both halves are measured separately as well as the
+// alternating pair that makes up one full cycle. `bytes_per_cell` reports
+// the model traffic so runs can be compared against the 2/3 expectation.
+
+void BM_AaKernel_EvenScalar(benchmark::State& state) {
+    PdfField f = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    for (auto _ : state) aaStreamCollide(f, AaParity::Even, op);
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+    state.counters["bytes_per_cell"] = perf::kAaBytesPerLUP;
+}
+BENCHMARK(BM_AaKernel_EvenScalar)->Unit(benchmark::kMillisecond);
+
+void BM_AaKernel_OddScalar(benchmark::State& state) {
+    PdfField f = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    for (auto _ : state) aaStreamCollide(f, AaParity::Odd, op);
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+    state.counters["bytes_per_cell"] = perf::kAaBytesPerLUP;
+}
+BENCHMARK(BM_AaKernel_OddScalar)->Unit(benchmark::kMillisecond);
+
+void BM_AaKernel_AlternatingScalar(benchmark::State& state) {
+    PdfField f = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    std::uint64_t step = 0;
+    for (auto _ : state) aaStreamCollide(f, aaParityOfStep(step++), op);
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+    state.counters["bytes_per_cell"] = perf::kAaBytesPerLUP;
+}
+BENCHMARK(BM_AaKernel_AlternatingScalar)->Unit(benchmark::kMillisecond);
+
+template <typename V>
+void BM_AaSimdKernel(benchmark::State& state) {
+    PdfField f = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    KernelAaSimd<V> kernel;
+    std::uint64_t step = 0;
+    for (auto _ : state) kernel.sweep(f, aaParityOfStep(step++), op);
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+    state.counters["bytes_per_cell"] = perf::kAaBytesPerLUP;
+}
+BENCHMARK(BM_AaSimdKernel<simd::ScalarD>)->Unit(benchmark::kMillisecond);
+#if defined(__SSE2__)
+BENCHMARK(BM_AaSimdKernel<simd::SseD>)->Unit(benchmark::kMillisecond);
+#endif
+#if defined(__AVX__)
+BENCHMARK(BM_AaSimdKernel<simd::AvxD>)->Unit(benchmark::kMillisecond);
+#endif
+
+template <typename V>
+void BM_AaSimdKernel_Even(benchmark::State& state) {
+    PdfField f = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    KernelAaSimd<V> kernel;
+    for (auto _ : state) kernel.sweep(f, AaParity::Even, op);
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+    state.counters["bytes_per_cell"] = perf::kAaBytesPerLUP;
+}
+BENCHMARK(BM_AaSimdKernel_Even<simd::BestD>)->Unit(benchmark::kMillisecond);
+
+template <typename V>
+void BM_AaSimdKernel_Odd(benchmark::State& state) {
+    PdfField f = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    KernelAaSimd<V> kernel;
+    for (auto _ : state) kernel.sweep(f, AaParity::Odd, op);
+    state.SetItemsProcessed(state.iterations() * kN * kN * kN);
+    state.counters["bytes_per_cell"] = perf::kAaBytesPerLUP;
+}
+BENCHMARK(BM_AaSimdKernel_Odd<simd::BestD>)->Unit(benchmark::kMillisecond);
 
 // ---- observability overhead --------------------------------------------------
 // The per-step instrumentation of the simulation drivers is one TimingPool
@@ -186,6 +265,21 @@ void BM_Sparse_LineIntervals(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * runs.fluidCells);
 }
 BENCHMARK(BM_Sparse_LineIntervals)->Unit(benchmark::kMillisecond);
+
+// The in-place analogue of BM_Sparse_LineIntervals: the AA SIMD kernel over
+// the same line-interval list, alternating even/odd each iteration.
+void BM_AaSparse_LineIntervals(benchmark::State& state) {
+    SparseFixture fx;
+    PdfField f = makeField(field::Layout::fzyx);
+    const TRT op = TRT::fromOmegaAndMagic(1.4);
+    const auto runs = buildFluidRuns(fx.flags, fx.fluid);
+    KernelAaSimd<> kernel;
+    std::uint64_t step = 0;
+    for (auto _ : state) aaCollideIntervals(f, aaParityOfStep(step++), runs, op, kernel);
+    state.SetItemsProcessed(state.iterations() * runs.fluidCells);
+    state.counters["bytes_per_cell"] = perf::kAaBytesPerLUP;
+}
+BENCHMARK(BM_AaSparse_LineIntervals)->Unit(benchmark::kMillisecond);
 
 // ---- ghost packing -----------------------------------------------------------
 

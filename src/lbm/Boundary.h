@@ -17,11 +17,13 @@
 /// so the interior kernel stays branch-free and vectorizable. Link lists
 /// are precomputed from the flag field once after voxelization.
 
+#include <array>
 #include <functional>
 #include <vector>
 
 #include "core/Vector3.h"
 #include "field/FlagField.h"
+#include "lbm/KernelAa.h"
 #include "lbm/PdfField.h"
 
 namespace walb::lbm {
@@ -136,7 +138,167 @@ public:
         applyLinks(src, noSlipLinks_, ubbLinks_, pressureLinks_);
     }
 
+    // ---- AA-pattern (in-place) variants -----------------------------------
+    //
+    // The AA kernels (KernelAa.h) keep a single grid whose layout alternates
+    // with step parity, so the slot a boundary value must land in — and the
+    // slots the wall-leaving populations are read from — move with it. With
+    // xb = l.boundary, d = l.dir, xf = xb + e_d and P the post-collision
+    // values of the last completed step:
+    //
+    //  * before an EVEN step the storage satisfies pdf(x, a) = P(x - e_a, a)
+    //    for fluid-produced slots, and the even kernel reads cell-locally —
+    //    the value f_d(xf) must be parked at pdf(xf, d). The reflected
+    //    population P(xf, dbar) sits at pdf(xb, dbar) (pushed there by the
+    //    preceding odd step through the wall-adjacent fluid cell itself, so
+    //    it is valid even when xb lives in a ghost layer).
+    //  * before an ODD step the storage satisfies pdf(x, abar) = P(x, a) and
+    //    the odd kernel pulls f_d(xf) from pdf(xb, dbar) — the reflected
+    //    population P(xf, dbar) sits cell-locally at pdf(xf, d).
+    //
+    // The pressure condition extrapolates the velocity from the full PDF set
+    // of xf, gathered under the same parity map; all gathered slots are
+    // produced by xf itself or its own push targets, never by communication.
+
+    void applyAa(PdfField& src, AaParity parity) const {
+        if (parity == AaParity::Even)
+            applyLinksAaEven(src, noSlipLinks_, ubbLinks_, pressureLinks_);
+        else
+            applyLinksAaOdd(src, noSlipLinks_, ubbLinks_, pressureLinks_);
+    }
+    void applyAaCore(PdfField& src, AaParity parity) const {
+        WALB_DASSERT(partitioned_);
+        if (parity == AaParity::Even)
+            applyLinksAaEven(src, coreNoSlip_, coreUbb_, corePressure_);
+        else
+            applyLinksAaOdd(src, coreNoSlip_, coreUbb_, corePressure_);
+    }
+    /// Computes the shell-partition pressure boundary values from the
+    /// pre-sweep state and stashes them for applyAaShell(). The in-place
+    /// kernels overwrite the very neighbor slots the pressure velocity
+    /// gather reads (the even kernel rewrites each core cell's own slots,
+    /// the odd kernel pushes through them), so in the overlapped schedule
+    /// the *gather* must run before the core sweep. Every slot it reads is
+    /// locally produced — never a halo unpack target (the per-population
+    /// trim keeps remote-produced slots disjoint) — so hoisting it is
+    /// bit-identical to the synchronous exchange-then-apply order. The
+    /// *write* target can coincide with a halo unpack slot and therefore
+    /// stays in applyAaShell(), after finishExchange.
+    void precomputeAaShellPressure(const PdfField& src, AaParity parity) const {
+        WALB_DASSERT(partitioned_);
+        aaShellPressureStash_.resize(shellPressure_.size());
+        for (std::size_t i = 0; i < shellPressure_.size(); ++i)
+            aaShellPressureStash_[i] = parity == AaParity::Even
+                                           ? aaPressureValueEven(src, shellPressure_[i])
+                                           : aaPressureValueOdd(src, shellPressure_[i]);
+        aaShellStashValid_ = true;
+    }
+
+    /// Requires a matching precomputeAaShellPressure() call earlier in the
+    /// same step whenever shell pressure links exist: by the time this runs
+    /// the core sweep has already rewritten the slots their gather reads.
+    void applyAaShell(PdfField& src, AaParity parity) const {
+        WALB_DASSERT(partitioned_);
+        WALB_DASSERT(aaShellStashValid_ || shellPressure_.empty());
+        if (parity == AaParity::Even) {
+            applyLinksAaEven(src, shellNoSlip_, shellUbb_, kNoLinks_);
+            for (std::size_t i = 0; i < shellPressure_.size(); ++i)
+                src.get(fluidCell(shellPressure_[i]),
+                        cell_idx_c(shellPressure_[i].dir)) = aaShellPressureStash_[i];
+        } else {
+            applyLinksAaOdd(src, shellNoSlip_, shellUbb_, kNoLinks_);
+            for (std::size_t i = 0; i < shellPressure_.size(); ++i)
+                src.get(shellPressure_[i].boundary,
+                        cell_idx_c(M::inv[shellPressure_[i].dir])) =
+                    aaShellPressureStash_[i];
+        }
+        aaShellStashValid_ = false;
+    }
+
 private:
+    /// Even-step prep: write the boundary value into the *fluid* cell's own
+    /// slot (xf, d), reading the reflected population from (xb, dbar).
+    void applyLinksAaEven(PdfField& src, const std::vector<Link>& noSlipLinks,
+                          const std::vector<Link>& ubbLinks,
+                          const std::vector<Link>& pressureLinks) const {
+        for (const Link& l : noSlipLinks) {
+            const Cell f = fluidCell(l);
+            src.get(f, cell_idx_c(l.dir)) = src.get(l.boundary, cell_idx_c(M::inv[l.dir]));
+        }
+        for (const Link& l : ubbLinks) {
+            const Cell f = fluidCell(l);
+            const Vec3 uw = uWallProfile_ ? uWallProfile_(l.boundary) : uWall_;
+            const real_t eu = real_c(M::c[l.dir][0]) * uw[0] +
+                              real_c(M::c[l.dir][1]) * uw[1] +
+                              real_c(M::c[l.dir][2]) * uw[2];
+            src.get(f, cell_idx_c(l.dir)) =
+                src.get(l.boundary, cell_idx_c(M::inv[l.dir])) +
+                real_c(6) * M::w[l.dir] * rho0_ * eu;
+        }
+        for (const Link& l : pressureLinks)
+            src.get(fluidCell(l), cell_idx_c(l.dir)) = aaPressureValueEven(src, l);
+    }
+
+    /// Anti-bounce-back value for an even-step pressure link, computed from
+    /// the pre-sweep state. Every slot read here is produced by the fluid
+    /// cell xf itself (its own odd-step pushes) or by the never-swept
+    /// boundary cell — no halo unpack ever targets them — so the value may
+    /// be computed before communication finishes and before any in-place
+    /// sweep has touched the neighborhood.
+    real_t aaPressureValueEven(const PdfField& src, const Link& l) const {
+        const Cell f = fluidCell(l);
+        // P(xf, a) is parked at (xf + e_a, a) before an even step.
+        std::array<real_t, M::Q> pdfs;
+        for (uint_t a = 0; a < M::Q; ++a)
+            pdfs[a] = src.get(f.x + M::c[a][0], f.y + M::c[a][1], f.z + M::c[a][2],
+                              cell_idx_c(a));
+        const Vec3 u = momentum<M>(pdfs) / density<M>(pdfs);
+        const real_t eu = real_c(M::c[l.dir][0]) * u[0] + real_c(M::c[l.dir][1]) * u[1] +
+                          real_c(M::c[l.dir][2]) * u[2];
+        return -src.get(l.boundary, cell_idx_c(M::inv[l.dir])) +
+               real_c(2) * M::w[l.dir] * rhoWall_ *
+                   (real_c(1) + real_c(4.5) * eu * eu - real_c(1.5) * u.dot(u));
+    }
+
+    /// Odd-step prep: write the boundary value into the pull slot
+    /// (xb, dbar), reading the reflected population from (xf, d).
+    void applyLinksAaOdd(PdfField& src, const std::vector<Link>& noSlipLinks,
+                         const std::vector<Link>& ubbLinks,
+                         const std::vector<Link>& pressureLinks) const {
+        for (const Link& l : noSlipLinks) {
+            const Cell f = fluidCell(l);
+            src.get(l.boundary, cell_idx_c(M::inv[l.dir])) = src.get(f, cell_idx_c(l.dir));
+        }
+        for (const Link& l : ubbLinks) {
+            const Cell f = fluidCell(l);
+            const Vec3 uw = uWallProfile_ ? uWallProfile_(l.boundary) : uWall_;
+            const real_t eu = real_c(M::c[l.dir][0]) * uw[0] +
+                              real_c(M::c[l.dir][1]) * uw[1] +
+                              real_c(M::c[l.dir][2]) * uw[2];
+            src.get(l.boundary, cell_idx_c(M::inv[l.dir])) =
+                src.get(f, cell_idx_c(l.dir)) + real_c(6) * M::w[l.dir] * rho0_ * eu;
+        }
+        for (const Link& l : pressureLinks)
+            src.get(l.boundary, cell_idx_c(M::inv[l.dir])) = aaPressureValueOdd(src, l);
+    }
+
+    /// Anti-bounce-back value for an odd-step pressure link; same pre-sweep
+    /// reasoning as aaPressureValueEven (all reads are slots the even kernel
+    /// wrote cell-locally at xf, plus the never-swept boundary pull slot).
+    real_t aaPressureValueOdd(const PdfField& src, const Link& l) const {
+        const Cell f = fluidCell(l);
+        // P(xf, a) is parked cell-locally at (xf, abar) before an odd step.
+        std::array<real_t, M::Q> pdfs;
+        for (uint_t a = 0; a < M::Q; ++a)
+            pdfs[a] = src.get(f, cell_idx_c(M::inv[a]));
+        const Vec3 u = momentum<M>(pdfs) / density<M>(pdfs);
+        const real_t eu = real_c(M::c[l.dir][0]) * u[0] + real_c(M::c[l.dir][1]) * u[1] +
+                          real_c(M::c[l.dir][2]) * u[2];
+        return -src.get(f, cell_idx_c(l.dir)) +
+               real_c(2) * M::w[l.dir] * rhoWall_ *
+                   (real_c(1) + real_c(4.5) * eu * eu - real_c(1.5) * u.dot(u));
+    }
+
     void applyLinks(PdfField& src, const std::vector<Link>& noSlipLinks,
                     const std::vector<Link>& ubbLinks,
                     const std::vector<Link>& pressureLinks) const {
@@ -177,6 +339,9 @@ private:
     std::vector<Link> noSlipLinks_, ubbLinks_, pressureLinks_;
     std::vector<Link> coreNoSlip_, coreUbb_, corePressure_;
     std::vector<Link> shellNoSlip_, shellUbb_, shellPressure_;
+    const std::vector<Link> kNoLinks_;
+    mutable std::vector<real_t> aaShellPressureStash_;
+    mutable bool aaShellStashValid_ = false;
     bool partitioned_ = false;
     std::function<Vec3(const Cell&)> uWallProfile_;
     Vec3 uWall_{0, 0, 0};

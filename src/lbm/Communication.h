@@ -279,6 +279,203 @@ void applyPeriodicAll(PdfField& f) {
     for (const auto& d : neighborhood26) copyPdfsLocal<M>(f, f, d);
 }
 
+// ---- AA-pattern (in-place) exchange --------------------------------------
+//
+// The AA kernels (KernelAa.h) keep one grid whose slot layout alternates
+// with step parity, so the ghost exchange needs two parity-specific modes.
+// Both ship exactly the physical post-collision populations P that cross
+// the block interface — the wire format stays layout-independent and, for
+// the forward mode, byte-identical to the two-grid exchange.
+//
+//  * FORWARD (before an odd step; storage pdf(x, abar) = P(x, a)): same
+//    intervals and population sets as the two-grid exchange, but both the
+//    sender's reads and the receiver's ghost writes use the opposing slot.
+//    The next odd sweep pulls f_a from (x - e_a, abar), so a ghost cell g
+//    must carry P(g, a) at slot abar.
+//  * REVERSE (before an even step; storage pdf(x, a) = P(x - e_a, a)): the
+//    preceding odd step *pushed* boundary-crossing populations into the
+//    sender's own ghost layer — the reverse exchange ships those ghost
+//    slots back to the interior cells of the block that owns them. Natural
+//    slots on both sides. Per population a the shipped slice is *trimmed*
+//    on every zero axis of the exchange direction: the slot (g, a) is
+//    valid only if its producer g - e_a is sender-interior, and the trim
+//    makes each (cell, slot) arrive from exactly one neighbor — so the
+//    unpack is deterministic under any message arrival order. Slots whose
+//    producer is a wall cell carry garbage either way; the even-step
+//    boundary prep overwrites them before any kernel read.
+
+/// Trims `base` (a one-cell-thick slice toward direction d) to the cells
+/// whose producing cell g - e_a stays inside the slice's span on every
+/// zero axis of d. May produce an empty interval (min > max).
+template <LatticeModel M>
+CellInterval aaReverseTrim(CellInterval base, const std::array<int, 3>& d, uint_t a) {
+    auto adjust = [](int dj, int cj, cell_idx_t& lo, cell_idx_t& hi) {
+        if (dj != 0) return;
+        if (cj == 1) ++lo;
+        if (cj == -1) --hi;
+    };
+    adjust(d[0], M::c[a][0], base.min().x, base.max().x);
+    adjust(d[1], M::c[a][1], base.min().y, base.max().y);
+    adjust(d[2], M::c[a][2], base.min().z, base.max().z);
+    return base;
+}
+
+namespace detail {
+
+/// Row-wise copy of slice `ci`, slot `slot`, into the buffer.
+inline void packSlice(const PdfField& f, const CellInterval& ci, cell_idx_t slot,
+                      SendBuffer& buf) {
+    if (ci.min().x > ci.max().x || ci.min().y > ci.max().y || ci.min().z > ci.max().z)
+        return;
+    const std::size_t rowBytes =
+        std::size_t(ci.max().x - ci.min().x + 1) * sizeof(real_t);
+    if (f.xStride() == 1) {
+        const std::size_t rows =
+            std::size_t(ci.max().y - ci.min().y + 1) * std::size_t(ci.max().z - ci.min().z + 1);
+        std::uint8_t* out = buf.grow(rows * rowBytes);
+        for (cell_idx_t z = ci.min().z; z <= ci.max().z; ++z)
+            for (cell_idx_t y = ci.min().y; y <= ci.max().y; ++y) {
+                std::memcpy(out, f.dataAt(ci.min().x, y, z, slot), rowBytes);
+                out += rowBytes;
+            }
+        return;
+    }
+    for (cell_idx_t z = ci.min().z; z <= ci.max().z; ++z)
+        for (cell_idx_t y = ci.min().y; y <= ci.max().y; ++y)
+            for (cell_idx_t x = ci.min().x; x <= ci.max().x; ++x)
+                buf << f.get(x, y, z, slot);
+}
+
+inline void unpackSlice(PdfField& f, const CellInterval& ci, cell_idx_t slot,
+                        RecvBuffer& buf) {
+    if (ci.min().x > ci.max().x || ci.min().y > ci.max().y || ci.min().z > ci.max().z)
+        return;
+    const std::size_t rowBytes =
+        std::size_t(ci.max().x - ci.min().x + 1) * sizeof(real_t);
+    if (f.xStride() == 1) {
+        const std::size_t rows =
+            std::size_t(ci.max().y - ci.min().y + 1) * std::size_t(ci.max().z - ci.min().z + 1);
+        const std::size_t total = rows * rowBytes;
+        const std::uint8_t* in = buf.cursor();
+        buf.skip(total); // bounds-checked; throws BufferError on short payload
+        for (cell_idx_t z = ci.min().z; z <= ci.max().z; ++z)
+            for (cell_idx_t y = ci.min().y; y <= ci.max().y; ++y) {
+                std::memcpy(f.dataAt(ci.min().x, y, z, slot), in, rowBytes);
+                in += rowBytes;
+            }
+        return;
+    }
+    for (cell_idx_t z = ci.min().z; z <= ci.max().z; ++z)
+        for (cell_idx_t y = ci.min().y; y <= ci.max().y; ++y)
+            for (cell_idx_t x = ci.min().x; x <= ci.max().x; ++x)
+                buf >> f.get(x, y, z, slot);
+}
+
+/// Slot-to-slot slice copy with per-slice offset (from-frame = to-frame +
+/// offset), bulk row copies when both fields are fzyx.
+inline void copySlice(const PdfField& from, cell_idx_t fromSlot, const CellInterval& srcCi,
+                      PdfField& to, cell_idx_t toSlot, const CellInterval& dstCi) {
+    if (dstCi.min().x > dstCi.max().x || dstCi.min().y > dstCi.max().y ||
+        dstCi.min().z > dstCi.max().z)
+        return;
+    WALB_DASSERT(srcCi.numCells() == dstCi.numCells());
+    const Cell offset = srcCi.min() - dstCi.min();
+    const bool contiguous = from.xStride() == 1 && to.xStride() == 1;
+    const std::size_t rowBytes =
+        std::size_t(dstCi.max().x - dstCi.min().x + 1) * sizeof(real_t);
+    for (cell_idx_t z = dstCi.min().z; z <= dstCi.max().z; ++z)
+        for (cell_idx_t y = dstCi.min().y; y <= dstCi.max().y; ++y) {
+            if (contiguous) {
+                std::memcpy(to.dataAt(dstCi.min().x, y, z, toSlot),
+                            from.dataAt(dstCi.min().x + offset.x, y + offset.y,
+                                        z + offset.z, fromSlot),
+                            rowBytes);
+            } else {
+                for (cell_idx_t x = dstCi.min().x; x <= dstCi.max().x; ++x)
+                    to.get(x, y, z, toSlot) =
+                        from.get(x + offset.x, y + offset.y, z + offset.z, fromSlot);
+            }
+        }
+}
+
+} // namespace detail
+
+/// AA forward pack: interior slice toward d, population set of d, sender
+/// reads slot abar (where the even step parked P(cell, a)). Wire bytes are
+/// identical to packPdfs of a two-grid field holding the same P values.
+template <LatticeModel M>
+void packPdfsAaForward(const PdfField& f, const std::array<int, 3>& d, SendBuffer& buf) {
+    const CellInterval ci = sendInterval(f, d);
+    for (uint_t a : commDirections<M>(d))
+        detail::packSlice(f, ci, cell_idx_c(M::inv[a]), buf);
+}
+
+/// AA forward unpack: ghost slice facing d, writes slot abar.
+template <LatticeModel M>
+void unpackPdfsAaForward(PdfField& f, const std::array<int, 3>& d, RecvBuffer& buf) {
+    const CellInterval ci = recvInterval(f, d);
+    const std::array<int, 3> senderDir = {-d[0], -d[1], -d[2]};
+    for (uint_t a : commDirections<M>(senderDir))
+        detail::unpackSlice(f, ci, cell_idx_c(M::inv[a]), buf);
+}
+
+/// AA reverse pack: the sender's *ghost* slice toward the receiver (d =
+/// direction from sender to receiver), natural slots, per-population trim.
+template <LatticeModel M>
+void packPdfsAaReverse(const PdfField& f, const std::array<int, 3>& d, SendBuffer& buf) {
+    const CellInterval base = recvInterval(f, d);
+    for (uint_t a : commDirections<M>(d))
+        detail::packSlice(f, aaReverseTrim<M>(base, d, a), cell_idx_c(a), buf);
+}
+
+/// AA reverse unpack: writes the receiver's *interior* slice facing the
+/// sender (d = direction from receiver toward sender), natural slots, the
+/// same per-population trim as the matching pack.
+template <LatticeModel M>
+void unpackPdfsAaReverse(PdfField& f, const std::array<int, 3>& d, RecvBuffer& buf) {
+    const CellInterval base = sendInterval(f, d);
+    const std::array<int, 3> senderDir = {-d[0], -d[1], -d[2]};
+    for (uint_t a : commDirections<M>(senderDir))
+        detail::unpackSlice(f, aaReverseTrim<M>(base, d, a), cell_idx_c(a), buf);
+}
+
+/// AA forward local copy — copyPdfsLocal with the opposing slot on both
+/// sides: the ghost slice of `to` facing d is filled from the interior
+/// slice of `from` facing -d.
+template <LatticeModel M>
+void aaCopyPdfsLocalForward(const PdfField& from, PdfField& to, const std::array<int, 3>& d) {
+    const std::array<int, 3> senderDir = {-d[0], -d[1], -d[2]};
+    const CellInterval srcCi = sendInterval(from, senderDir);
+    const CellInterval dstCi = recvInterval(to, d);
+    for (uint_t a : commDirections<M>(senderDir))
+        detail::copySlice(from, cell_idx_c(M::inv[a]), srcCi, to, cell_idx_c(M::inv[a]),
+                          dstCi);
+}
+
+/// AA reverse local copy: d is the direction from `from` toward `to`; the
+/// trimmed ghost slice of `from` facing d lands on the trimmed interior
+/// slice of `to` facing -d, natural slots.
+template <LatticeModel M>
+void aaCopyPdfsLocalReverse(const PdfField& from, PdfField& to, const std::array<int, 3>& d) {
+    const CellInterval srcBase = recvInterval(from, d);
+    const std::array<int, 3> back = {-d[0], -d[1], -d[2]};
+    const CellInterval dstBase = sendInterval(to, back);
+    for (uint_t a : commDirections<M>(d))
+        detail::copySlice(from, cell_idx_c(a), aaReverseTrim<M>(srcBase, d, a), to,
+                          cell_idx_c(a), aaReverseTrim<M>(dstBase, d, a));
+}
+
+/// Single-block periodic wrap under AA parity — the AA counterparts of
+/// applyPeriodicAll, one per exchange mode.
+template <LatticeModel M>
+void applyPeriodicAllAaForward(PdfField& f) {
+    for (const auto& d : neighborhood26) aaCopyPdfsLocalForward<M>(f, f, d);
+}
+template <LatticeModel M>
+void applyPeriodicAllAaReverse(PdfField& f) {
+    for (const auto& d : neighborhood26) aaCopyPdfsLocalReverse<M>(f, f, d);
+}
+
 /// Bytes a block sends toward direction d (for communication-graph edge
 /// weights and the network model).
 template <LatticeModel M>

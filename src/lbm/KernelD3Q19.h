@@ -12,6 +12,8 @@
 /// The per-cell update is exposed (streamCollideCell) so the sparse-domain
 /// kernels (conditional and cell-list variants, paper §4.3) reuse it.
 
+#include <type_traits>
+
 #include "field/FlagField.h"
 #include "lbm/Collision.h"
 #include "lbm/PdfField.h"
@@ -46,13 +48,11 @@ inline constexpr real_t wD = D3Q19::w[7];   // 1/36 (diagonal)
 /// Weight of pair p (axis pairs are the first three, diagonal the rest).
 constexpr real_t pairWeight(uint_t p) { return p < 3 ? wA : wD; }
 
-/// Gathers the 19 pulled PDFs of cell (x,y,z) and computes rho, u.
-inline void pullAndMoments(const PdfField& src, cell_idx_t x, cell_idx_t y, cell_idx_t z,
-                           real_t (&f)[19], real_t& rho, real_t& ux, real_t& uy, real_t& uz) {
-    using M = D3Q19;
-    for (uint_t a = 0; a < 19; ++a)
-        f[a] = src.get(x - M::c[a][0], y - M::c[a][1], z - M::c[a][2], cell_idx_c(a));
-
+/// Macroscopic moments of an already-gathered PDF set. Shared by the
+/// two-grid pull kernels and the in-place AA kernels (KernelAa.h): one
+/// expression tree, so every tier that gathers the same values computes
+/// bit-identical moments.
+inline void moments(const real_t (&f)[19], real_t& rho, real_t& ux, real_t& uy, real_t& uz) {
     rho = f[0];
     for (uint_t a = 1; a < 19; ++a) rho += f[a];
     const real_t invRho = real_c(1) / rho;
@@ -61,53 +61,73 @@ inline void pullAndMoments(const PdfField& src, cell_idx_t x, cell_idx_t y, cell
     uz = (f[5] - f[6] + f[11] + f[12] + f[13] + f[14] - f[15] - f[16] - f[17] - f[18]) * invRho;
 }
 
-} // namespace d3q19
+/// Gathers the 19 pulled PDFs of cell (x,y,z) and computes rho, u.
+inline void pullAndMoments(const PdfField& src, cell_idx_t x, cell_idx_t y, cell_idx_t z,
+                           real_t (&f)[19], real_t& rho, real_t& ux, real_t& uy, real_t& uz) {
+    using M = D3Q19;
+    for (uint_t a = 0; a < 19; ++a)
+        f[a] = src.get(x - M::c[a][0], y - M::c[a][1], z - M::c[a][2], cell_idx_c(a));
+    moments(f, rho, ux, uy, uz);
+}
 
-/// Fused stream-pull + SRT collision of a single cell (D3Q19-specialized).
-inline void streamCollideCell(const PdfField& src, PdfField& dst, cell_idx_t x, cell_idx_t y,
-                              cell_idx_t z, const SRT& op) {
-    real_t f[19], rho, ux, uy, uz;
-    d3q19::pullAndMoments(src, x, y, z, f, rho, ux, uy, uz);
+/// Pairwise SRT collision into `out` — the arithmetic core shared by the
+/// two-grid kernel (which scatters `out` to the destination grid) and the
+/// AA kernels (which scatter it back in place under the parity index map).
+inline void collide(const real_t (&f)[19], real_t rho, real_t ux, real_t uy, real_t uz,
+                    const SRT& op, real_t (&out)[19]) {
     const real_t omega = op.omega;
     const real_t dirIndep = real_c(1) - real_c(1.5) * (ux * ux + uy * uy + uz * uz);
 
-    dst.get(x, y, z, 0) = f[0] - omega * (f[0] - d3q19::wC * rho * dirIndep);
+    out[0] = f[0] - omega * (f[0] - wC * rho * dirIndep);
 
     for (uint_t p = 0; p < 9; ++p) {
-        const auto& pr = d3q19::pairs[p];
+        const auto& pr = pairs[p];
         const real_t eu = real_c(pr.px) * ux + real_c(pr.py) * uy + real_c(pr.pz) * uz;
-        const real_t w = d3q19::pairWeight(p) * rho;
+        const real_t w = pairWeight(p) * rho;
         const real_t sym = w * (dirIndep + real_c(4.5) * eu * eu);
         const real_t asym = w * real_c(3) * eu;
-        dst.get(x, y, z, cell_idx_c(pr.a)) = f[pr.a] - omega * (f[pr.a] - (sym + asym));
-        dst.get(x, y, z, cell_idx_c(pr.b)) = f[pr.b] - omega * (f[pr.b] - (sym - asym));
+        out[pr.a] = f[pr.a] - omega * (f[pr.a] - (sym + asym));
+        out[pr.b] = f[pr.b] - omega * (f[pr.b] - (sym - asym));
     }
 }
 
-/// Fused stream-pull + TRT collision of a single cell (D3Q19-specialized).
-inline void streamCollideCell(const PdfField& src, PdfField& dst, cell_idx_t x, cell_idx_t y,
-                              cell_idx_t z, const TRT& op) {
-    real_t f[19], rho, ux, uy, uz;
-    d3q19::pullAndMoments(src, x, y, z, f, rho, ux, uy, uz);
+/// Pairwise TRT collision into `out`.
+inline void collide(const real_t (&f)[19], real_t rho, real_t ux, real_t uy, real_t uz,
+                    const TRT& op, real_t (&out)[19]) {
     const real_t le = op.lambdaE, lo = op.lambdaO;
     const real_t dirIndep = real_c(1) - real_c(1.5) * (ux * ux + uy * uy + uz * uz);
 
     // Center: purely even.
-    dst.get(x, y, z, 0) = f[0] + le * (f[0] - d3q19::wC * rho * dirIndep);
+    out[0] = f[0] + le * (f[0] - wC * rho * dirIndep);
 
     for (uint_t p = 0; p < 9; ++p) {
-        const auto& pr = d3q19::pairs[p];
+        const auto& pr = pairs[p];
         const real_t eu = real_c(pr.px) * ux + real_c(pr.py) * uy + real_c(pr.pz) * uz;
-        const real_t w = d3q19::pairWeight(p) * rho;
+        const real_t w = pairWeight(p) * rho;
         const real_t eqSym = w * (dirIndep + real_c(4.5) * eu * eu);
         const real_t eqAsym = w * real_c(3) * eu;
         const real_t fSym = real_c(0.5) * (f[pr.a] + f[pr.b]);
         const real_t fAsym = real_c(0.5) * (f[pr.a] - f[pr.b]);
         const real_t even = le * (fSym - eqSym);
         const real_t odd = lo * (fAsym - eqAsym);
-        dst.get(x, y, z, cell_idx_c(pr.a)) = f[pr.a] + even + odd;
-        dst.get(x, y, z, cell_idx_c(pr.b)) = f[pr.b] + even - odd;
+        out[pr.a] = f[pr.a] + even + odd;
+        out[pr.b] = f[pr.b] + even - odd;
     }
+}
+
+} // namespace d3q19
+
+/// Fused stream-pull + SRT/TRT collision of a single cell
+/// (D3Q19-specialized). The gather/moments/collide pipeline is shared with
+/// the AA kernels; only the scatter target differs.
+template <typename Op>
+    requires(std::is_same_v<Op, SRT> || std::is_same_v<Op, TRT>)
+inline void streamCollideCell(const PdfField& src, PdfField& dst, cell_idx_t x, cell_idx_t y,
+                              cell_idx_t z, const Op& op) {
+    real_t f[19], out[19], rho, ux, uy, uz;
+    d3q19::pullAndMoments(src, x, y, z, f, rho, ux, uy, uz);
+    d3q19::collide(f, rho, ux, uy, uz, op, out);
+    for (uint_t a = 0; a < 19; ++a) dst.get(x, y, z, cell_idx_c(a)) = out[a];
 }
 
 /// Dense-domain D3Q19 kernel over the whole interior. With a flag field this

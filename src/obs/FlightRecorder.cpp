@@ -15,13 +15,13 @@ constexpr char kMagic[4] = {'W', 'F', 'R', '1'};
 void serializeSample(SendBuffer& sb, const StepSample& s) {
     sb << s.step << s.collideSeconds << s.shellSeconds << s.boundarySeconds
        << s.packSeconds << s.exchangeSeconds << s.totalSeconds << s.mlups << s.imbalance
-       << s.bytesMoved << s.messages;
+       << s.bytesMoved << s.messages << s.kernelTier << s.aaParity;
 }
 
 void deserializeSample(RecvBuffer& rb, StepSample& s) {
     rb >> s.step >> s.collideSeconds >> s.shellSeconds >> s.boundarySeconds >>
         s.packSeconds >> s.exchangeSeconds >> s.totalSeconds >> s.mlups >> s.imbalance >>
-        s.bytesMoved >> s.messages;
+        s.bytesMoved >> s.messages >> s.kernelTier >> s.aaParity;
 }
 
 } // namespace

@@ -17,6 +17,9 @@
 ///   magic "WFR1" | u32 version | u32 rank | u32 worldSize |
 ///   u64 firstStep-of-run hint (0) | u64 sampleCount | sampleCount records |
 ///   u32 crc32 of everything before it
+/// Version 2 appends u8 kernelTier and u8 aaParity to each record, so the
+/// dumps identify the sweep's optimization tier and — on the in-place
+/// AA-pattern tiers — the storage parity each step ran under.
 
 #include <cstdint>
 #include <string>
@@ -39,7 +42,27 @@ struct StepSample {
     double imbalance = 1.0;       ///< rank EWMA / fleet median (1 = on fleet)
     std::uint64_t bytesMoved = 0; ///< ghost-exchange bytes sent + received
     std::uint64_t messages = 0;   ///< ghost-exchange messages sent + received
+    std::uint8_t kernelTier = 0;  ///< numeric sim::KernelTier of the sweep
+    std::uint8_t aaParity = 0;    ///< AA storage parity at the step's start
+                                  ///< (0 even, 1 odd; always 0 on two-grid tiers)
 };
+
+/// Human-readable name of a StepSample::kernelTier value. Mirrors the
+/// numeric order of sim::KernelTier (this header cannot include the driver).
+inline const char* kernelTierName(std::uint8_t tier) {
+    switch (tier) {
+        case 0: return "generic";
+        case 1: return "d3q19";
+        case 2: return "simd";
+        case 3: return "aa";
+        case 4: return "aa-simd";
+        default: return "unknown";
+    }
+}
+
+/// True when the tier value names an in-place AA-pattern tier (whose
+/// samples carry a meaningful aaParity).
+inline bool isAaKernelTier(std::uint8_t tier) { return tier == 3 || tier == 4; }
 
 /// Bounded per-rank ring of the most recent StepSamples. Not thread-safe —
 /// owned by the rank's driver, same model as MetricsRegistry/TimingPool.
@@ -87,7 +110,7 @@ public:
     /// with a diagnosis on a missing, truncated or corrupted file.
     static bool read(const std::string& path, Dump& out, std::string* error = nullptr);
 
-    static constexpr std::uint32_t kFormatVersion = 1;
+    static constexpr std::uint32_t kFormatVersion = 2;
 
 private:
     std::size_t capacity_;

@@ -38,6 +38,8 @@
     X("health.nan_cells")               \
     X("health.violations")              \
     X("lint.violations")                \
+    X("mem.pdf_bytes")                  \
+    X("perf.aa_parity")                 \
     X("perf.efficiency")                \
     X("perf.fleet_median_step_seconds") \
     X("perf.imbalance")                 \

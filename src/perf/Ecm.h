@@ -19,8 +19,9 @@
 
 namespace walb::perf {
 
-/// Which LBM kernel tier the model describes (Figure 3's three curves).
-enum class KernelTier { Generic, D3Q19, Simd };
+/// Which LBM kernel tier the model describes (Figure 3's three curves,
+/// plus the in-place AA-pattern tier of lbm/KernelAa.h).
+enum class KernelTier { Generic, D3Q19, Simd, Aa };
 
 class EcmModel {
 public:
@@ -37,6 +38,14 @@ public:
         if (tier == KernelTier::Generic) factor = machine.genericCoreCyclesFactor;
         tCore_ = machine.coreCyclesPer8LUP * factor / double(std::min(smt_, machine.smtWays));
         tCache_ = machine.cacheCyclesPer8LUP;
+        // AA-pattern traffic model: the arithmetic is the vectorized kernel's
+        // (T_core unchanged), but the single grid drops the write-allocate
+        // stream — 304 instead of 456 B/LUP through memory, and the
+        // cache-transfer term shrinks by the same 2/3 stream ratio.
+        if (tier == KernelTier::Aa) {
+            bytesPerLUP_ = kAaBytesPerLUP;
+            tCache_ *= kAaBytesPerLUP / kBytesPerLUP;
+        }
         bandwidth_ = bandwidthAtFrequency(machine, freq_);
         coreBandwidth_ = singleCoreBandwidthAtFrequency(machine, freq_);
     }
@@ -46,12 +55,15 @@ public:
     /// (limited memory concurrency), which is what makes several cores
     /// necessary to saturate the interface.
     double memCyclesPer8LUP() const {
-        const double bytes = 8.0 * kBytesPerLUP;
+        const double bytes = 8.0 * bytesPerLUP_;
         return bytes / (coreBandwidth_ * kGiB) * freq_ * 1e9;
     }
 
     double coreCyclesPer8LUP() const { return tCore_; }
     double cacheCyclesPer8LUP() const { return tCache_; }
+    /// Memory traffic this tier moves per lattice update (456 B two-grid,
+    /// 304 B AA-pattern).
+    double bytesPerLUP() const { return bytesPerLUP_; }
 
     /// Single-core prediction in MLUPS (no-overlap: all parts serialize).
     double singleCoreMLUPS() const {
@@ -59,8 +71,8 @@ public:
         return 8.0 / (cycles / (freq_ * 1e9)) / 1e6;
     }
 
-    /// Bandwidth ceiling of the chip in MLUPS.
-    double saturationMLUPS() const { return rooflineMLUPS(bandwidth_); }
+    /// Bandwidth ceiling of the chip in MLUPS at this tier's traffic.
+    double saturationMLUPS() const { return rooflineMLUPS(bandwidth_, bytesPerLUP_); }
 
     /// Multicore prediction: linear scaling until the memory interface
     /// saturates.
@@ -106,6 +118,7 @@ private:
     unsigned smt_;
     double tCore_;
     double tCache_;
+    double bytesPerLUP_ = kBytesPerLUP;
     double bandwidth_;
     double coreBandwidth_;
 };

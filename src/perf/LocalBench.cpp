@@ -1,6 +1,9 @@
 #include "perf/LocalBench.h"
 
+#include <cstdint>
+
 #include "core/Timer.h"
+#include "lbm/KernelAaSimd.h"
 #include "lbm/KernelD3Q19.h"
 #include "lbm/KernelD3Q19Simd.h"
 #include "lbm/KernelGeneric.h"
@@ -18,6 +21,8 @@ KernelBenchResult measureKernelMLUPS(KernelTier tier, bool trt, cell_idx_t n,
     const SRT srt(1.4);
     const TRT trtOp = TRT::fromOmegaAndMagic(1.4);
     KernelD3Q19Simd<> simdKernel;
+    KernelAaSimd<> aaKernel;
+    std::uint64_t aaStep = 0; // the AA tier alternates even/odd kernels
 
     auto sweepOnce = [&] {
         switch (tier) {
@@ -33,6 +38,12 @@ KernelBenchResult measureKernelMLUPS(KernelTier tier, bool trt, cell_idx_t n,
                 if (trt) simdKernel.sweep(src, dst, trtOp);
                 else simdKernel.sweep(src, dst, srt);
                 break;
+            case KernelTier::Aa:
+                // In place — the second grid is never touched, no swap.
+                if (trt) aaKernel.sweep(src, aaParityOfStep(aaStep), trtOp);
+                else aaKernel.sweep(src, aaParityOfStep(aaStep), srt);
+                ++aaStep;
+                return;
         }
         src.swapDataWith(dst);
     };

@@ -1,6 +1,6 @@
 #pragma once
 /// \file LocalBench.h
-/// Measures the actual MLUPS of the three kernel optimization tiers on the
+/// Measures the actual MLUPS of the kernel optimization tiers on the
 /// local machine (dense memory-resident domain, kernel time only —
 /// communication excluded, exactly like the paper's Figure 3 methodology).
 /// The figure benches anchor the machine models with these measurements.

@@ -21,6 +21,14 @@ namespace walb::perf {
 /// 19 * 8 * 3 = 456 B/LUP.
 inline constexpr double kBytesPerLUP = 19.0 * 8.0 * 3.0;
 
+/// Bytes per update of the in-place AA-pattern tiers (lbm/KernelAa.h): the
+/// single grid is read and written in place, so the stores hit the
+/// just-loaded lines and the write-allocate stream of a second grid
+/// disappears: 19 * 8 * 2 = 304 B/LUP — two thirds of the two-grid traffic
+/// (and half the resident PDF footprint, which is a capacity win, not a
+/// bandwidth one).
+inline constexpr double kAaBytesPerLUP = 19.0 * 8.0 * 2.0;
+
 inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
 
 /// One compute chip (SuperMUC socket / JUQUEEN node) as seen by the models.
@@ -87,10 +95,16 @@ inline MachineSpec juqueenNode() {
     };
 }
 
-/// Roofline bound in MLUPS for a bandwidth-limited LBM (paper §4.1):
+/// Roofline bound in MLUPS for a bandwidth-limited LBM with the given
+/// per-update traffic (456 B two-grid, 304 B AA-pattern).
+inline double rooflineMLUPS(double bandwidthGiBs, double bytesPerLUP) {
+    return bandwidthGiBs * kGiB / bytesPerLUP / 1e6;
+}
+
+/// Roofline bound of the standard two-grid kernels (paper §4.1):
 /// usable bandwidth / 456 B per lattice update.
 inline double rooflineMLUPS(double bandwidthGiBs) {
-    return bandwidthGiBs * kGiB / kBytesPerLUP / 1e6;
+    return rooflineMLUPS(bandwidthGiBs, kBytesPerLUP);
 }
 
 /// Sandy Bridge memory bandwidth decreases slightly at reduced clock

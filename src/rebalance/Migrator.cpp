@@ -101,6 +101,15 @@ MigrationStats migrate(sim::DistributedSimulation& sim,
 
     // 1. Pack departing blocks, one message per destination rank. 2. Stash
     // the full contents of staying blocks (restored bit-exactly below).
+    //
+    // AA tiers: the wire payload carries the *canonical* (parity-normalized)
+    // PDF view instead of src+dst — raw AA storage at parity Even keeps part
+    // of a block's state in its own ghost layer, which an interior-only pack
+    // would lose. The stash path is unaffected: it copies the full src
+    // allocation (ghosts included) and the parity does not change across a
+    // migration, so raw bytes restore bit-exactly. The tier is a global
+    // config, so sender and receiver agree on the payload shape.
+    const bool aa = sim.usesAaPattern();
     struct Stash {
         std::vector<real_t> src, dst;
         std::vector<field::flag_t> flags;
@@ -121,8 +130,12 @@ MigrationStats migrate(sim::DistributedSimulation& sim,
             continue;
         }
         SendBuffer payload;
-        packInterior(src, payload);
-        packInterior(dst, payload);
+        if (aa) {
+            packInterior(sim.canonicalPdfField(b), payload);
+        } else {
+            packInterior(src, payload);
+            packInterior(dst, payload);
+        }
         packInterior(flags, payload);
         SendBuffer& msg = outgoing[newOwner[i]];
         serializeBlockId(msg, forest.blocks()[b].id);
@@ -190,9 +203,18 @@ MigrationStats migrate(sim::DistributedSimulation& sim,
             const auto it = localOf.find(id);
             WALB_ASSERT(it != localOf.end(),
                        "migration message carries a block not assigned here");
-            unpackInterior(sim.pdfField(it->second), msg);
-            unpackInterior(sim.pdfDstField(it->second), msg);
-            unpackInterior(sim.flagField(it->second), msg);
+            if (aa) {
+                // Flags must land before the canonical scatter — it walks
+                // the block's fluid cells.
+                lbm::PdfField& canon = sim.canonicalScratch();
+                unpackInterior(canon, msg);
+                unpackInterior(sim.flagField(it->second), msg);
+                sim.applyCanonicalPdf(it->second, canon);
+            } else {
+                unpackInterior(sim.pdfField(it->second), msg);
+                unpackInterior(sim.pdfDstField(it->second), msg);
+                unpackInterior(sim.flagField(it->second), msg);
+            }
         }
         WALB_ASSERT(msg.atEnd(), "trailing bytes in migration message from rank "
                                     << srcRank);

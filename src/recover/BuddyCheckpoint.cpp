@@ -56,6 +56,11 @@ bool BuddyCheckpoint::restoreOwnBlocks(sim::DistributedSimulation& sim,
         std::uint32_t rank = 0, numBlocks = 0;
         std::uint64_t step = 0;
         rb >> rank >> step >> numBlocks;
+        // Rewind the step counter before the first record is applied: the
+        // AA-tier restore scatters PDFs by the parity of the checkpointed
+        // step. (The recovery manager's later rewind to the same step is a
+        // no-op after this.)
+        sim.setCurrentStep(step);
         for (std::uint32_t b = 0; b < numBlocks; ++b) {
             std::string recordError;
             const int applied = sim::applyBlockRecord(sim, rb, &recordError);

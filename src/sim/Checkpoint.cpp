@@ -77,7 +77,11 @@ bool parseHeader(RecvBuffer& file, CheckpointHeader& h, std::string* error) {
 void appendBlockRecord(DistributedSimulation& sim, std::size_t block,
                        SendBuffer& buf) {
     const bf::BlockForest& forest = sim.forest();
-    const lbm::PdfField& pdf = sim.pdfField(block);
+    // Canonical view: the live src field for the two-grid tiers, the
+    // parity-normalized scratch for the AA tiers. Either way the record is
+    // one full-size allocation, so the wire format does not depend on the
+    // kernel tier and a restart may use a different tier than the save.
+    const lbm::PdfField& pdf = sim.canonicalPdfField(block);
     const field::FlagField& flags = sim.flagField(block);
     const std::size_t pdfBytes = pdf.allocCells() * sizeof(real_t);
     const std::size_t flagBytes = flags.allocCells() * sizeof(field::flag_t);
@@ -100,7 +104,10 @@ int applyBlockRecord(DistributedSimulation& sim, RecvBuffer& rb,
         rb.skip(std::size_t(pdfBytes) + std::size_t(flagBytes));
         return 0;
     }
-    lbm::PdfField& pdf = sim.pdfField(std::size_t(local));
+    // AA tiers deserialize the canonical record into the staging field and
+    // scatter it into parity slots below; two-grid tiers restore in place.
+    lbm::PdfField& pdf = sim.usesAaPattern() ? sim.canonicalScratch()
+                                             : sim.pdfField(std::size_t(local));
     field::FlagField& flags = sim.flagField(std::size_t(local));
     if (pdfBytes != pdf.allocCells() * sizeof(real_t) ||
         flagBytes != flags.allocCells() * sizeof(field::flag_t)) {
@@ -127,6 +134,11 @@ int applyBlockRecord(DistributedSimulation& sim, RecvBuffer& rb,
     }
     rb.getBytes(pdf.data(), std::size_t(pdfBytes));
     rb.getBytes(flags.data(), std::size_t(flagBytes));
+    // Flags first, then the canonical scatter: the scatter walks the
+    // block's fluid cells, so it must see the restored flag field. The
+    // caller has already restored the step counter, so the parity of the
+    // scatter matches the checkpoint.
+    if (sim.usesAaPattern()) sim.applyCanonicalPdf(std::size_t(local), pdf);
     return 1;
 }
 
@@ -214,6 +226,11 @@ bool checkpointLoad(DistributedSimulation& sim, const std::string& path,
             return false;
         }
 
+        // Restore the step counter *before* applying any block record: the
+        // AA-tier scatter in applyBlockRecord lays PDFs out by the parity
+        // of the step being resumed.
+        sim.setCurrentStep(header.step);
+
         std::size_t restored = 0;
         for (std::uint32_t c = 0; c < header.numRankContributions; ++c) {
             std::vector<std::uint8_t> contribution;
@@ -235,7 +252,6 @@ bool checkpointLoad(DistributedSimulation& sim, const std::string& path,
                                 " local blocks");
             return false;
         }
-        sim.setCurrentStep(header.step);
         if (stepOut) *stepOut = header.step;
         return true;
     } catch (const BufferError& e) {
@@ -263,13 +279,16 @@ bool checkpointPeek(const std::string& path, CheckpointHeader& out, std::string*
 std::uint64_t checkpointDigest(DistributedSimulation& sim) {
     std::uint64_t local = 0;
     for (std::size_t b = 0; b < sim.forest().numLocalBlocks(); ++b) {
-        const lbm::PdfField& pdf = sim.pdfField(b);
+        const lbm::PdfField& pdf = sim.canonicalPdfField(b);
         // Interior cells only: ghost slots are transient exchange scratch
         // (refilled from neighbor interiors every step), so hashing them
         // would make the digest depend on exchange history rather than on
         // the physical state. Interior-only hashing is what lets a block
         // migration — which moves interiors and re-fills ghosts — be
-        // digest-invariant. fzyx layout: each interior x-row is contiguous.
+        // digest-invariant. The AA tiers hash the parity-normalized
+        // canonical view for the same reason: raw AA storage depends on the
+        // parity and on which neighbor backs each edge slot, the canonical
+        // view does not. fzyx layout: each interior x-row is contiguous.
         std::uint32_t crc = 0;
         for (cell_idx_t f = 0; f < cell_idx_t(pdf.fSize()); ++f)
             for (cell_idx_t z = 0; z < pdf.zSize(); ++z)

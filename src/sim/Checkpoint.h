@@ -26,6 +26,12 @@
 /// of N steps with a save/load cycle in the middle produces byte-identical
 /// densities to the uninterrupted run.
 ///
+/// The AA kernel tiers write the *canonical* (parity-normalized) PDF view
+/// into the same full-size record — interior fluid cells carry the physical
+/// post-collision values, everything else is zero — and the restore path
+/// scatters it back under the parity of the restored step. The wire format
+/// is therefore identical across tiers.
+///
 /// Writing follows the paper's one-writer file strategy (§2.2): rank 0
 /// gathers all contributions and performs a single write; loading reads the
 /// file once on rank 0 and broadcasts. Blocks are matched by BlockID, not by
@@ -93,7 +99,10 @@ int applyBlockRecord(DistributedSimulation& sim, RecvBuffer& rb,
 /// exchange scratch refilled from neighbor interiors every step — so two
 /// runs with equal digests have bit-exact equal fields everywhere that is
 /// ever read, and the digest is invariant across a rebalance migration
-/// (which moves interiors and re-fills ghosts).
+/// (which moves interiors and re-fills ghosts). AA tiers are hashed through
+/// the canonical parity-normalized view, so the digest is also invariant
+/// under the AA storage parity; note it hashes zeros at non-fluid cells
+/// there, so AA and two-grid digests of the same state differ by design.
 std::uint64_t checkpointDigest(DistributedSimulation& sim);
 
 // ---- driver wiring ---------------------------------------------------------

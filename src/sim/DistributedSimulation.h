@@ -27,6 +27,8 @@
 #include "core/Timer.h"
 #include "lbm/Boundary.h"
 #include "lbm/Communication.h"
+#include "lbm/KernelAa.h"
+#include "lbm/KernelAaSimd.h"
 #include "lbm/KernelD3Q19Simd.h"
 #include "lbm/KernelGeneric.h"
 #include "lbm/Sparse.h"
@@ -48,6 +50,15 @@ class PdfCommScheme {
 public:
     using M = lbm::D3Q19;
 
+    /// What the exchange ships. TwoGrid is the classic post-collision ghost
+    /// fill; the AA modes are the parity-specific exchanges of the in-place
+    /// tiers (see lbm/Communication.h): AaForward before an odd step (ghost
+    /// fill, opposing slots), AaReverse before an even step (the sender's
+    /// ghost pushes travel back to the interior cells that own them). The
+    /// driver re-selects the mode before every exchange from its step
+    /// parity.
+    enum class ExchangeMode : std::uint8_t { TwoGrid = 0, AaForward = 1, AaReverse = 2 };
+
     PdfCommScheme(bf::BlockForest& forest, vmpi::Comm& comm,
                   bf::BlockForest::BlockDataID srcId, bool fullPdfSet = false)
         : forest_(forest), comm_(comm), srcId_(srcId), fullPdfSet_(fullPdfSet),
@@ -67,6 +78,13 @@ public:
     /// before any cell whose stencil reads a locally-backed ghost slice is
     /// swept (such cells are *core* in the overlap split, so this runs
     /// before the core sweep).
+    void setExchangeMode(ExchangeMode mode) {
+        WALB_ASSERT(mode == ExchangeMode::TwoGrid || !fullPdfSet_,
+                    "AA exchange modes are direction-sliced only");
+        mode_ = mode;
+    }
+    ExchangeMode exchangeMode() const { return mode_; }
+
     void copyLocalGhosts() {
         const auto& blocks = forest_.blocks();
         for (std::size_t b = 0; b < blocks.size(); ++b) {
@@ -75,10 +93,19 @@ public:
                 if (n.localIndex < 0) continue;
                 lbm::PdfField& dst =
                     forest_.getData<lbm::PdfField>(std::size_t(n.localIndex), srcId_);
+                if (mode_ == ExchangeMode::AaReverse) {
+                    // Ghost pushes of `src` toward n travel into the
+                    // neighbor's interior; n.dir is src -> neighbor.
+                    lbm::aaCopyPdfsLocalReverse<M>(src, dst, n.dir);
+                    continue;
+                }
                 // The neighbor's ghost slice facing us is in direction
                 // -n.dir from its perspective.
                 const std::array<int, 3> toMe = {-n.dir[0], -n.dir[1], -n.dir[2]};
-                lbm::copyPdfsLocal<M>(src, dst, toMe);
+                if (mode_ == ExchangeMode::AaForward)
+                    lbm::aaCopyPdfsLocalForward<M>(src, dst, toMe);
+                else
+                    lbm::copyPdfsLocal<M>(src, dst, toMe);
             }
         }
     }
@@ -95,7 +122,17 @@ public:
                 SendBuffer& buf = bufferSystem_.sendBuffer(int(n.process));
                 serializeBlockId(buf, blocks[b].id);
                 buf << std::uint8_t(dirIndex(n.dir));
-                lbm::packPdfs<M>(src, n.dir, buf, fullPdfSet_);
+                switch (mode_) {
+                    case ExchangeMode::TwoGrid:
+                        lbm::packPdfs<M>(src, n.dir, buf, fullPdfSet_);
+                        break;
+                    case ExchangeMode::AaForward:
+                        lbm::packPdfsAaForward<M>(src, n.dir, buf);
+                        break;
+                    case ExchangeMode::AaReverse:
+                        lbm::packPdfsAaReverse<M>(src, n.dir, buf);
+                        break;
+                }
             }
         }
         bytesLastExchange_ = bufferSystem_.totalSendBytes();
@@ -180,7 +217,17 @@ private:
             // Receiver-side direction: toward the sender block.
             const auto& sd = lbm::neighborhood26[senderDir];
             const std::array<int, 3> d = {-sd[0], -sd[1], -sd[2]};
-            lbm::unpackPdfs<M>(dst, d, buf, fullPdfSet_);
+            switch (mode_) {
+                case ExchangeMode::TwoGrid:
+                    lbm::unpackPdfs<M>(dst, d, buf, fullPdfSet_);
+                    break;
+                case ExchangeMode::AaForward:
+                    lbm::unpackPdfsAaForward<M>(dst, d, buf);
+                    break;
+                case ExchangeMode::AaReverse:
+                    lbm::unpackPdfsAaReverse<M>(dst, d, buf);
+                    break;
+            }
         }
     }
 
@@ -207,6 +254,7 @@ private:
     vmpi::Comm& comm_;
     bf::BlockForest::BlockDataID srcId_;
     bool fullPdfSet_;
+    ExchangeMode mode_ = ExchangeMode::TwoGrid;
     vmpi::BufferSystem bufferSystem_;
     std::map<std::pair<bf::BlockID, std::uint8_t>, std::size_t> remoteSources_;
     std::size_t bytesLastExchange_ = 0;
@@ -270,10 +318,17 @@ public:
         buildBlockData();
     }
 
-    /// One ghost-layer exchange outside the step loop — the migration
-    /// epilogue that re-fills the ghost layers of the (rebuilt) forest from
-    /// the current interiors. Collective.
-    void refillGhostLayers() { comm_scheme_->communicate(); }
+    /// One ghost-layer exchange outside the step loop — the migration /
+    /// restart epilogue that re-establishes cross-block consistency.
+    /// Parity-aware for the AA tiers: at parity Odd it runs the forward
+    /// (ghost-fill) exchange, at parity Even the reverse exchange that
+    /// completes the interior edge slots from the neighbors' ghost pushes —
+    /// in both cases the same exchange the next step would open with, so an
+    /// extra refill is idempotent. Collective.
+    void refillGhostLayers() {
+        syncExchangeMode();
+        comm_scheme_->communicate();
+    }
 
     /// Abandons any in-flight ghost exchange without draining it — the
     /// recovery entry point: after a rank failure the outstanding receives
@@ -313,12 +368,72 @@ public:
     }
     /// The destination PDF field (post-swap history buffer). Migration must
     /// move it along with pdfField(): boundary handling writes into whichever
-    /// buffer is src each step, so both buffers carry live state.
+    /// buffer is src each step, so both buffers carry live state. The AA
+    /// tiers have no shadow grid — this is a token 1-cell allocation there,
+    /// and checkpoint/migration skip it.
     lbm::PdfField& pdfDstField(std::size_t block) {
         return forest_.getData<lbm::PdfField>(block, dstId_);
     }
     field::FlagField& flagField(std::size_t block) {
         return forest_.getData<field::FlagField>(block, flagId_);
+    }
+
+    // ---- AA-pattern state (in-place kernel tiers) --------------------------
+
+    KernelTier kernelTier() const { return tier_; }
+    /// True when the simulation runs a single-grid AA tier.
+    bool usesAaPattern() const { return isAaTier(tier_); }
+    /// Current AA storage layout == parity of the next step to run.
+    lbm::AaParity aaParity() const { return lbm::aaParityOfStep(currentStep_); }
+
+    /// The canonical (physical post-collision, parity-normalized) PDF view
+    /// of block `block`. Two-grid tiers: the live src field itself. AA
+    /// tiers: a rank-wide scratch field holding P(x, a) for every interior
+    /// fluid cell and zeros elsewhere — consumed by checkpoint save,
+    /// digests and migration, and invalidated by the next call. The AA view
+    /// is migration- and schedule-invariant: it never depends on which
+    /// neighbor currently backs a ghost region.
+    const lbm::PdfField& canonicalPdfField(std::size_t block) {
+        if (!usesAaPattern()) return pdfField(block);
+        lbm::PdfField& canon = canonicalScratch();
+        canon.fill(real_c(0));
+        const lbm::PdfField& src = pdfField(block);
+        const auto& flags = flagField(block);
+        const lbm::AaParity parity = aaParity();
+        flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            if (!(flags.get(x, y, z) & masks_.fluid)) return;
+            lbm::setPdfs<M>(canon, x, y, z, lbm::aaCanonicalPdfs(src, parity, x, y, z));
+        });
+        return canon;
+    }
+
+    /// Scatters a canonical PDF field (same layout as canonicalPdfField
+    /// returns) into block `block`'s live AA storage under the current
+    /// parity: the whole allocation is zeroed, fluid-cell values land in
+    /// their parity slots — at parity Even this also re-creates the block's
+    /// own ghost pushes. Interior edge slots produced by *neighbor* blocks
+    /// stay zero until refillGhostLayers() (or the next step's exchange)
+    /// completes them. AA tiers only.
+    void applyCanonicalPdf(std::size_t block, const lbm::PdfField& canon) {
+        WALB_ASSERT(usesAaPattern(), "canonical scatter is an AA-tier operation");
+        lbm::PdfField& dst = pdfField(block);
+        dst.fill(real_c(0));
+        const auto& flags = flagField(block);
+        const lbm::AaParity parity = aaParity();
+        flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
+            if (!(flags.get(x, y, z) & masks_.fluid)) return;
+            lbm::aaSetCanonicalPdfs(dst, parity, x, y, z, lbm::getPdfs<M>(canon, x, y, z));
+        });
+    }
+
+    /// The lazily-allocated block-sized staging field behind
+    /// canonicalPdfField — exposed so checkpoint load / migration unpack
+    /// can deserialize into it before applyCanonicalPdf.
+    lbm::PdfField& canonicalScratch() {
+        if (!canonScratch_)
+            canonScratch_ = std::make_unique<lbm::PdfField>(lbm::makePdfField<M>(
+                forest_.cellsX(), forest_.cellsY(), forest_.cellsZ()));
+        return *canonScratch_;
     }
 
     /// Measured sweep (collide+stream) seconds per local block, accumulated
@@ -534,6 +649,10 @@ public:
             sample.imbalance = straggler_.lastImbalance();
             sample.bytesMoved = bs.lastSendBytes() + bs.lastRecvBytes();
             sample.messages = bs.lastSendMessages() + bs.lastRecvMessages();
+            sample.kernelTier = std::uint8_t(tier_);
+            // currentStep_ still indexes the step that just ran, so this is
+            // the parity that step's kernels executed under.
+            sample.aaParity = usesAaPattern() ? std::uint8_t(aaParity()) : 0;
             flight_.record(sample);
             stepSecondsHist.record(stepSeconds);
             // The detector smooths this rank's *work* share, not the whole
@@ -555,6 +674,8 @@ public:
             metrics_.gauge("sim.mlups").set(double(localFluidCells()) * double(numSteps) /
                                             wall.total() / 1e6);
         metrics_.gauge("sim.fluidCells").set(double(localFluidCells()));
+        if (usesAaPattern())
+            metrics_.gauge("perf.aa_parity").set(double(std::uint8_t(aaParity())));
         metrics_.gauge("comm.hidden_seconds").set(commHiddenSeconds_);
         metrics_.gauge("comm.exposed_seconds").set(commExposedSeconds_);
         metrics_.gauge("comm.begin_seconds").set(commBeginSeconds_);
@@ -618,9 +739,8 @@ public:
         if (b >= 0) {
             const Cell off = forest_.globalCellOffset(forest_.blocks()[std::size_t(b)]);
             const Cell local = global - off;
-            const Vec3 u = lbm::cellVelocity<M>(
-                forest_.getData<lbm::PdfField>(std::size_t(b), srcId_), local.x, local.y,
-                local.z);
+            const auto pdfs = cellCanonicalPdfs(std::size_t(b), local.x, local.y, local.z);
+            const Vec3 u = lbm::momentum<M>(pdfs) / lbm::density<M>(pdfs);
             data[0] = u[0];
             data[1] = u[1];
             data[2] = u[2];
@@ -636,15 +756,24 @@ public:
     real_t gatherTotalMass() {
         real_t mass = 0;
         for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
-            const auto& src = forest_.getData<lbm::PdfField>(b, srcId_);
             const auto& flags = forest_.getData<field::FlagField>(b, flagId_);
             flags.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
                 if (flags.get(x, y, z) & masks_.fluid)
-                    mass += lbm::cellDensity<M>(src, x, y, z);
+                    mass += lbm::density<M>(cellCanonicalPdfs(b, x, y, z));
             });
         }
         // walb-lint: allow(blocking): diagnostic collective, reached by all ranks; the run comm's recv deadline applies
         return vmpi::allreduceSum(*comm_, mass);
+    }
+
+    /// Canonical PDF set of one local cell — parity-normalized for the AA
+    /// tiers, a plain read otherwise. Macroscopic accessors build on this so
+    /// all tiers report physically comparable values.
+    std::array<real_t, M::Q> cellCanonicalPdfs(std::size_t block, cell_idx_t x, cell_idx_t y,
+                                               cell_idx_t z) {
+        const auto& src = forest_.getData<lbm::PdfField>(block, srcId_);
+        if (usesAaPattern()) return lbm::aaCanonicalPdfs(src, aaParity(), x, y, z);
+        return lbm::getPdfs<M>(src, x, y, z);
     }
 
     std::size_t bytesLastExchange() const { return comm_scheme_->bytesLastExchange(); }
@@ -732,6 +861,17 @@ private:
                                        simdKernel_);
                 break;
             }
+            case KernelTier::Aa: {
+                const auto [lo, hi] = slice(cells.size());
+                lbm::aaCollideCellList(src, aaParity(), cells.data() + lo, hi - lo, op);
+                break;
+            }
+            case KernelTier::AaSimd: {
+                const auto [lo, hi] = slice(runs.runs.size());
+                lbm::aaCollideRuns(src, aaParity(), runs.runs.data() + lo, hi - lo, op,
+                                   aaSimdKernel_);
+                break;
+            }
         }
         blockSweepSeconds_[b] +=
             elapsedSeconds(sweepBegin, std::chrono::steady_clock::now());
@@ -782,6 +922,7 @@ private:
     template <typename Op>
     void stepSynchronous(const Op& op) {
         stepPackSeconds_ = stepExchangeSeconds_ = stepShellSeconds_ = 0.0;
+        syncExchangeMode();
         try {
             ScopedTimer t(timing_["communication"]);
             obs::ScopedTrace tr(trace_, "communication");
@@ -804,16 +945,20 @@ private:
         {
             ScopedTimer t(timing_["boundary"]);
             obs::ScopedTrace tr(trace_, "boundary");
-            for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
-                boundaries_[b]->apply(forest_.getData<lbm::PdfField>(b, srcId_));
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
+                auto& src = forest_.getData<lbm::PdfField>(b, srcId_);
+                if (usesAaPattern()) boundaries_[b]->applyAa(src, aaParity());
+                else boundaries_[b]->apply(src);
+            }
         }
         {
             ScopedTimer t(timing_["collideStream"]);
             obs::ScopedTrace tr(trace_, "collideStream");
             for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
                 sweepSubset(b, runs_[b], cellLists_[b], op);
-                forest_.getData<lbm::PdfField>(b, srcId_)
-                    .swapDataWith(forest_.getData<lbm::PdfField>(b, dstId_));
+                if (!usesAaPattern())
+                    forest_.getData<lbm::PdfField>(b, srcId_)
+                        .swapDataWith(forest_.getData<lbm::PdfField>(b, dstId_));
             }
             applySweepThrottle();
         }
@@ -841,6 +986,7 @@ private:
     template <typename Op>
     void stepOverlapped(const Op& op) {
         stepPackSeconds_ = stepExchangeSeconds_ = stepShellSeconds_ = 0.0;
+        syncExchangeMode();
         std::chrono::steady_clock::time_point beginEnd;
         double exposed = 0;
         try {
@@ -864,8 +1010,19 @@ private:
         {
             ScopedTimer t(timing_["boundary"]);
             obs::ScopedTrace tr(trace_, "boundary");
-            for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
-                boundaries_[b]->applyCore(forest_.getData<lbm::PdfField>(b, srcId_));
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
+                auto& src = forest_.getData<lbm::PdfField>(b, srcId_);
+                if (usesAaPattern()) {
+                    // The in-place core sweep rewrites the slots the shell
+                    // pressure links' velocity gather reads, so the gather
+                    // runs now, from the pre-sweep state; applyAaShell
+                    // writes the stashed values after finishExchange.
+                    boundaries_[b]->precomputeAaShellPressure(src, aaParity());
+                    boundaries_[b]->applyAaCore(src, aaParity());
+                } else {
+                    boundaries_[b]->applyCore(src);
+                }
+            }
         }
         {
             ScopedTimer t(timing_["collideStream"]);
@@ -907,8 +1064,11 @@ private:
         {
             ScopedTimer t(timing_["boundary"]);
             obs::ScopedTrace tr(trace_, "boundary");
-            for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
-                boundaries_[b]->applyShell(forest_.getData<lbm::PdfField>(b, srcId_));
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b) {
+                auto& src = forest_.getData<lbm::PdfField>(b, srcId_);
+                if (usesAaPattern()) boundaries_[b]->applyAaShell(src, aaParity());
+                else boundaries_[b]->applyShell(src);
+            }
         }
         {
             ScopedTimer t(timing_["collideStream"]);
@@ -919,9 +1079,10 @@ private:
             applySweepThrottle();
             stepShellSeconds_ = elapsedSeconds(shell0, std::chrono::steady_clock::now());
         }
-        for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
-            forest_.getData<lbm::PdfField>(b, srcId_)
-                .swapDataWith(forest_.getData<lbm::PdfField>(b, dstId_));
+        if (!usesAaPattern())
+            for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
+                forest_.getData<lbm::PdfField>(b, srcId_)
+                    .swapDataWith(forest_.getData<lbm::PdfField>(b, dstId_));
     }
 
     /// (Re)creates every per-block datum of the current forest_: PDF fields
@@ -934,8 +1095,12 @@ private:
         srcId_ = forest_.addBlockData<lbm::PdfField>([&](const auto&) {
             return std::make_unique<lbm::PdfField>(lbm::makePdfField<M>(cx, cy, cz));
         });
+        // The AA tiers update in place — the shadow grid shrinks to a token
+        // allocation and the per-block PDF footprint halves.
         dstId_ = forest_.addBlockData<lbm::PdfField>([&](const auto&) {
-            return std::make_unique<lbm::PdfField>(lbm::makePdfField<M>(cx, cy, cz));
+            return std::make_unique<lbm::PdfField>(
+                usesAaPattern() ? lbm::makePdfField<M>(1, 1, 1)
+                                : lbm::makePdfField<M>(cx, cy, cz));
         });
         flagId_ = forest_.addBlockData<field::FlagField>([&](const bf::BlockForest::Block& b) {
             auto ff = std::make_unique<field::FlagField>(cx, cy, cz, 1);
@@ -950,8 +1115,15 @@ private:
             boundaries_.back()->setPressureDensity(pressureDensity_);
             runs_.push_back(lbm::buildFluidRuns(flags, masks_.fluid));
             cellLists_.push_back(lbm::buildFluidCellList(flags, masks_.fluid));
+            // Uniform equilibrium including ghosts is also a valid AA state
+            // at the initial parity (Even): pdf(x, a) = P(x - e_a, a) holds
+            // trivially when every cell carries the same PDF set. After a
+            // mid-run rebuild the migrator restores the real state on top
+            // before any sweep runs.
             lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, srcId_), 1.0, {0, 0, 0});
-            lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, dstId_), 1.0, {0, 0, 0});
+            if (!usesAaPattern())
+                lbm::initEquilibrium<M>(forest_.getData<lbm::PdfField>(b, dstId_), 1.0,
+                                        {0, 0, 0});
 
             // Split plan for the overlapped schedule (always built — cheap,
             // and rebalance migrations rebuild it here automatically). A
@@ -976,7 +1148,25 @@ private:
             });
         }
         comm_scheme_ = std::make_unique<PdfCommScheme>(forest_, *comm_, srcId_);
+        syncExchangeMode();
         blockSweepSeconds_.assign(forest_.blocks().size(), 0.0);
+
+        std::size_t pdfBytes = 0;
+        for (std::size_t b = 0; b < forest_.blocks().size(); ++b)
+            pdfBytes += (forest_.getData<lbm::PdfField>(b, srcId_).allocCells() +
+                         forest_.getData<lbm::PdfField>(b, dstId_).allocCells()) *
+                        sizeof(real_t);
+        metrics_.gauge("mem.pdf_bytes").set(double(pdfBytes));
+    }
+
+    /// Points the ghost-exchange scheme at the mode matching the kernel
+    /// tier and (for AA) the current step parity. Called before every
+    /// exchange — parity advances every step.
+    void syncExchangeMode() {
+        if (!usesAaPattern()) return; // schemes default to TwoGrid
+        comm_scheme_->setExchangeMode(aaParity() == lbm::AaParity::Odd
+                                          ? PdfCommScheme::ExchangeMode::AaForward
+                                          : PdfCommScheme::ExchangeMode::AaReverse);
     }
 
     /// Last-breath diagnostics: when a CommError surfaces on this rank
@@ -1011,6 +1201,8 @@ private:
     double commBeginSeconds_ = 0.0;  ///< pack + send posting (overlap mode)
     double commFinishSeconds_ = 0.0; ///< blocking drain (overlap mode)
     lbm::KernelD3Q19Simd<> simdKernel_;
+    lbm::KernelAaSimd<> aaSimdKernel_;
+    std::unique_ptr<lbm::PdfField> canonScratch_; ///< AA canonicalization staging
     std::unique_ptr<PdfCommScheme> comm_scheme_;
     TimingPool timing_;
     obs::MetricsRegistry metrics_;

@@ -193,7 +193,10 @@ private:
         using M = typename Sim::M;
         double vals[2] = {0.0, 0.0};
         for (std::size_t b = 0; b < sim.forest().numLocalBlocks(); ++b) {
-            const lbm::PdfField& pdf = sim.pdfField(b);
+            // Canonical view: for the AA tiers the raw field mixes parities
+            // and neighbors' push slots, so densities are only meaningful
+            // after parity normalization. Two-grid tiers get the live field.
+            const lbm::PdfField& pdf = sim.canonicalPdfField(b);
             const field::FlagField& flags = sim.flagField(b);
             vals[0] +=
                 double(countNonFiniteCells<M>(pdf, flags, sim.masks().fluid));

@@ -12,12 +12,15 @@
 /// The multi-block distributed driver (sim/DistributedSimulation.h) runs
 /// the same sequence with real ghost-layer exchange via vmpi.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
 #include "core/Timer.h"
 #include "lbm/Boundary.h"
 #include "lbm/Communication.h"
+#include "lbm/KernelAa.h"
+#include "lbm/KernelAaSimd.h"
 #include "lbm/KernelD3Q19Simd.h"
 #include "lbm/KernelGeneric.h"
 #include "lbm/PdfField.h"
@@ -27,8 +30,21 @@
 
 namespace walb::sim {
 
-/// Which of the three optimization tiers performs the sweep.
-enum class KernelTier { Generic, D3Q19, Simd };
+/// Which optimization tier performs the sweep. Aa and AaSimd are the
+/// in-place AA-pattern tiers (lbm/KernelAa.h): a single PDF grid — half the
+/// PDF memory — with the even/odd kernels alternating by step parity.
+enum class KernelTier { Generic, D3Q19, Simd, Aa, AaSimd };
+
+/// True for the single-grid AA-pattern tiers (no shadow buffer, no swap).
+constexpr bool isAaTier(KernelTier t) {
+    return t == KernelTier::Aa || t == KernelTier::AaSimd;
+}
+
+// The numeric values are part of the .wfr v2 flight-recorder format
+// (StepSample::kernelTier, decoded by obs::kernelTierName) — keep stable.
+static_assert(int(KernelTier::Generic) == 0 && int(KernelTier::D3Q19) == 1 &&
+              int(KernelTier::Simd) == 2 && int(KernelTier::Aa) == 3 &&
+              int(KernelTier::AaSimd) == 4);
 
 class SingleBlockSimulation {
 public:
@@ -44,7 +60,11 @@ public:
     explicit SingleBlockSimulation(const Config& cfg)
         : cfg_(cfg),
           src_(lbm::makePdfField<M>(cfg.xSize, cfg.ySize, cfg.zSize, cfg.layout)),
-          dst_(lbm::makePdfField<M>(cfg.xSize, cfg.ySize, cfg.zSize, cfg.layout)),
+          // The AA tiers update in place — the shadow grid shrinks to a
+          // token allocation and the PDF footprint halves.
+          dst_(isAaTier(cfg.tier)
+                   ? lbm::makePdfField<M>(1, 1, 1, cfg.layout)
+                   : lbm::makePdfField<M>(cfg.xSize, cfg.ySize, cfg.zSize, cfg.layout)),
           flags_(cfg.xSize, cfg.ySize, cfg.zSize, 1),
           masks_(lbm::BoundaryFlags::registerOn(flags_)) {}
 
@@ -75,8 +95,11 @@ public:
             lbm::copySliceLocal(flags_, flags_, d);
         }
         boundary_ = std::make_unique<lbm::BoundaryHandling<M>>(flags_, masks_);
+        // Uniform equilibrium including ghosts is also a valid AA state at
+        // parity Even: pdf(x, a) = P(x - e_a, a) holds trivially when every
+        // cell carries the same PDF set.
         lbm::initEquilibrium<M>(src_, rho, u);
-        lbm::initEquilibrium<M>(dst_, rho, u);
+        if (!isAaTier(cfg_.tier)) lbm::initEquilibrium<M>(dst_, rho, u);
         fluidCells_ = flags_.count(masks_.fluid);
     }
 
@@ -99,22 +122,25 @@ public:
         Timer wall;
         wall.start();
         for (uint_t step = 0; step < n; ++step) {
+            const lbm::AaParity parity = lbm::aaParityOfStep(currentStep_);
             {
                 ScopedTimer t(timing_["communication"]);
                 obs::ScopedTrace tr(trace_, "communication");
-                applyPeriodicity();
+                applyPeriodicity(parity);
             }
             {
                 ScopedTimer t(timing_["boundary"]);
                 obs::ScopedTrace tr(trace_, "boundary");
-                boundary_->apply(src_);
+                if (isAaTier(cfg_.tier)) boundary_->applyAa(src_, parity);
+                else boundary_->apply(src_);
             }
             {
                 ScopedTimer t(timing_["collideStream"]);
                 obs::ScopedTrace tr(trace_, "collideStream");
-                sweep(op);
+                sweep(op, parity);
             }
-            src_.swapDataWith(dst_);
+            if (!isAaTier(cfg_.tier)) src_.swapDataWith(dst_);
+            ++currentStep_;
             steps.inc();
         }
         wall.stop();
@@ -122,41 +148,60 @@ public:
             metrics_.gauge("sim.mlups").set(double(fluidCells_) * double(n) / wall.total() /
                                             1e6);
         metrics_.gauge("sim.fluidCells").set(double(fluidCells_));
+        metrics_.gauge("mem.pdf_bytes")
+            .set(double((src_.allocCells() + dst_.allocCells()) * sizeof(real_t)));
     }
+
+    /// Number of completed time steps (across run() calls).
+    std::uint64_t currentStep() const { return currentStep_; }
+
+    /// AA storage layout right now == parity of the next step. Meaningful
+    /// for the AA tiers only.
+    lbm::AaParity aaParity() const { return lbm::aaParityOfStep(currentStep_); }
 
     TimingPool& timing() { return timing_; }
     obs::MetricsRegistry& metrics() { return metrics_; }
     obs::TraceRecorder& trace() { return trace_; }
 
+    /// The canonical (physical) PDF set of one cell — parity-normalized for
+    /// the AA tiers, a plain read otherwise.
+    std::array<real_t, M::Q> cellPdfs(cell_idx_t x, cell_idx_t y, cell_idx_t z) const {
+        if (isAaTier(cfg_.tier)) return lbm::aaCanonicalPdfs(src_, aaParity(), x, y, z);
+        return lbm::getPdfs<M>(src_, x, y, z);
+    }
+
     real_t density(cell_idx_t x, cell_idx_t y, cell_idx_t z) const {
-        return lbm::cellDensity<M>(src_, x, y, z);
+        return lbm::density<M>(cellPdfs(x, y, z));
     }
     Vec3 velocity(cell_idx_t x, cell_idx_t y, cell_idx_t z) const {
-        return lbm::cellVelocity<M>(src_, x, y, z);
+        const auto pdfs = cellPdfs(x, y, z);
+        return lbm::momentum<M>(pdfs) / lbm::density<M>(pdfs);
     }
 
     /// Total mass over all fluid cells — conserved in closed systems.
     real_t totalMass() const {
         real_t m = 0;
         flags_.forAllInterior([&](cell_idx_t x, cell_idx_t y, cell_idx_t z) {
-            if (flags_.get(x, y, z) & masks_.fluid) m += lbm::cellDensity<M>(src_, x, y, z);
+            if (flags_.get(x, y, z) & masks_.fluid) m += lbm::density<M>(cellPdfs(x, y, z));
         });
         return m;
     }
 
 private:
-    void applyPeriodicity() {
+    void applyPeriodicity(lbm::AaParity parity) {
         if (!cfg_.periodicX && !cfg_.periodicY && !cfg_.periodicZ) return;
         for (const auto& d : lbm::neighborhood26) {
             if (d[0] != 0 && !cfg_.periodicX) continue;
             if (d[1] != 0 && !cfg_.periodicY) continue;
             if (d[2] != 0 && !cfg_.periodicZ) continue;
-            lbm::copyPdfsLocal<M>(src_, src_, d);
+            if (!isAaTier(cfg_.tier)) lbm::copyPdfsLocal<M>(src_, src_, d);
+            else if (parity == lbm::AaParity::Odd) lbm::aaCopyPdfsLocalForward<M>(src_, src_, d);
+            else lbm::aaCopyPdfsLocalReverse<M>(src_, src_, d);
         }
     }
 
     template <typename Op>
-    void sweep(const Op& op) {
+    void sweep(const Op& op, lbm::AaParity parity) {
         switch (cfg_.tier) {
             case KernelTier::Generic:
                 lbm::streamCollideGeneric<M>(src_, dst_, op, &flags_, masks_.fluid);
@@ -165,11 +210,22 @@ private:
                 lbm::streamCollideD3Q19(src_, dst_, op, &flags_, masks_.fluid);
                 break;
             case KernelTier::Simd:
-                if (!runs_) runs_ = std::make_unique<lbm::FluidRunList>(
-                                lbm::buildFluidRuns(flags_, masks_.fluid));
-                lbm::streamCollideIntervals(src_, dst_, *runs_, op, simd_);
+                lbm::streamCollideIntervals(src_, dst_, fluidRuns(), op, simd_);
+                break;
+            case KernelTier::Aa:
+                lbm::aaStreamCollide(src_, parity, op, &flags_, masks_.fluid);
+                break;
+            case KernelTier::AaSimd:
+                lbm::aaCollideIntervals(src_, parity, fluidRuns(), op, simdAa_);
                 break;
         }
+    }
+
+    const lbm::FluidRunList& fluidRuns() {
+        if (!runs_)
+            runs_ = std::make_unique<lbm::FluidRunList>(
+                lbm::buildFluidRuns(flags_, masks_.fluid));
+        return *runs_;
     }
 
     Config cfg_;
@@ -179,6 +235,8 @@ private:
     std::unique_ptr<lbm::BoundaryHandling<M>> boundary_;
     std::unique_ptr<lbm::FluidRunList> runs_;
     lbm::KernelD3Q19Simd<> simd_;
+    lbm::KernelAaSimd<> simdAa_;
+    std::uint64_t currentStep_ = 0;
     uint_t fluidCells_ = 0;
     TimingPool timing_;
     obs::MetricsRegistry metrics_;

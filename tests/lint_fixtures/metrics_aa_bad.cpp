@@ -1,0 +1,8 @@
+// Fixture: AA-pattern instrumentation against the metric registry. The
+// in-place tier's footprint gauge "mem.pdf_bytes" IS declared (control:
+// not flagged); the near-miss typo and an ad-hoc parity counter are not.
+void recordAaFootprint(walb::obs::MetricsRegistry& metrics, long bytes) {
+    metrics.gauge("mem.pdf_bytes").set(double(bytes)); // declared: ok
+    metrics.gauge("mem.pdf_byte").set(double(bytes));  // line 6: typo
+    metrics.counter("aa.parity_flips").inc();          // line 7: undeclared
+}

@@ -93,6 +93,13 @@ TEST(Lint, MetricsBadFlagsUndeclaredNames) {
     EXPECT_EQ(linesOf(vs, "metric-name"), (std::vector<int>{5, 6, 7}));
 }
 
+TEST(Lint, MetricsAaBadFlagsUnregisteredFootprintNames) {
+    // The AA tier's registered "mem.pdf_bytes" gauge passes; the near-miss
+    // typo and an unregistered parity counter must each fire.
+    auto vs = realLinter().checkFile("f.cpp", fixture("metrics_aa_bad.cpp"));
+    EXPECT_EQ(linesOf(vs, "metric-name"), (std::vector<int>{6, 7}));
+}
+
 TEST(Lint, DeterminismBadFlagsRandomClockAndFloat) {
     auto vs = realLinter().checkFile("f.cpp", fixture("determinism_bad.cpp"));
     EXPECT_EQ(linesOf(vs, "determinism"), (std::vector<int>{7, 8, 9}));

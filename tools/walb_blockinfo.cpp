@@ -1,6 +1,6 @@
 /// walb_blockinfo — inspect a block-structure file (paper §2.2 format).
 ///
-/// Usage: walb_blockinfo [--loads] [--json] <forest.walb>
+/// Usage: walb_blockinfo [--loads] [--json] [--wfr <dump.wfr>] <forest.walb>
 ///
 /// Prints the domain, grid configuration, per-process workload statistics
 /// and the level histogram, without loading any cell data — the file holds
@@ -13,6 +13,10 @@
 /// --json emits the same information (summary AND per-rank loads) as one
 /// machine-readable JSON document, so CI gates and the serve drill can
 /// assert on placement without screen-scraping the tables above.
+///
+/// --wfr <dump.wfr> additionally reads a flight-recorder dump of a run on
+/// this structure and reports the active kernel tier and — for the in-place
+/// AA-pattern tiers — the step parity the run stopped at (text and JSON).
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "blockforest/SetupBlockForest.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Json.h"
 
 namespace {
@@ -74,9 +79,38 @@ int printLoads(const walb::bf::SetupBlockForest& forest, const char* path) {
     return 0;
 }
 
+/// Runtime state extracted from an optional flight-recorder dump.
+struct FlightInfo {
+    bool present = false;
+    std::uint32_t rank = 0;
+    std::uint64_t lastStep = 0;
+    std::uint8_t kernelTier = 0;
+    std::uint8_t aaParity = 0;
+};
+
+bool loadFlightInfo(const char* wfrPath, FlightInfo& out) {
+    walb::obs::FlightRecorder::Dump dump;
+    std::string err;
+    if (!walb::obs::FlightRecorder::read(wfrPath, dump, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return false;
+    }
+    if (dump.samples.empty()) {
+        std::fprintf(stderr, "error: '%s' holds no samples\n", wfrPath);
+        return false;
+    }
+    out.present = true;
+    out.rank = dump.rank;
+    out.lastStep = dump.samples.back().step;
+    out.kernelTier = dump.samples.back().kernelTier;
+    out.aaParity = dump.samples.back().aaParity;
+    return true;
+}
+
 /// Machine-readable dump: summary, balance statistics and the per-rank
 /// load table in one JSON object.
-int printJson(const walb::bf::SetupBlockForest& forest, const char* path) {
+int printJson(const walb::bf::SetupBlockForest& forest, const char* path,
+              const FlightInfo& flight) {
     using namespace walb;
     const auto& cfg = forest.config();
     const RankLoads loads = computeLoads(forest);
@@ -121,6 +155,14 @@ int printJson(const walb::bf::SetupBlockForest& forest, const char* path) {
         w.endObject();
     }
     w.endArray();
+    if (flight.present) {
+        w.key("flight").beginObject();
+        w.kv("rank", flight.rank);
+        w.kv("last_step", flight.lastStep);
+        w.kv("kernel_tier", obs::kernelTierName(flight.kernelTier));
+        w.kv("aa_parity", std::uint64_t(flight.aaParity));
+        w.endObject();
+    }
     w.endObject();
     std::cout << "\n";
     return 0;
@@ -133,18 +175,23 @@ int main(int argc, char** argv) {
     bool loads = false;
     bool json = false;
     const char* path = nullptr;
+    const char* wfrPath = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--loads") == 0)
             loads = true;
         else if (std::strcmp(argv[i], "--json") == 0)
             json = true;
+        else if (std::strcmp(argv[i], "--wfr") == 0 && i + 1 < argc)
+            wfrPath = argv[++i];
         else if (!path)
             path = argv[i];
         else
             path = ""; // more than one positional argument -> usage error
     }
     if (!path || path[0] == '\0') {
-        std::fprintf(stderr, "usage: %s [--loads] [--json] <forest.walb>\n", argv[0]);
+        std::fprintf(stderr, "usage: %s [--loads] [--json] [--wfr <dump.wfr>] "
+                             "<forest.walb>\n",
+                     argv[0]);
         return 2;
     }
     const auto forest = bf::SetupBlockForest::loadFromFile(path);
@@ -152,7 +199,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: cannot read '%s'\n", path);
         return 1;
     }
-    if (json) return printJson(*forest, path);
+    FlightInfo flight;
+    if (wfrPath && !loadFlightInfo(wfrPath, flight)) return 1;
+    if (json) return printJson(*forest, path, flight);
     if (loads) return printLoads(*forest, path);
 
     const auto& cfg = forest->config();
@@ -189,5 +238,13 @@ int main(int argc, char** argv) {
     std::printf("  blocks/process histogram:\n");
     for (const auto& [n, procs] : blocksPerProcessHisto)
         std::printf("    %3u block(s): %llu process(es)\n", n, (unsigned long long)procs);
+    if (flight.present) {
+        std::printf("  kernel tier      %s (rank %u flight dump, last step %llu%s)\n",
+                    obs::kernelTierName(flight.kernelTier), flight.rank,
+                    (unsigned long long)flight.lastStep,
+                    obs::isAaKernelTier(flight.kernelTier)
+                        ? (flight.aaParity ? ", parity odd" : ", parity even")
+                        : "");
+    }
     return 0;
 }

@@ -118,6 +118,8 @@ struct RankSummary {
     double meanMlups = 0, maxImbalance = 0;
     double p50 = 0, p95 = 0, p99 = 0;
     std::uint64_t bytes = 0, messages = 0;
+    std::uint8_t kernelTier = 0;  ///< from the most recent sample
+    std::uint8_t lastAaParity = 0;
 };
 
 RankSummary summarizeRank(const LoadedDump& d) {
@@ -146,6 +148,8 @@ RankSummary summarizeRank(const LoadedDump& d) {
         s.p50 = obs::sortedQuantile(stepSeconds, 0.50);
         s.p95 = obs::sortedQuantile(stepSeconds, 0.95);
         s.p99 = obs::sortedQuantile(stepSeconds, 0.99);
+        s.kernelTier = d.dump.samples.back().kernelTier;
+        s.lastAaParity = d.dump.samples.back().aaParity;
     }
     return s;
 }
@@ -213,14 +217,16 @@ std::string rankList(const std::vector<LoadedDump>& dumps, const std::vector<int
 int reportDumps(const std::vector<std::string>& paths) {
     std::vector<LoadedDump> dumps;
     if (!loadDumps(paths, dumps)) return 1;
-    std::printf("%-6s %8s %12s %12s %12s %12s %12s %10s %12s\n", "rank", "steps",
-                "collide[s]", "pack[s]", "exchange[s]", "boundary[s]", "shell[s]",
-                "MLUP/s", "p95step[s]");
+    std::printf("%-6s %8s %12s %12s %12s %12s %12s %10s %12s %8s %6s\n", "rank",
+                "steps", "collide[s]", "pack[s]", "exchange[s]", "boundary[s]",
+                "shell[s]", "MLUP/s", "p95step[s]", "tier", "parity");
     for (const LoadedDump& d : dumps) {
         const RankSummary s = summarizeRank(d);
-        std::printf("%-6u %8zu %12.4f %12.4f %12.4f %12.4f %12.4f %10.2f %12.3e\n",
+        std::printf("%-6u %8zu %12.4f %12.4f %12.4f %12.4f %12.4f %10.2f %12.3e %8s %6s\n",
                     s.rank, s.steps, s.collide, s.pack, s.exchange, s.boundary, s.shell,
-                    s.meanMlups, s.p95);
+                    s.meanMlups, s.p95, obs::kernelTierName(s.kernelTier),
+                    obs::isAaKernelTier(s.kernelTier) ? (s.lastAaParity ? "odd" : "even")
+                                                      : "-");
     }
     const auto timeline = stragglerTimeline(dumps);
     if (!timeline.empty()) {
@@ -276,6 +282,8 @@ int jsonDumps(const std::vector<std::string>& paths) {
         w.kv("p50_step_seconds", s.p50).kv("p95_step_seconds", s.p95);
         w.kv("p99_step_seconds", s.p99);
         w.kv("bytes_moved", s.bytes).kv("messages", s.messages);
+        w.kv("kernel_tier", obs::kernelTierName(s.kernelTier));
+        w.kv("aa_parity", std::uint64_t(s.lastAaParity));
         w.endObject();
     }
     w.endArray();
